@@ -1,0 +1,30 @@
+# Canonical workflows for the reproduction.
+
+.PHONY: install test test-fast bench report examples clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/ 2>&1 | tee test_output.txt
+
+test-fast:
+	pytest tests/ -m "not slow"
+
+bench:
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+report:
+	python -m repro report --output REPORT.md
+	python tools/gen_api_docs.py
+
+examples:
+	python examples/quickstart.py /tmp/repro_example_qs
+	python examples/gpu_simulation.py
+	python examples/paper_scale_simulation.py
+	python examples/search_engine.py /tmp/repro_example_se
+	python examples/baseline_comparison.py /tmp/repro_example_bc
+
+clean:
+	rm -rf .bench_data benchmarks/reports .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,84 @@
+"""Ablation D — thread blocks per GPU (§IV.B: "480 thread blocks").
+
+"After extensive testing using a wide range of values for the number of
+thread blocks, it turns out that the best performance is achieved by
+using 480 thread blocks per GPU."
+
+The sweep runs the kernel scheduling simulation over the *real* per-trie-
+collection work items measured from the functional GPU indexer on the
+mini ClueWeb collection.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.dictionary.dictionary import DictionaryShard
+from repro.dictionary.trie import TrieTable
+from repro.gpusim.kernel import KernelLaunch
+from repro.indexers.gpu import GPUIndexer
+from repro.parsing.parser import Parser
+from repro.util.fmt import render_table
+
+BLOCKS = [30, 60, 120, 240, 360, 480, 720, 960, 1920, 3840]
+
+
+def _real_work_items(collection, n_files: int = 3):
+    trie = TrieTable()
+    parser = Parser(trie=trie)
+    gpu = GPUIndexer(0, DictionaryShard(trie))
+    items = []
+    doc_offset = 0
+    for seq, path in enumerate(collection.files[:n_files]):
+        parsed = parser.parse_file(path, sequence=seq)
+        out = gpu.index_batch(parsed.batch, doc_offset)
+        items.extend(out.work_items)
+        doc_offset += parsed.batch.num_docs
+    return items
+
+
+def test_block_count_sweep(benchmark, cw_mini):
+    items = _real_work_items(cw_mini)
+    # Scale cycles so one launch carries paper-like volume (~3.5s of GPU
+    # work per run at 1.3 GHz) — the optimum's position depends on the
+    # work-to-overhead ratio, so the sweep must run in the right regime.
+    total_raw = sum(it.total_cycles for it in items) or 1.0
+    scale = 4.5e9 / total_raw
+    scaled = [
+        type(it)(
+            key=it.key,
+            compute_cycles=it.compute_cycles * scale,
+            memory_stall_cycles=it.memory_stall_cycles * scale,
+            bus_cycles=it.bus_cycles * scale,
+        )
+        for it in items
+    ]
+
+    def sweep():
+        return {
+            nb: KernelLaunch(num_blocks=nb).run(scaled) for nb in BLOCKS
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    best = min(BLOCKS, key=lambda nb: results[nb].elapsed_seconds)
+    rows = [
+        [
+            nb,
+            f"{results[nb].elapsed_seconds * 1e3:.2f}",
+            results[nb].resident_blocks_per_sm,
+            f"{results[nb].load_imbalance:.3f}",
+            "← best" if nb == best else ("← paper" if nb == 480 else ""),
+        ]
+        for nb in BLOCKS
+    ]
+    report(
+        "ablation_blocks",
+        render_table(
+            ["Blocks/GPU", "Kernel ms", "Resident/SM", "SM imbalance", ""], rows
+        ),
+    )
+    # The optimum sits in the paper's band: hundreds of blocks, not tens
+    # or thousands.
+    assert 240 <= best <= 960
+    assert results[480].elapsed_seconds < results[30].elapsed_seconds
+    assert results[480].elapsed_seconds < results[3840].elapsed_seconds

@@ -1,0 +1,50 @@
+"""Fig 11 — scalability of the parallel indexers (per-file throughput).
+
+Regenerates the per-file indexing-throughput series for scenarios (ii),
+(iii) and (iv) over the 1,492-file paper-scale workload.  Checked claims:
+the sharp early decline flattening out (the inverse-B-tree-depth shape),
+the cliff at file index 1,200 where the Wikipedia.org files begin, and
+the combined CPU+GPU configuration being "especially affected".
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.analysis.figures import fig11_per_file_series
+from repro.util.ascii_chart import line_chart
+from repro.util.fmt import render_table
+
+
+def test_fig11_report(benchmark):
+    out = benchmark.pedantic(
+        fig11_per_file_series, kwargs={"sample_points": 16}, rounds=1, iterations=1
+    )
+    headers = ["File index"] + [str(i) for i in out["file_index"]]
+    rows = []
+    for name in ("1 CPU indexer", "2 CPU indexers", "2 CPU + 2 GPU indexers"):
+        rows.append([name] + [f"{v:.0f}" for v in out[name]])
+    rows.append([
+        "[paper] qualitative",
+        *(["decline→plateau"] + ["·"] * (len(out["file_index"]) - 2) + ["cliff@1200"]),
+    ])
+    table = render_table(headers, rows)
+    drops = "\n".join(
+        f"{name}: post-cliff/pre-cliff throughput ratio = {out[f'{name} drop']:.2f}"
+        for name in ("1 CPU indexer", "2 CPU indexers", "2 CPU + 2 GPU indexers")
+    )
+    chart = line_chart(
+        out["file_index"],
+        {name: out[name] for name in
+         ("1 CPU indexer", "2 CPU indexers", "2 CPU + 2 GPU indexers")},
+    )
+    report(
+        "fig11_scalability",
+        table + "\n\nWikipedia-segment drop factors:\n" + drops
+        + "\n\nper-file MB/s vs file index:\n" + chart,
+    )
+
+    assert out["segment_boundary"] == 1200
+    combined = out["2 CPU + 2 GPU indexers"]
+    assert combined[0] > combined[3]  # early decline
+    assert out["2 CPU + 2 GPU indexers drop"] < out["2 CPU indexers drop"]

@@ -1,0 +1,34 @@
+"""The reproduction scorecard: every headline claim checked in one run.
+
+Prints the full pass/fail matrix of the paper's claims against the
+current models — the one-stop answer to "did the reproduction hold?".
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.analysis.scorecard import reproduction_scorecard
+from repro.util.fmt import render_table
+
+
+def test_scorecard(benchmark):
+    claims = benchmark.pedantic(reproduction_scorecard, rounds=1, iterations=1)
+    rows = [
+        [
+            "PASS" if c.passed else "FAIL",
+            c.source,
+            c.statement,
+            c.paper_value,
+            c.ours_value,
+        ]
+        for c in claims
+    ]
+    passed = sum(c.passed for c in claims)
+    table = render_table(["", "Source", "Claim", "Paper", "Ours"], rows)
+    report(
+        "scorecard",
+        table + f"\n\n{passed}/{len(claims)} claims reproduced",
+    )
+    failures = [c for c in claims if not c.passed]
+    assert not failures, [f"{c.source}: {c.statement} → {c.ours_value}" for c in failures]

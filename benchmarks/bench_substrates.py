@@ -1,0 +1,89 @@
+"""Substrate microbenchmarks: the library's own hot paths.
+
+Not a paper experiment — these time the building blocks a downstream user
+inherits: the Porter stemmer, the discrete-event engine, the warp node
+search, the postings codecs, and the full parser pipeline, in operations
+per second.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus.zipf import ZipfSampler, ZipfVocabulary
+from repro.gpusim.reduction import warp_find_slot
+from repro.parsing.parser import Parser
+from repro.parsing.porter import PorterStemmer
+from repro.postings.compression import VarByteCodec
+from repro.sim.events import Request, Simulator, Timeout
+from repro.sim.resources import Resource
+
+
+def test_porter_stemmer_throughput(benchmark):
+    """Cold-cache stemming rate (every token distinct)."""
+    vocab = ZipfVocabulary(size=20_000, seed=31)
+
+    def stem_all():
+        stemmer = PorterStemmer()  # fresh: no memo hits
+        return sum(len(stemmer.stem(w)) for w in vocab.terms)
+
+    assert benchmark(stem_all) > 0
+
+
+def test_parser_pipeline_throughput(benchmark):
+    """Steps 2–5 over realistic Zipf text (memoized hot path)."""
+    vocab = ZipfVocabulary(size=8_000, seed=32)
+    sampler = ZipfSampler(vocab, seed=33)
+    texts = [" ".join(sampler.sample_terms(400)) for _ in range(50)]
+    parser = Parser(strip_html=False)
+    parser.parse_texts(texts[:2])  # warm the token cache
+
+    def parse():
+        batch, _ = parser.parse_texts(texts)
+        return batch.total_tokens
+
+    tokens = benchmark(parse)
+    assert tokens > 0
+
+
+def test_des_event_rate(benchmark):
+    """Simulator events per second (timeouts + mutex handoffs)."""
+
+    def run_sim():
+        sim = Simulator()
+        res = Resource("r", capacity=1)
+
+        def worker():
+            for _ in range(500):
+                yield Request(res)
+                yield Timeout(0.001)
+                res.release()
+
+        for i in range(4):
+            sim.add_process(worker(), f"w{i}")
+        return sim.run()
+
+    assert benchmark(run_sim) > 0
+
+
+def test_warp_find_slot_rate(benchmark):
+    """Fig 7 searches over full 31-key nodes."""
+    rng = random.Random(7)
+    keys = sorted({bytes(rng.choices(range(97, 123), k=6)) for _ in range(40)})[:31]
+    queries = [bytes(rng.choices(range(97, 123), k=6)) for _ in range(500)]
+
+    def search_all():
+        return sum(warp_find_slot(q, keys)[0] for q in queries)
+
+    assert benchmark(search_all) >= 0
+
+
+def test_varbyte_codec_rate(benchmark):
+    """Encode+decode throughput on a long postings list."""
+    postings = [(i * 3, (i % 7) + 1) for i in range(20_000)]
+    codec = VarByteCodec()
+
+    def round_trip():
+        return len(codec.decode(codec.encode(postings)))
+
+    assert benchmark(round_trip) == 20_000

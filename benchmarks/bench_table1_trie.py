@@ -1,0 +1,45 @@
+"""Table I — the trie-collection index table.
+
+Times the trie lookup hot path (it runs once per token in every parser)
+and regenerates Table I with the measured per-category token distribution
+of the mini ClueWeb collection.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.analysis.tables import table1_trie_categories
+from repro.corpus.zipf import ZipfSampler, ZipfVocabulary
+from repro.dictionary.trie import TrieTable
+from repro.indexers.assignment import sample_collection
+from repro.util.fmt import render_table
+
+
+def test_table1_report(benchmark, cw_mini):
+    trie = TrieTable()
+    sampled = sample_collection(cw_mini, sample_fraction=0.2)
+
+    def build():
+        return table1_trie_categories(trie, sampled)
+
+    headers, rows = benchmark(build)
+    report("table1_trie", render_table(headers, rows))
+    assert sum(r[2] for r in rows) == 17613
+
+
+def test_trie_lookup_throughput(benchmark):
+    """Tokens per second through ``trie_index`` (the Step-2 byproduct)."""
+    trie = TrieTable()
+    vocab = ZipfVocabulary(size=20_000, seed=1)
+    tokens = ZipfSampler(vocab, seed=2).sample_terms(50_000)
+
+    def lookup_all():
+        index = trie.trie_index
+        total = 0
+        for t in tokens:
+            total += index(t)
+        return total
+
+    total = benchmark(lookup_all)
+    assert total > 0

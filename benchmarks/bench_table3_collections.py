@@ -1,0 +1,35 @@
+"""Table III — statistics of the document collections.
+
+Generates all three mini collections, parses them end to end to count
+documents/terms/tokens, and prints our (scaled) rows above the paper's
+full-scale numbers.  The benchmark times the statistics pass over the
+ClueWeb-profile collection (a full parse of every file).
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.analysis.tables import table3_collection_stats
+from repro.corpus.collection import collection_statistics
+from repro.util.fmt import render_table
+
+
+def test_table3_report(benchmark, cw_mini, wiki_mini, congress_mini_coll):
+    stats_cw = benchmark(collection_statistics, cw_mini)
+    stats_wiki = collection_statistics(wiki_mini, strip_html=False)
+    stats_congress = collection_statistics(congress_mini_coll)
+
+    headers, rows = table3_collection_stats([stats_cw, stats_wiki, stats_congress])
+    report("table3_collections", render_table(headers, rows))
+
+    # Profile shape checks (scaled analogues of Table III):
+    # ClueWeb is markup-heavy → fewer tokens per byte than pure-text wiki.
+    cw_density = stats_cw.num_tokens / stats_cw.uncompressed_bytes
+    wiki_density = stats_wiki.num_tokens / stats_wiki.uncompressed_bytes
+    assert wiki_density > 1.5 * cw_density
+    # Vocabulary: the web crawl has the fattest term set per token.
+    assert (
+        stats_cw.num_terms / stats_cw.num_tokens
+        > stats_wiki.num_terms / stats_wiki.num_tokens
+    )

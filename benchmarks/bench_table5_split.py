@@ -1,0 +1,37 @@
+"""Table V — workload between CPU and GPU indexers.
+
+Uses the cached functional build of the mini ClueWeb collection: tokens,
+distinct terms and dictionary characters actually routed to the CPU
+(popular) and GPU (unpopular) sides, next to the paper's full-scale
+ratios.  The checked shape: the GPU side sees comparably many tokens but
+*several times* the distinct terms — the whole point of the split.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.analysis.tables import table5_work_split
+from repro.indexers.assignment import build_assignment, sample_collection
+from repro.util.fmt import render_table
+
+
+def test_table5_report(benchmark, engine_result, cw_mini):
+    # Time the assignment construction (sampling dominates in practice).
+    def assign():
+        sampled = sample_collection(cw_mini, sample_fraction=0.02)
+        return build_assignment(sampled, num_cpu_indexers=2, num_gpus=2)
+
+    benchmark(assign)
+
+    headers, rows = table5_work_split(engine_result.split)
+    report("table5_split", render_table(headers, rows))
+
+    split = engine_result.split
+    token_ratio = split.gpu_tokens / max(1, split.cpu_tokens)
+    term_ratio = split.gpu_terms / max(1, split.cpu_terms)
+    # Paper: tokens split 0.80:1 GPU:CPU; terms 2.50:1.  Shape: tokens
+    # near parity, terms heavily GPU-side.
+    assert 0.5 < token_ratio < 2.5
+    assert term_ratio > 2.0
+    assert term_ratio > token_ratio

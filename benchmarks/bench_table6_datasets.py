@@ -1,0 +1,69 @@
+"""Table VI — performance on the three document collections.
+
+Simulates full paper-scale builds (sampling → pipeline → dictionary
+combine/write) for ClueWeb09 (± GPUs), Wikipedia 01-07 and the Library of
+Congress crawl, printing every row against the published value.  Also
+runs the *functional* engine over the three mini collections as a
+real-execution cross-check of relative ordering.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import report
+
+from repro.analysis.tables import TABLE6_PAPER, table6_datasets
+from repro.core.config import PlatformConfig
+from repro.core.engine import IndexingEngine
+from repro.util.fmt import render_table
+
+
+def test_table6_report(benchmark):
+    headers, rows = benchmark.pedantic(table6_datasets, rounds=1, iterations=1)
+    report("table6_datasets", render_table(headers, rows))
+
+    ours = {r[0]: [float(v) for v in r[1:]] for r in rows if not r[0].startswith("  [paper]")}
+    thpt = dict(zip(headers[1:], ours["Throughput (MB/s)"]))
+    # Ordering claims: GPUs help ClueWeb; Wikipedia is the slowest in MB/s
+    # ("the slower than 100MB/s throughput ... amounts to a very high
+    # processing speed" because it is pure text).
+    assert thpt["ClueWeb09"] > thpt["ClueWeb09 w/o GPUs"]
+    assert thpt["Wikipedia 01-07"] < 100
+    assert thpt["Wikipedia 01-07"] < min(
+        thpt["ClueWeb09"], thpt["Library of Congress"]
+    )
+    # Within 25% of every published throughput.
+    for name, got in thpt.items():
+        want = TABLE6_PAPER[name]["mbps"]
+        assert abs(got - want) / want < 0.25, (name, got, want)
+
+
+def test_table6_functional_minis(benchmark, cw_mini, wiki_mini, congress_mini_coll, data_dir):
+    """Real builds of the three mini collections (simulated clocks)."""
+
+    def build_all():
+        rows = []
+        for coll, html in [(cw_mini, True), (wiki_mini, False), (congress_mini_coll, True)]:
+            out = os.path.join(data_dir, f"t6_{coll.name}")
+            cfg = PlatformConfig(sample_fraction=0.05, strip_html=html)
+            res = IndexingEngine(cfg).build(coll, out)
+            rows.append(
+                [
+                    coll.name,
+                    res.term_count,
+                    res.token_count,
+                    f"{res.report.total_s:.2f}",
+                    f"{res.report.throughput_mbps:.2f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    report(
+        "table6_functional_minis",
+        render_table(
+            ["Mini collection", "Terms", "Tokens", "Sim total (s)", "Sim MB/s"], rows
+        ),
+    )
+    assert len(rows) == 3

@@ -1,0 +1,88 @@
+"""Extension — the model as a design tool: hardware what-if sweeps.
+
+"Our algorithm can easily be adapted to any other such heterogeneous
+configuration" (§III).  With the calibrated pipeline model we can ask
+what the paper's authors could not measure: how does the 2009 design
+scale with more cores and more GPUs, and where does the bottleneck move?
+
+Held fixed: per-core and per-GPU speeds (still 2009 silicon), the 100
+MB/s remote disk, and the ClueWeb09 workload.  Swept: core count (split
+between parsers and CPU indexers at the measured 3:1 parser:indexer work
+ratio) and GPU count.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core.config import PlatformConfig
+from repro.core.pipeline import simulate_pipeline
+from repro.core.workload import WorkloadModel
+from repro.util.fmt import render_table
+
+
+def _best_split(cores: int, gpus: int, works) -> tuple[PlatformConfig, float]:
+    """Exhaustive parser/indexer split for a core budget."""
+    best_cfg, best = None, -1.0
+    min_cpu = 0 if gpus else 1
+    for parsers in range(1, cores):
+        cpus = cores - parsers
+        if cpus < min_cpu:
+            continue
+        cfg = PlatformConfig(
+            num_parsers=parsers, num_cpu_indexers=cpus, num_gpus=gpus,
+            total_cores=cores,
+        )
+        thpt = simulate_pipeline(works, cfg).overall_throughput_mbps
+        if thpt > best:
+            best, best_cfg = thpt, cfg
+    assert best_cfg is not None
+    return best_cfg, best
+
+
+def test_hardware_whatif(benchmark):
+    works = WorkloadModel.paper_scale("clueweb09").files()
+
+    def sweep():
+        rows = []
+        results = {}
+        for cores in (4, 8, 16, 32):
+            for gpus in (0, 2, 4):
+                cfg, thpt = _best_split(cores, gpus, works)
+                results[(cores, gpus)] = thpt
+                rows.append(
+                    [cores, gpus, cfg.num_parsers, cfg.num_cpu_indexers,
+                     f"{thpt:.1f}"]
+                )
+        return rows, results
+
+    rows, results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for row in rows:
+        if row[0] == 8 and row[1] == 2:
+            row.append("← the paper's node")
+        else:
+            row.append("")
+    report(
+        "whatif_hardware",
+        render_table(
+            ["Cores", "GPUs", "Best parsers", "Best CPU idx", "MB/s", ""], rows
+        )
+        + "\n\nTwo bottleneck shifts the model predicts:\n"
+        "1. The fixed popular/unpopular binding ages badly: with 16+ cores,\n"
+        "   pinning the long tail to two 2009-era GPUs (≈3.1 s/file floor)\n"
+        "   LOSES to an all-CPU split — the §III.E heuristic presumes CPU\n"
+        "   cores are scarce.  Four GPUs restore the advantage.\n"
+        "2. Toward 32 cores the 100 MB/s remote disk (≈618 MB/s uncompressed\n"
+        "   intake ceiling, §IV.A) becomes the governing limit.",
+    )
+
+    # The paper's configuration reproduces within the sweep.
+    assert abs(results[(8, 2)] - 255) / 255 < 0.10
+    # More hardware helps, with diminishing returns toward the disk bound.
+    assert results[(16, 2)] > results[(8, 2)]
+    disk_bound_mbps = 100e6 / (1024 * 1024) * 6.39  # 1GB unc per 160MB comp
+    assert results[(32, 4)] <= disk_bound_mbps * 1.05
+    # GPUs matter less as CPU cores become plentiful.
+    gain_8 = results[(8, 2)] / results[(8, 0)]
+    gain_32 = results[(32, 2)] / results[(32, 0)]
+    assert gain_8 > gain_32

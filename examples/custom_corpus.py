@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Index *your own* documents — the downstream-adopter path.
+
+Creates a handful of text files (stand-ins for your data), ingests them
+into the engine's container format, builds a positional index, and runs
+Boolean/BM25/phrase queries — the complete ingest → build → search loop
+a user of the library actually needs.
+
+Equivalent CLI:
+
+    python -m repro ingest ./my_docs ./corpora
+    python -m repro build ./corpora/ingested ./index --positional
+    python -m repro query ./index heterogeneous platforms --mode phrase
+
+Run:  python examples/custom_corpus.py [workdir]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro import DocTable, IndexingEngine, PlatformConfig, SearchEngine
+from repro.corpus.ingest import ingest_directory
+
+DOCUMENTS = {
+    "intro.txt": (
+        "Inverted files map every term to the documents containing it. "
+        "Search engines build them from web-scale crawls."
+    ),
+    "pipeline.txt": (
+        "A pipelined indexer runs parsers and indexers concurrently so "
+        "parsed streams are consumed as fast as they are produced."
+    ),
+    "hardware.txt": (
+        "Heterogeneous platforms pair multicore processors with GPUs. "
+        "On heterogeneous platforms the dictionary must support many "
+        "concurrent writers."
+    ),
+    "notes/review.txt": (
+        "The reviewers asked how the trie and btree dictionary scales on "
+        "heterogeneous platforms with thousands of threads."
+    ),
+}
+
+
+def main(workdir: str = "./custom_corpus_data") -> None:
+    # 1. Write some "user documents" to disk.
+    src = os.path.join(workdir, "my_docs")
+    for relpath, text in DOCUMENTS.items():
+        path = os.path.join(src, relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+
+    # 2. Ingest: pack them into gzip containers + manifest.
+    collection = ingest_directory(src, os.path.join(workdir, "corpora"))
+    print(f"ingested {collection.num_docs} documents "
+          f"({collection.uncompressed_bytes} bytes)")
+
+    # 3. Build a positional index.
+    index_dir = os.path.join(workdir, "index")
+    result = IndexingEngine(
+        PlatformConfig(num_parsers=2, num_cpu_indexers=1, num_gpus=1,
+                       sample_fraction=1.0, strip_html=False, positional=True)
+    ).build(collection, index_dir)
+    print(f"indexed {result.term_count} terms from {result.token_count} tokens\n")
+
+    # 4. Search.
+    engine = SearchEngine(index_dir, num_docs=result.document_count)
+    table = DocTable.load(index_dir)
+
+    def show(label: str, doc_ids: list[int]) -> None:
+        names = [table.lookup(d).uri for d in doc_ids]
+        print(f"{label}: {names}")
+
+    show('AND "heterogeneous platforms"', engine.boolean_and("heterogeneous platforms"))
+    show('phrase "heterogeneous platforms"', engine.phrase("heterogeneous platforms"))
+    show('phrase "platforms heterogeneous"', engine.phrase("platforms heterogeneous"))
+
+    print("BM25 for 'dictionary threads':")
+    for hit in engine.ranked_bm25("dictionary threads", k=3):
+        print(f"  {table.lookup(hit.doc_id).uri}  score={hit.score:.3f}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "./custom_corpus_data")

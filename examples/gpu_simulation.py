@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""A tour of the SIMT GPU simulator (the paper's Tesla C1060 substitute).
+
+Demonstrates the warp-level B-tree machinery of Section III.D.2 directly:
+the Fig 7 parallel comparison + reduction, coalesced-access accounting,
+shared-memory bank conflicts, and the dynamic round-robin kernel
+scheduler with its 480-block optimum.
+
+Run:  python examples/gpu_simulation.py
+"""
+
+from __future__ import annotations
+
+from repro.gpusim import (
+    Device,
+    KernelLaunch,
+    SharedMemory,
+    TESLA_C1060,
+    WarpExecutor,
+    WorkItem,
+    coalesced_transactions,
+    warp_find_slot,
+)
+from repro.util.rng import make_rng
+
+
+def demo_warp_search() -> None:
+    print("== Fig 7: warp-parallel B-tree node search ==")
+    keys = sorted(
+        b"lication coding dexing rsing allel buted rallel zzle".split()
+    )[:7]
+    print(f"node keys ({len(keys)}): {[k.decode() for k in keys]}")
+    for query in [b"allel", b"dexing", b"aaa", b"zzzz"]:
+        slot, found = warp_find_slot(query, keys)
+        # 31 comparisons in one SIMD step, then a log2(32)=5-step reduction.
+        print(f"  query {query.decode():8s} -> slot {slot}, found={found}")
+
+
+def demo_memory_rules() -> None:
+    print("\n== coalescing and bank conflicts ==")
+    print(f"aligned 512B node load: {coalesced_transactions(0, 512)} transactions "
+          f"(16-word lines)")
+    print(f"misaligned by 4 bytes:  {coalesced_transactions(4, 512)} transactions")
+    sm = SharedMemory()
+    seq = sm.access([i * 4 for i in range(16)])
+    strided = sm.access([i * 64 for i in range(16)])
+    broadcast = sm.access([128] * 16)
+    print(f"shared memory passes — sequential: {seq}, 16-way conflict: {strided}, "
+          f"broadcast: {broadcast}")
+
+
+def demo_warp_costs() -> None:
+    print("\n== warp cycle accounting for one B-tree insert ==")
+    warp = WarpExecutor()
+    for _ in range(3):  # three-node root-to-leaf descent
+        warp.load_node()
+        warp.parallel_compare()
+        warp.reduce()
+    warp.shift(0)
+    warp.writeback_node()
+    c = warp.counters
+    print(f"compute cycles: {c.compute_cycles:.0f}, stall: {c.memory_stall_cycles:.0f}, "
+          f"bus: {c.bus_cycles:.0f}")
+    print(f"un-hidden total: {c.total_cycles:.0f} cycles "
+          f"({TESLA_C1060.seconds(c.total_cycles) * 1e6:.2f} µs serial)")
+
+
+def demo_kernel_scheduling() -> None:
+    print("\n== dynamic scheduling + the 480-block optimum ==")
+    rng = make_rng(3)
+    # Zipf-skewed trie-collection work, like a real 1GB run.
+    weights = 1.0 / (1.0 + rng.permutation(17_000).astype(float)) ** 0.9
+    weights /= weights.sum()
+    items = [
+        WorkItem(key=i, compute_cycles=0.1 * w * 4.5e9,
+                 memory_stall_cycles=0.9 * w * 4.5e9)
+        for i, w in enumerate(weights)
+    ]
+    for nb in [30, 120, 240, 480, 960, 3840]:
+        r = KernelLaunch(num_blocks=nb).run(items)
+        marker = "  <- paper's choice" if nb == 480 else ""
+        print(f"  {nb:5d} blocks: {r.elapsed_seconds * 1e3:7.1f} ms "
+              f"(resident/SM={r.resident_blocks_per_sm}, "
+              f"imbalance={r.load_imbalance:.2f}){marker}")
+    # Static assignment is a gamble: fine when heavy collections happen
+    # to scatter, terrible when they recur at the block-count period.
+    # Dynamic scheduling is distribution-proof — compare both on a
+    # workload where every 480th collection is heavy.
+    adversarial = [
+        WorkItem(key=i, compute_cycles=1e4,
+                 memory_stall_cycles=6e6 if i % 480 == 0 else 2e4)
+        for i in range(17_000)
+    ]
+    dyn = KernelLaunch(num_blocks=480, schedule="dynamic").run(adversarial)
+    stat = KernelLaunch(num_blocks=480, schedule="static").run(adversarial)
+    print(f"  periodic-skew workload: dynamic {dyn.elapsed_seconds * 1e3:.1f} ms vs "
+          f"static {stat.elapsed_seconds * 1e3:.1f} ms "
+          f"(imbalance {dyn.load_imbalance:.2f} vs {stat.load_imbalance:.2f})")
+
+
+def demo_device() -> None:
+    print("\n== device transfers (pre/post-processing) ==")
+    dev = Device()
+    h2d = dev.transfer_to_device(100 * 1024 * 1024)
+    d2h = dev.transfer_from_device(40 * 1024 * 1024)
+    print(f"100MB parsed stream to device: {h2d * 1e3:.1f} ms")
+    print(f"40MB postings back to host:    {d2h * 1e3:.1f} ms")
+    print(f"device memory in use: {dev.allocated_bytes / 1024**2:.0f} MB "
+          f"of {dev.spec.device_memory_bytes / 1024**3:.0f} GB")
+
+
+if __name__ == "__main__":
+    demo_warp_search()
+    demo_memory_rules()
+    demo_warp_costs()
+    demo_kernel_scheduling()
+    demo_device()

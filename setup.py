@@ -1,0 +1,6 @@
+"""Legacy setup shim: this environment has no `wheel` package, so editable
+installs must go through `setup.py develop` rather than PEP 517 wheels."""
+
+from setuptools import setup
+
+setup()

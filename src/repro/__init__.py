@@ -1,0 +1,69 @@
+"""repro — a reproduction of Wei & JaJa, *A Fast Algorithm for
+Constructing Inverted Files on Heterogeneous Platforms* (IPDPS 2011).
+
+The package builds inverted files with the paper's pipelined CPU+GPU
+architecture: parallel parsers with trie-indexed regrouping, a hybrid
+trie + B-tree dictionary with per-node string caches, CPU indexers for
+popular trie collections and warp-parallel GPU indexers (on a SIMT
+simulator) for the long tail, runs written with header mapping tables and
+gap-compressed postings.
+
+Quickstart::
+
+    from repro import IndexingEngine, PlatformConfig, clueweb09_mini, PostingsReader
+
+    collection = clueweb09_mini("./data", scale=0.3)
+    engine = IndexingEngine(PlatformConfig(num_parsers=6,
+                                           num_cpu_indexers=2,
+                                           num_gpus=2,
+                                           sample_fraction=0.05))
+    result = engine.build(collection, "./index")
+    reader = PostingsReader("./index")
+    reader.postings("parallel")      # [(doc_id, tf), ...]
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core.config import PlatformConfig
+from repro.core.engine import EngineResult, IndexingEngine
+from repro.core.pipeline import simulate_full_build, simulate_pipeline
+from repro.core.workload import WorkloadModel
+from repro.corpus.collection import Collection, collection_statistics
+from repro.corpus.datasets import clueweb09_mini, congress_mini, wikipedia_mini
+from repro.corpus.synthetic import CollectionSpec, SegmentSpec, generate_collection
+from repro.dictionary.btree import BTree
+from repro.dictionary.dictionary import Dictionary, DictionaryShard
+from repro.dictionary.trie import TrieTable
+from repro.postings.doctable import DocTable
+from repro.postings.merge import merge_index
+from repro.postings.reader import PostingsReader
+from repro.search.query import SearchEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IndexingEngine",
+    "EngineResult",
+    "PlatformConfig",
+    "simulate_pipeline",
+    "simulate_full_build",
+    "WorkloadModel",
+    "Collection",
+    "collection_statistics",
+    "CollectionSpec",
+    "SegmentSpec",
+    "generate_collection",
+    "clueweb09_mini",
+    "wikipedia_mini",
+    "congress_mini",
+    "TrieTable",
+    "BTree",
+    "Dictionary",
+    "DictionaryShard",
+    "PostingsReader",
+    "DocTable",
+    "SearchEngine",
+    "merge_index",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Experiment report builders: the paper's tables and figures as data.
+
+Each function returns ``(headers, rows)`` pairs (or series dictionaries
+for figures) that the benchmark harnesses print with
+:func:`repro.util.fmt.render_table` next to the paper's published values.
+Keeping the builders here — instead of inline in ``benchmarks/`` — makes
+the report structure unit-testable.
+"""
+
+from repro.analysis.calibration import PAPER_TARGETS, audit_calibration
+from repro.analysis.report import generate_full_report
+from repro.analysis.scorecard import Claim, reproduction_scorecard
+from repro.analysis.figures import (
+    ablation_block_sweep,
+    fig10_parser_sweep,
+    fig11_per_file_series,
+    fig12_comparison,
+)
+from repro.analysis.tables import (
+    table1_trie_categories,
+    table2_node_layout,
+    table3_collection_stats,
+    table4_indexer_configs,
+    table5_work_split,
+    table6_datasets,
+    table7_platforms,
+)
+
+__all__ = [
+    "table1_trie_categories",
+    "table2_node_layout",
+    "table3_collection_stats",
+    "table4_indexer_configs",
+    "table5_work_split",
+    "table6_datasets",
+    "table7_platforms",
+    "fig10_parser_sweep",
+    "fig11_per_file_series",
+    "fig12_comparison",
+    "ablation_block_sweep",
+    "reproduction_scorecard",
+    "Claim",
+    "generate_full_report",
+    "audit_calibration",
+    "PAPER_TARGETS",
+]

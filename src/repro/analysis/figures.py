@@ -1,0 +1,167 @@
+"""Builders for Fig 10, Fig 11, Fig 12 and the ablation sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.cluster import (
+    CLUEWEB09_MR_STATS,
+    GOV2_MR_STATS,
+    IVORY_PLATFORM,
+    SP_MR_PLATFORM,
+    ClusterModel,
+)
+from repro.core.config import PlatformConfig
+from repro.core.costs import StageCosts
+from repro.core.pipeline import simulate_full_build, simulate_pipeline
+from repro.core.workload import FileWork, WorkloadModel
+from repro.gpusim.kernel import KernelLaunch, WorkItem
+
+__all__ = [
+    "fig10_parser_sweep",
+    "fig11_per_file_series",
+    "fig12_comparison",
+    "ablation_block_sweep",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Fig 10 — optimal number of parallel parsers
+# ---------------------------------------------------------------------- #
+
+def fig10_parser_sweep(
+    works: list[FileWork] | None = None,
+    costs: StageCosts | None = None,
+    max_parsers: int = 7,
+) -> dict[str, list[float]]:
+    """The three scenario curves (MB/s) for M = 1..7 parsers.
+
+    Scenario 1: M parsers + (8−M) CPU indexers, no GPUs.
+    Scenario 2: M parsers + min(8−M, 2) CPU indexers + 2 GPUs.
+    Scenario 3: M parsers, no indexers (parse-only).
+    """
+    if works is None:
+        works = WorkloadModel.paper_scale("clueweb09").files()
+    no_gpu, with_gpu, parse_only = [], [], []
+    for m in range(1, max_parsers + 1):
+        r1 = simulate_pipeline(
+            works, PlatformConfig(num_parsers=m, num_cpu_indexers=8 - m, num_gpus=0), costs
+        )
+        no_gpu.append(r1.overall_throughput_mbps)
+        r2 = simulate_pipeline(
+            works,
+            PlatformConfig(num_parsers=m, num_cpu_indexers=min(8 - m, 2), num_gpus=2),
+            costs,
+        )
+        with_gpu.append(r2.overall_throughput_mbps)
+        r3 = simulate_pipeline(
+            works,
+            PlatformConfig(num_parsers=m, num_cpu_indexers=1, num_gpus=0),
+            costs,
+            parse_only=True,
+        )
+        parse_only.append(r3.overall_throughput_mbps)
+    return {
+        "parsers": list(range(1, max_parsers + 1)),
+        "M parsers + (8-M) CPU indexers": no_gpu,
+        "M parsers + CPU + 2 GPU indexers": with_gpu,
+        "M parsers only": parse_only,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Fig 11 — per-file indexing throughput
+# ---------------------------------------------------------------------- #
+
+def fig11_per_file_series(
+    works: list[FileWork] | None = None,
+    costs: StageCosts | None = None,
+    sample_points: int = 16,
+) -> dict[str, object]:
+    """Per-file throughput curves for scenarios (ii), (iii), (iv).
+
+    Returns down-sampled series plus the segment boundary (the Fig 11
+    "file index 1,200" cliff) and summary drop factors.
+    """
+    if works is None:
+        works = WorkloadModel.paper_scale("clueweb09").files()
+    scenarios = {
+        "1 CPU indexer": PlatformConfig(num_cpu_indexers=1, num_gpus=0),
+        "2 CPU indexers": PlatformConfig(num_cpu_indexers=2, num_gpus=0),
+        "2 CPU + 2 GPU indexers": PlatformConfig(num_cpu_indexers=2, num_gpus=2),
+    }
+    n = len(works)
+    stride = max(1, n // sample_points)
+    points = list(range(0, n, stride))
+    if points[-1] != n - 1:
+        points.append(n - 1)
+    out: dict[str, object] = {"file_index": points}
+    boundary = next(
+        (i for i, w in enumerate(works) if w.segment != works[0].segment), None
+    )
+    out["segment_boundary"] = boundary
+    for name, cfg in scenarios.items():
+        report = simulate_pipeline(works, cfg, costs)
+        series = report.per_file_throughput_mbps()
+        out[name] = [series[i] for i in points]
+        if boundary:
+            before = sum(series[boundary - 50 : boundary]) / 50
+            after = sum(series[-50:]) / 50
+            out[f"{name} drop"] = after / before if before else 0.0
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Fig 12 — comparison with the fastest known indexers
+# ---------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class ComparisonBar:
+    """One Fig 12 bar."""
+
+    system: str
+    dataset: str
+    nodes: int
+    cores: int
+    throughput_mbps: float
+
+    @property
+    def mbps_per_core(self) -> float:
+        return self.throughput_mbps / self.cores if self.cores else 0.0
+
+
+def fig12_comparison(costs: StageCosts | None = None) -> list[ComparisonBar]:
+    """All four bars: ours ± GPUs (DES) and the two MapReduce baselines
+    (cluster cost model on their Table VII platforms)."""
+    works = WorkloadModel.paper_scale("clueweb09").files()
+    ours_gpu = simulate_full_build(works, PlatformConfig(), costs)
+    ours_cpu = simulate_full_build(works, PlatformConfig(num_gpus=0), costs)
+    ivory = ClusterModel(IVORY_PLATFORM).throughput_mbps(CLUEWEB09_MR_STATS, "ivory")
+    spmr = ClusterModel(SP_MR_PLATFORM).throughput_mbps(GOV2_MR_STATS, "single-pass")
+    return [
+        ComparisonBar("This paper (2 CPU + 2 GPU)", "ClueWeb09", 1, 8,
+                      ours_gpu.throughput_mbps),
+        ComparisonBar("This paper (no GPUs)", "ClueWeb09", 1, 8,
+                      ours_cpu.throughput_mbps),
+        ComparisonBar("Ivory MapReduce", "ClueWeb09", IVORY_PLATFORM.nodes,
+                      IVORY_PLATFORM.usable_cores, ivory),
+        ComparisonBar("Single-Pass MapReduce", ".GOV2", SP_MR_PLATFORM.nodes,
+                      SP_MR_PLATFORM.usable_cores, spmr),
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# Ablation D — thread blocks per GPU (the 480 optimum)
+# ---------------------------------------------------------------------- #
+
+def ablation_block_sweep(
+    items: list[WorkItem],
+    block_counts: list[int] | None = None,
+    schedule: str = "dynamic",
+) -> dict[int, float]:
+    """Kernel time (s) per thread-block count over fixed work items."""
+    block_counts = block_counts or [30, 60, 120, 240, 360, 480, 720, 960, 1920]
+    return {
+        nb: KernelLaunch(num_blocks=nb, schedule=schedule).run(items).elapsed_seconds
+        for nb in block_counts
+    }

@@ -1,0 +1,304 @@
+"""Builders for Tables I–VII."""
+
+from __future__ import annotations
+
+from repro.baselines.cluster import (
+    IVORY_PLATFORM,
+    SP_MR_PLATFORM,
+    THIS_PAPER_PLATFORM,
+    ClusterPlatform,
+)
+from repro.core.config import PlatformConfig
+from repro.core.costs import StageCosts
+from repro.core.pipeline import simulate_full_build, simulate_pipeline
+from repro.core.workload import FileWork, WorkloadModel
+from repro.corpus.collection import CollectionStats
+from repro.corpus.datasets import PAPER_COLLECTION_STATS
+from repro.dictionary.btree import node_layout
+from repro.dictionary.trie import TrieTable
+from repro.util.fmt import fmt_bytes, fmt_count, fmt_seconds
+
+__all__ = [
+    "table1_trie_categories",
+    "table2_node_layout",
+    "table3_collection_stats",
+    "table4_indexer_configs",
+    "table5_work_split",
+    "table6_datasets",
+    "table7_platforms",
+    "TABLE4_PAPER",
+    "TABLE5_PAPER",
+    "TABLE6_PAPER",
+]
+
+Headers = list[str]
+Rows = list[list[object]]
+
+
+# ---------------------------------------------------------------------- #
+# Table I — trie-collection index definition
+# ---------------------------------------------------------------------- #
+
+def table1_trie_categories(
+    trie: TrieTable | None = None, sampled_tokens: dict[int, int] | None = None
+) -> tuple[Headers, Rows]:
+    """Category ranges + the paper's worked examples, optionally with a
+    measured token distribution per category."""
+    trie = trie if trie is not None else TrieTable()
+    examples = {
+        "special": ["-80", "3d", "česky"],
+        "pure_number": ["01", "0195", "9", "954"],
+        "short_or_special": ["a", "at", "act", "zoo", "zoé"],
+        "full_prefix": ["aaat", "aabomycin", "application", "zzzy"],
+    }
+    headers = ["Category", "Index range", "Entries", "Examples (index)"]
+    rows: Rows = []
+    for category, (lo, hi) in trie.category_ranges().items():
+        shown = ", ".join(
+            f"{ex}→{trie.trie_index(ex)}" for ex in examples[category.value]
+        )
+        rows.append([category.value, f"{lo}..{hi}", hi - lo + 1, shown])
+    if sampled_tokens:
+        totals = {c: 0 for c in trie.category_ranges()}
+        for cidx, tok in sampled_tokens.items():
+            totals[trie.category_of(cidx)] += tok
+        total = sum(totals.values()) or 1
+        headers.append("Token share")
+        for row, category in zip(rows, trie.category_ranges()):
+            row.append(f"{totals[category] / total:.1%}")
+    return headers, rows
+
+
+# ---------------------------------------------------------------------- #
+# Table II — B-tree node layout
+# ---------------------------------------------------------------------- #
+
+#: The paper's published field sizes for degree 16.
+TABLE2_PAPER = {
+    "valid_term_number": 4,
+    "term_string_pointers": 124,
+    "leaf_indicator": 4,
+    "postings_pointers": 124,
+    "child_pointers": 128,
+    "string_caches": 124,
+    "padding": 4,
+    "total": 512,
+}
+
+
+def table2_node_layout(degree: int = 16) -> tuple[Headers, Rows]:
+    """Field sizes of a B-tree node, ours vs the published Table II."""
+    layout = node_layout(degree)
+    headers = ["Field", "Bytes (ours)", "Bytes (paper)"]
+    rows: Rows = []
+    for name, size in layout.items():
+        rows.append([name, size, TABLE2_PAPER.get(name, "-") if degree == 16 else "-"])
+    return headers, rows
+
+
+# ---------------------------------------------------------------------- #
+# Table III — collection statistics
+# ---------------------------------------------------------------------- #
+
+def table3_collection_stats(
+    measured: list[CollectionStats],
+) -> tuple[Headers, Rows]:
+    """Mini-collection statistics next to the paper's full-scale ones."""
+    headers = [
+        "Collection", "Compressed", "Uncompressed", "Documents", "Terms",
+        "Tokens", "Tokens/doc",
+    ]
+    rows: Rows = []
+    for stats in measured:
+        rows.append(
+            [
+                stats.name,
+                fmt_bytes(stats.compressed_bytes),
+                fmt_bytes(stats.uncompressed_bytes),
+                fmt_count(stats.num_docs),
+                fmt_count(stats.num_terms),
+                fmt_count(stats.num_tokens),
+                f"{stats.tokens_per_doc:.0f}",
+            ]
+        )
+    for paper in PAPER_COLLECTION_STATS.values():
+        rows.append(
+            [
+                f"[paper] {paper.name}",
+                fmt_bytes(paper.compressed_bytes),
+                fmt_bytes(paper.uncompressed_bytes),
+                fmt_count(paper.num_docs),
+                fmt_count(paper.num_terms),
+                fmt_count(paper.num_tokens),
+                f"{paper.num_tokens / paper.num_docs:.0f}",
+            ]
+        )
+    return headers, rows
+
+
+# ---------------------------------------------------------------------- #
+# Table IV — indexer configurations
+# ---------------------------------------------------------------------- #
+
+#: Paper values: columns are (6P+2GPU, 6P+1CPU, 6P+2CPU, 6P+2CPU+2GPU).
+TABLE4_PAPER = {
+    "Pre-Processing (s)": [107.01, 93.44, 111.74, 104.15],
+    "Indexing (s)": [19313.6, 11243.61, 6357.67, 4616.78],
+    "Post-Processing (s)": [417.21, 416.66, 521.52, 464.04],
+    "Sum of above (s)": [19837.82, 11753.71, 6990.93, 5184.97],
+    "Total Indexer (s)": [19858.69, 11758.81, 7019.87, 5408.25],
+    "Indexing Throughput (MB/s)": [75.41, 129.53, 229.08, 315.46],
+    "Total Indexer Throughput (MB/s)": [73.34, 123.86, 207.47, 269.29],
+}
+
+TABLE4_CONFIGS = [
+    ("6P + 2 GPU", dict(num_parsers=6, num_cpu_indexers=0, num_gpus=2)),
+    ("6P + 1 CPU", dict(num_parsers=6, num_cpu_indexers=1, num_gpus=0)),
+    ("6P + 2 CPU", dict(num_parsers=6, num_cpu_indexers=2, num_gpus=0)),
+    ("6P + 2 CPU + 2 GPU", dict(num_parsers=6, num_cpu_indexers=2, num_gpus=2)),
+]
+
+
+def table4_indexer_configs(
+    works: list[FileWork] | None = None, costs: StageCosts | None = None
+) -> tuple[Headers, Rows]:
+    """Simulate the four configurations over a workload (paper scale by
+    default) and tabulate ours-vs-paper per row."""
+    if works is None:
+        works = WorkloadModel.paper_scale("clueweb09").files()
+    reports = [
+        simulate_pipeline(works, PlatformConfig(**kwargs), costs)
+        for _, kwargs in TABLE4_CONFIGS
+    ]
+    headers = ["Metric"] + [name for name, _ in TABLE4_CONFIGS]
+    ours = {
+        "Pre-Processing (s)": [r.pre_total_s for r in reports],
+        "Indexing (s)": [r.indexing_total_s for r in reports],
+        "Post-Processing (s)": [r.post_total_s for r in reports],
+        "Sum of above (s)": [r.sum_of_three_s for r in reports],
+        "Total Indexer (s)": [r.total_indexer_s for r in reports],
+        "Indexing Throughput (MB/s)": [r.indexing_throughput_mbps for r in reports],
+        "Total Indexer Throughput (MB/s)": [
+            r.total_indexer_throughput_mbps for r in reports
+        ],
+    }
+    rows: Rows = []
+    for metric, values in ours.items():
+        rows.append([metric] + [fmt_seconds(v) for v in values])
+        rows.append([f"  [paper] {metric}"] + [fmt_seconds(v) for v in TABLE4_PAPER[metric]])
+    return headers, rows
+
+
+# ---------------------------------------------------------------------- #
+# Table V — CPU/GPU work split
+# ---------------------------------------------------------------------- #
+
+TABLE5_PAPER = {
+    "Token Number": (14_465_084_050, 18_179_424_205),
+    "Term Number": (24_244_017, 60_555_458),
+    "Character Number": (239_433_858, 513_640_554),
+}
+
+
+def table5_work_split(split) -> tuple[Headers, Rows]:
+    """``split`` is an :class:`repro.core.engine.WorkSplit`."""
+    headers = ["Metric", "CPU Indexers", "GPU Indexers", "GPU/CPU ratio", "[paper] ratio"]
+    rows: Rows = [
+        [
+            "Token Number",
+            fmt_count(split.cpu_tokens),
+            fmt_count(split.gpu_tokens),
+            f"{split.gpu_tokens / max(1, split.cpu_tokens):.2f}",
+            f"{TABLE5_PAPER['Token Number'][1] / TABLE5_PAPER['Token Number'][0]:.2f}",
+        ],
+        [
+            "Term Number",
+            fmt_count(split.cpu_terms),
+            fmt_count(split.gpu_terms),
+            f"{split.gpu_terms / max(1, split.cpu_terms):.2f}",
+            f"{TABLE5_PAPER['Term Number'][1] / TABLE5_PAPER['Term Number'][0]:.2f}",
+        ],
+        [
+            "Character Number",
+            fmt_count(split.cpu_characters),
+            fmt_count(split.gpu_characters),
+            f"{split.gpu_characters / max(1, split.cpu_characters):.2f}",
+            f"{TABLE5_PAPER['Character Number'][1] / TABLE5_PAPER['Character Number'][0]:.2f}",
+        ],
+    ]
+    return headers, rows
+
+
+# ---------------------------------------------------------------------- #
+# Table VI — datasets end to end
+# ---------------------------------------------------------------------- #
+
+TABLE6_PAPER = {
+    "ClueWeb09": dict(sampling=59.53, parsers=5410.89, indexers=5408.25,
+                      combine=2.46, write=59.21, total=5541.62, mbps=262.76),
+    "ClueWeb09 w/o GPUs": dict(sampling=57.53, parsers=7024.86, indexers=7019.87,
+                               combine=2.54, write=54.92, total=7126.77, mbps=204.32),
+    "Wikipedia 01-07": dict(sampling=7.27, parsers=999.45, indexers=1023.96,
+                            combine=0.26, write=0.57, total=1033.34, mbps=78.29),
+    "Library of Congress": dict(sampling=29.01, parsers=2437.79, indexers=2458.64,
+                                combine=0.21, write=0.80, total=2495.29, mbps=208.06),
+}
+
+
+def table6_datasets(costs: StageCosts | None = None) -> tuple[Headers, Rows]:
+    """Simulated full builds of the paper's three datasets (± GPUs)."""
+    cases = [
+        ("ClueWeb09", "clueweb09", PlatformConfig()),
+        ("ClueWeb09 w/o GPUs", "clueweb09", PlatformConfig(num_gpus=0)),
+        ("Wikipedia 01-07", "wikipedia", PlatformConfig()),
+        ("Library of Congress", "congress", PlatformConfig()),
+    ]
+    headers = ["Row"] + [name for name, _, _ in cases]
+    built = {
+        name: simulate_full_build(WorkloadModel.paper_scale(ds).files(), cfg, costs)
+        for name, ds, cfg in cases
+    }
+    metric_rows = [
+        ("Sampling Time (s)", lambda b: b.sampling_s, "sampling"),
+        ("Parallel Parsers (s)", lambda b: b.pipeline.parser_finish_s, "parsers"),
+        ("Parallel Indexers (s)", lambda b: b.pipeline.indexer_finish_s, "indexers"),
+        ("Dictionary Combine (s)", lambda b: b.dict_combine_s, "combine"),
+        ("Dictionary Write (s)", lambda b: b.dict_write_s, "write"),
+        ("Total Time (s)", lambda b: b.total_s, "total"),
+        ("Throughput (MB/s)", lambda b: b.throughput_mbps, "mbps"),
+    ]
+    rows: Rows = []
+    for label, getter, paper_key in metric_rows:
+        rows.append([label] + [fmt_seconds(getter(built[name])) for name, _, _ in cases])
+        rows.append(
+            [f"  [paper] {label}"]
+            + [fmt_seconds(TABLE6_PAPER[name][paper_key]) for name, _, _ in cases]
+        )
+    return headers, rows
+
+
+# ---------------------------------------------------------------------- #
+# Table VII — platforms
+# ---------------------------------------------------------------------- #
+
+def table7_platforms(
+    platforms: list[ClusterPlatform] | None = None,
+) -> tuple[Headers, Rows]:
+    """The Table VII platform-configuration matrix."""
+    platforms = platforms or [THIS_PAPER_PLATFORM, IVORY_PLATFORM, SP_MR_PLATFORM]
+    headers = ["Platform", "Nodes", "Cores/node", "Usable cores", "Clock",
+               "RAM/node", "Filesystem", "Accelerators"]
+    rows: Rows = [
+        [
+            p.name,
+            p.nodes,
+            p.cores_per_node,
+            p.usable_cores,
+            f"{p.clock_ghz:.1f} GHz",
+            f"{p.ram_gb_per_node} GB",
+            p.filesystem,
+            p.accelerators or "-",
+        ]
+        for p in platforms
+    ]
+    return headers, rows

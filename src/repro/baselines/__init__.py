@@ -1,0 +1,70 @@
+"""Baseline indexers from Section II and the Fig 12 comparison targets.
+
+Every baseline builds a *functionally identical* index (the same
+``term → [(doc, tf), …]`` map) from the same parsed token streams, so the
+test suite can assert equivalence against the heterogeneous engine; what
+differs is the algorithmic structure and therefore the work/cost profile:
+
+- :mod:`repro.baselines.mapreduce` — a functional single-process
+  MapReduce runtime with shuffle/sort semantics and work counters [7].
+- :mod:`repro.baselines.ivory` — Lin et al.'s Ivory scheme [9]:
+  ``⟨(term, docID), tf⟩`` pairs, postings appended in shuffle order.
+- :mod:`repro.baselines.singlepass_mr` — McCreadie et al.'s single-pass
+  scheme [8]: maps emit ``⟨term, partial postings list⟩``.
+- :mod:`repro.baselines.sortbased` — Moffat & Bell's sort-based indexing
+  with bounded memory and run merging [3].
+- :mod:`repro.baselines.spimi` — Heinz & Zobel's single-pass in-memory
+  indexing with per-block dictionaries [4].
+- :mod:`repro.baselines.linkedlist` — Harman & Candela's in-memory
+  linked postings with a final traversal pass [2].
+- :mod:`repro.baselines.remote_lists` — Ribeiro-Neto et al.'s
+  Remote-Buffer/Remote-Lists distributed indexer [6] on a simulated
+  message-passing cluster.
+- :mod:`repro.baselines.melnik` — Melnik et al.'s load/process/flush
+  software pipeline [5], with the hiding claim checked on the DES.
+- :mod:`repro.baselines.dictionaries` — dictionary ablation baselines: a
+  hash-table dictionary and a single global B-tree (what the hybrid
+  trie+forest replaces).
+- :mod:`repro.baselines.bursttrie` — the adaptive burst trie of Heinz,
+  Zobel & Williams [10], the ancestor of the paper's fixed-depth hybrid.
+- :mod:`repro.baselines.cluster` — Table VII platform descriptions and
+  the cluster cost model behind Fig 12.
+"""
+
+from repro.baselines.cluster import (
+    IVORY_PLATFORM,
+    SP_MR_PLATFORM,
+    THIS_PAPER_PLATFORM,
+    ClusterModel,
+    ClusterPlatform,
+)
+from repro.baselines.bursttrie import BurstTrie
+from repro.baselines.dictionaries import GlobalBTreeDictionary, HashDictionary
+from repro.baselines.ivory import IvoryIndexer
+from repro.baselines.linkedlist import LinkedListIndexer
+from repro.baselines.mapreduce import MapReduceJob, MapReduceStats
+from repro.baselines.melnik import StagedIndexer
+from repro.baselines.remote_lists import RemoteListsIndexer
+from repro.baselines.singlepass_mr import SinglePassMRIndexer
+from repro.baselines.sortbased import SortBasedIndexer
+from repro.baselines.spimi import SPIMIIndexer
+
+__all__ = [
+    "MapReduceJob",
+    "MapReduceStats",
+    "IvoryIndexer",
+    "SinglePassMRIndexer",
+    "RemoteListsIndexer",
+    "StagedIndexer",
+    "SortBasedIndexer",
+    "SPIMIIndexer",
+    "LinkedListIndexer",
+    "HashDictionary",
+    "GlobalBTreeDictionary",
+    "BurstTrie",
+    "ClusterPlatform",
+    "ClusterModel",
+    "THIS_PAPER_PLATFORM",
+    "IVORY_PLATFORM",
+    "SP_MR_PLATFORM",
+]

@@ -1,0 +1,75 @@
+"""The Ivory MapReduce indexing scheme (Lin et al. [9]).
+
+"Lin et al. developed a scalable MapReduce indexing algorithm by switching
+``⟨term, posting {document ID, term frequency}⟩`` to ``⟨tuple {term,
+document ID}, term frequency⟩``.  By doing so, there is at most one value
+for each unique key, and moreover it is guaranteed by the MapReduce
+framework that postings arrive at the Reduce worker in order.  As a
+result, a posting can be immediately appended to the postings list without
+any post processing."
+
+Map over documents: for each distinct term in a document emit
+``((term, docID), tf)``.  Partitioning must be by *term only*, so all of
+one term's postings land on the same reducer; the framework's key sort on
+``(term, docID)`` then delivers them in docID order and the reducer is a
+pure append.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.baselines.common import Index, count_tf, parsed_documents
+from repro.baselines.mapreduce import MapReduceJob, MapReduceStats
+from repro.corpus.collection import Collection
+
+__all__ = ["IvoryIndexer"]
+
+
+class IvoryIndexer:
+    """Document-at-a-time Ivory indexing on the functional runtime."""
+
+    def __init__(self, num_reducers: int = 4, docs_per_split: int = 64) -> None:
+        self.num_reducers = num_reducers
+        self.docs_per_split = docs_per_split
+        self.stats: MapReduceStats | None = None
+
+    @staticmethod
+    def _map(record: tuple[int, list[str]]):
+        doc_id, terms = record
+        for term, tf in count_tf(terms).items():
+            yield (term, doc_id), tf
+
+    @staticmethod
+    def _reduce(key, values):
+        # Exactly one value per (term, docID) key by construction.
+        if len(values) != 1:
+            raise AssertionError(f"Ivory invariant violated for {key}: {values}")
+        yield values[0]
+
+    def _partition(self, key) -> int:
+        term, _doc = key
+        return zlib.crc32(term.encode("utf-8")) % self.num_reducers
+
+    # ------------------------------------------------------------------ #
+
+    def build(self, collection: Collection, strip_html: bool = True) -> Index:
+        """Index a collection; returns ``{term: [(doc, tf), …]}``."""
+        docs = list(parsed_documents(collection, strip_html=strip_html))
+        splits = [
+            docs[i : i + self.docs_per_split] for i in range(0, len(docs), self.docs_per_split)
+        ]
+        job = MapReduceJob(
+            self._map,
+            self._reduce,
+            num_reducers=self.num_reducers,
+            partition_fn=self._partition,
+        )
+        raw = job.run(splits)
+        self.stats = job.stats
+        index: Index = {}
+        # Keys arrive per reducer in sorted (term, docID) order; flattening
+        # by sorted key preserves the append-only property globally.
+        for (term, doc_id), tfs in sorted(raw.items()):
+            index.setdefault(term, []).append((doc_id, tfs[0]))
+        return index

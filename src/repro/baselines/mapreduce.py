@@ -1,0 +1,158 @@
+"""A functional MapReduce runtime (Dean & Ghemawat [7]), single process.
+
+Faithful to the programming model the Section II baselines assume:
+
+- inputs are partitioned into *splits*, one map task per split;
+- map tasks emit ``(key, value)`` pairs; a partition function routes each
+  key to one of R reduce tasks;
+- the framework groups pairs by key **in sorted key order** per reducer
+  (the property Lin et al. exploit so postings "arrive at Reduce worker
+  in order");
+- reduce receives ``(key, [values])`` and emits output records.
+
+The runtime counts everything a cluster cost model needs (map input
+records, emitted pairs, shuffle bytes, per-task maxima) in
+:class:`MapReduceStats`; :mod:`repro.baselines.cluster` prices those
+counters on the Table VII platforms for Fig 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = ["MapReduceJob", "MapReduceStats"]
+
+MapFn = Callable[[Any], Iterable[tuple[Any, Any]]]
+ReduceFn = Callable[[Any, list[Any]], Iterable[Any]]
+
+
+def _estimate_bytes(obj: Any) -> int:
+    """Rough serialized size of a key/value (shuffle accounting)."""
+    if isinstance(obj, str):
+        return len(obj) + 4
+    if isinstance(obj, bytes):
+        return len(obj) + 4
+    if isinstance(obj, int):
+        return 8
+    if isinstance(obj, float):
+        return 8
+    if isinstance(obj, (tuple, list)):
+        return 4 + sum(_estimate_bytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return 4 + sum(_estimate_bytes(k) + _estimate_bytes(v) for k, v in obj.items())
+    return 16
+
+
+@dataclass
+class MapReduceStats:
+    """Work counters for one job execution."""
+
+    map_tasks: int = 0
+    reduce_tasks: int = 0
+    map_input_records: int = 0
+    map_output_pairs: int = 0
+    shuffle_bytes: int = 0
+    reduce_input_groups: int = 0
+    reduce_output_records: int = 0
+    max_map_pairs: int = 0  # busiest map task (stragglers)
+    max_reduce_pairs: int = 0  # busiest reduce task
+    sort_comparisons: int = 0  # framework's per-reducer key sort
+
+
+class MapReduceJob:
+    """One configured MapReduce job."""
+
+    def __init__(
+        self,
+        map_fn: MapFn,
+        reduce_fn: ReduceFn,
+        num_reducers: int = 4,
+        partition_fn: Callable[[Any], int] | None = None,
+        combiner_fn: ReduceFn | None = None,
+    ) -> None:
+        if num_reducers < 1:
+            raise ValueError("need at least one reducer")
+        self.map_fn = map_fn
+        self.reduce_fn = reduce_fn
+        self.num_reducers = num_reducers
+        self.partition_fn = partition_fn if partition_fn is not None else self._default_partition
+        self.combiner_fn = combiner_fn
+        self.stats = MapReduceStats()
+
+    def _default_partition(self, key: Any) -> int:
+        # Stable across processes (unlike hash() on str with PYTHONHASHSEED).
+        import zlib
+
+        data = repr(key).encode("utf-8")
+        return zlib.crc32(data) % self.num_reducers
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, splits: Sequence[Iterable[Any]]) -> dict[Any, list[Any]]:
+        """Execute the job; returns ``{key: [reduce outputs]}``.
+
+        ``splits`` is the list of input splits; each element of a split is
+        one map-input record.
+        """
+        stats = self.stats
+        stats.map_tasks = len(splits)
+        stats.reduce_tasks = self.num_reducers
+        partitions: list[list[tuple[Any, Any]]] = [[] for _ in range(self.num_reducers)]
+
+        # ---- map phase ------------------------------------------------ #
+        for split in splits:
+            task_pairs = 0
+            buffered: list[tuple[Any, Any]] = []
+            for record in split:
+                stats.map_input_records += 1
+                for key, value in self.map_fn(record):
+                    buffered.append((key, value))
+                    task_pairs += 1
+            if self.combiner_fn is not None:
+                buffered = self._combine(buffered)
+            for key, value in buffered:
+                r = self.partition_fn(key)
+                partitions[r].append((key, value))
+                stats.shuffle_bytes += _estimate_bytes(key) + _estimate_bytes(value)
+            stats.map_output_pairs += len(buffered)
+            stats.max_map_pairs = max(stats.max_map_pairs, task_pairs)
+
+        # ---- shuffle + sort + reduce ---------------------------------- #
+        output: dict[Any, list[Any]] = {}
+        for r in range(self.num_reducers):
+            pairs = partitions[r]
+            n = len(pairs)
+            # The framework sorts by key; count ~n log2 n comparisons.
+            pairs.sort(key=lambda kv: kv[0])
+            if n > 1:
+                stats.sort_comparisons += int(n * max(1, n.bit_length() - 1))
+            stats.max_reduce_pairs = max(stats.max_reduce_pairs, n)
+            i = 0
+            while i < n:
+                key = pairs[i][0]
+                j = i
+                values = []
+                while j < n and pairs[j][0] == key:
+                    values.append(pairs[j][1])
+                    j += 1
+                stats.reduce_input_groups += 1
+                for out in self.reduce_fn(key, values):
+                    output.setdefault(key, []).append(out)
+                    stats.reduce_output_records += 1
+                i = j
+        return output
+
+    def _combine(self, buffered: list[tuple[Any, Any]]) -> list[tuple[Any, Any]]:
+        """Run the combiner on one map task's output."""
+        by_key: dict[Any, list[Any]] = {}
+        order: list[Any] = []
+        for key, value in buffered:
+            if key not in by_key:
+                order.append(key)
+            by_key.setdefault(key, []).append(value)
+        out: list[tuple[Any, Any]] = []
+        for key in order:
+            for value in self.combiner_fn(key, by_key[key]):  # type: ignore[misc]
+                out.append((key, value))
+        return out

@@ -1,0 +1,269 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library's workflow:
+
+- ``generate`` — materialize a synthetic mini collection (ClueWeb /
+  Wikipedia / Congress profile);
+- ``stats`` — parse a collection and print its Table III row;
+- ``build`` — run the heterogeneous engine over a collection directory;
+- ``query`` — Boolean / ranked / phrase retrieval over an index;
+- ``merge`` — consolidate a multi-run index into one monolithic run;
+- ``report`` — regenerate the full reproduction report (scorecard +
+  every simulated table/figure) as Markdown;
+- ``simulate`` — the paper-scale pipeline simulation (Tables IV/VI
+  numbers without touching a terabyte).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_arg_parser"]
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Inverted-file construction on heterogeneous platforms "
+            "(Wei & JaJa, IPDPS 2011) — reproduction CLI"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic mini collection")
+    gen.add_argument("preset", choices=["clueweb09", "wikipedia", "congress"])
+    gen.add_argument("root", help="directory to create the collection under")
+    gen.add_argument("--scale", type=float, default=1.0, help="size multiplier")
+    gen.add_argument("--seed", type=int, default=None)
+
+    ingest = sub.add_parser("ingest", help="pack your own documents into a collection")
+    ingest.add_argument("source", help="directory of text/HTML files, or a .jsonl file")
+    ingest.add_argument("output", help="directory to create the collection under")
+    ingest.add_argument("--name", default="ingested")
+    ingest.add_argument("--docs-per-file", type=int, default=256)
+    ingest.add_argument("--text-field", default="text", help="JSONL body field")
+
+    stats = sub.add_parser("stats", help="Table III statistics of a collection")
+    stats.add_argument("collection", help="collection directory (with manifest.tsv)")
+    stats.add_argument("--no-html", action="store_true", help="collection is pure text")
+
+    build = sub.add_parser("build", help="build inverted files")
+    build.add_argument("collection", help="collection directory")
+    build.add_argument("output", help="index output directory")
+    build.add_argument("--parsers", type=int, default=6)
+    build.add_argument("--cpu-indexers", type=int, default=2)
+    build.add_argument("--gpus", type=int, default=2)
+    build.add_argument("--codec", default="varbyte")
+    build.add_argument("--positional", action="store_true",
+                       help="store token positions (enables phrase queries)")
+    build.add_argument("--sample-fraction", type=float, default=0.01)
+    build.add_argument("--no-html", action="store_true")
+
+    query = sub.add_parser("query", help="search an index directory")
+    query.add_argument("index", help="index directory")
+    query.add_argument("terms", nargs="+", help="query terms")
+    query.add_argument("--mode", choices=["and", "or", "ranked", "phrase"],
+                       default="ranked")
+    query.add_argument("-k", type=int, default=10, help="ranked: top k")
+
+    merge = sub.add_parser("merge", help="merge runs into a monolithic index")
+    merge.add_argument("index", help="multi-run index directory")
+    merge.add_argument("output", help="merged output directory")
+
+    rep = sub.add_parser(
+        "report", help="regenerate the full reproduction report (Markdown)"
+    )
+    rep.add_argument("--output", default="REPORT.md", help="file to write")
+
+    simulate = sub.add_parser(
+        "simulate", help="paper-scale pipeline simulation (no data needed)"
+    )
+    simulate.add_argument("--dataset", choices=["clueweb09", "wikipedia", "congress"],
+                          default="clueweb09")
+    simulate.add_argument("--parsers", type=int, default=6)
+    simulate.add_argument("--cpu-indexers", type=int, default=2)
+    simulate.add_argument("--gpus", type=int, default=2)
+    return parser
+
+
+# ---------------------------------------------------------------------- #
+# Command implementations (imports deferred: keep --help instant)
+# ---------------------------------------------------------------------- #
+
+
+def _cmd_generate(args) -> int:
+    from repro.corpus.datasets import clueweb09_mini, congress_mini, wikipedia_mini
+
+    maker = {
+        "clueweb09": clueweb09_mini,
+        "wikipedia": wikipedia_mini,
+        "congress": congress_mini,
+    }[args.preset]
+    kwargs = {"scale": args.scale}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    coll = maker(args.root, **kwargs)
+    print(f"{coll.name}: {coll.num_files} files, {coll.num_docs} docs, "
+          f"{coll.compressed_bytes} compressed bytes at {coll.directory}")
+    return 0
+
+
+def _load_collection(path: str):
+    import os
+
+    from repro.corpus.collection import Collection
+
+    name = os.path.basename(os.path.normpath(path))
+    return Collection.load(name, path)
+
+
+def _cmd_ingest(args) -> int:
+    from repro.corpus.ingest import ingest_directory, ingest_jsonl
+
+    if args.source.endswith(".jsonl"):
+        coll = ingest_jsonl(
+            args.source, args.output, name=args.name,
+            text_field=args.text_field, docs_per_file=args.docs_per_file,
+        )
+    else:
+        coll = ingest_directory(
+            args.source, args.output, name=args.name,
+            docs_per_file=args.docs_per_file,
+        )
+    print(f"{coll.name}: {coll.num_docs} documents in {coll.num_files} container "
+          f"files at {coll.directory}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.corpus.collection import collection_statistics
+    from repro.util.fmt import fmt_bytes, fmt_count
+
+    stats = collection_statistics(_load_collection(args.collection),
+                                  strip_html=not args.no_html)
+    print(f"collection:   {stats.name}")
+    print(f"compressed:   {fmt_bytes(stats.compressed_bytes)}")
+    print(f"uncompressed: {fmt_bytes(stats.uncompressed_bytes)}")
+    print(f"documents:    {fmt_count(stats.num_docs)}")
+    print(f"terms:        {fmt_count(stats.num_terms)}")
+    print(f"tokens:       {fmt_count(stats.num_tokens)}")
+    print(f"tokens/doc:   {stats.tokens_per_doc:.1f}")
+    return 0
+
+
+def _cmd_build(args) -> int:
+    from repro.core.config import PlatformConfig
+    from repro.core.engine import IndexingEngine
+
+    config = PlatformConfig(
+        num_parsers=args.parsers,
+        num_cpu_indexers=args.cpu_indexers,
+        num_gpus=args.gpus,
+        codec=args.codec,
+        positional=args.positional,
+        sample_fraction=args.sample_fraction,
+        strip_html=not args.no_html,
+    )
+    result = IndexingEngine(config).build(_load_collection(args.collection), args.output)
+    print(f"indexed {result.token_count:,} tokens, {result.term_count:,} terms, "
+          f"{result.document_count:,} docs into {result.run_count} runs")
+    print(f"wall time: {result.wall_seconds:.1f}s; simulated on the paper's node: "
+          f"{result.report.total_s:.2f}s = {result.report.throughput_mbps:.1f} MB/s")
+    print(f"CPU/GPU token split: {result.split.cpu_tokens:,} / {result.split.gpu_tokens:,}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from repro.search.query import SearchEngine
+
+    engine = SearchEngine(args.index)
+    text = " ".join(args.terms)
+    if args.mode == "and":
+        docs = engine.boolean_and(text)
+        print(f"{len(docs)} documents: {docs[:50]}")
+    elif args.mode == "or":
+        docs = engine.boolean_or(text)
+        print(f"{len(docs)} documents: {docs[:50]}")
+    elif args.mode == "phrase":
+        docs = engine.phrase(text)
+        print(f"{len(docs)} documents contain the phrase: {docs[:50]}")
+    else:
+        for hit in engine.ranked(text, k=args.k):
+            print(f"doc {hit.doc_id:8d}  score {hit.score:.4f}")
+    return 0
+
+
+def _cmd_merge(args) -> int:
+    from repro.postings.merge import merge_index
+
+    stats = merge_index(args.index, args.output)
+    print(f"merged {stats['input_runs']} runs / {stats['terms']:,} terms / "
+          f"{stats['postings']:,} postings → {stats['output_bytes']:,} bytes")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import generate_full_report
+
+    text = generate_full_report()
+    with open(args.output, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"wrote {args.output} ({len(text)} chars)")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.core.config import PlatformConfig
+    from repro.core.pipeline import simulate_full_build
+    from repro.core.workload import WorkloadModel
+
+    config = PlatformConfig(
+        num_parsers=args.parsers,
+        num_cpu_indexers=args.cpu_indexers,
+        num_gpus=args.gpus,
+    )
+    works = WorkloadModel.paper_scale(args.dataset).files()
+    report = simulate_full_build(works, config)
+    p = report.pipeline
+    print(f"dataset {args.dataset}: {len(works)} files, "
+          f"{p.uncompressed_bytes / 1024**4:.2f} TiB, config: {config.describe()}")
+    print(f"sampling       {report.sampling_s:10.2f} s")
+    print(f"parsers        {p.parser_finish_s:10.2f} s")
+    print(f"indexers       {p.indexer_finish_s:10.2f} s "
+          f"(pre {p.pre_total_s:.1f} / indexing {p.indexing_total_s:.1f} / "
+          f"post {p.post_total_s:.1f} / waits {p.indexer_wait_s:.1f})")
+    print(f"dict combine   {report.dict_combine_s:10.2f} s")
+    print(f"dict write     {report.dict_write_s:10.2f} s")
+    print(f"total          {report.total_s:10.2f} s  →  "
+          f"{report.throughput_mbps:.2f} MB/s")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code (2 on usage errors)."""
+    args = build_arg_parser().parse_args(argv)
+    handler = {
+        "generate": _cmd_generate,
+        "ingest": _cmd_ingest,
+        "stats": _cmd_stats,
+        "build": _cmd_build,
+        "query": _cmd_query,
+        "merge": _cmd_merge,
+        "report": _cmd_report,
+        "simulate": _cmd_simulate,
+    }[args.command]
+    try:
+        return handler(args)
+    except FileNotFoundError as exc:
+        print(f"error: missing file or directory: {exc.filename or exc}", file=sys.stderr)
+        return 2
+    except (NotADirectoryError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

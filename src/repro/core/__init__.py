@@ -1,0 +1,36 @@
+"""The paper's contribution: the pipelined heterogeneous indexing engine.
+
+- :mod:`repro.core.config` — :class:`PlatformConfig`, the knobs of
+  Section IV (parsers, CPU indexers, GPUs, thread blocks, codec, trie
+  height, B-tree degree, buffers).
+- :mod:`repro.core.costs` — the calibrated cost constants and the
+  conversion from measured/modeled work to stage seconds.
+- :mod:`repro.core.workload` — per-file :class:`FileWork` records, either
+  measured from a functional build or extrapolated to paper scale with
+  Heaps/Zipf statistics (drives Fig 10–12 and Tables IV/VI).
+- :mod:`repro.core.pipeline` — the discrete-event pipeline of Fig 9:
+  serialized disk reads, M parsers, bounded buffers consumed in
+  round-robin order, the run lifecycle of Fig 8.
+- :mod:`repro.core.engine` — :class:`IndexingEngine`, the public facade:
+  samples, assigns, parses, indexes, writes runs + dictionary, and
+  reports both functional statistics and simulated timings.
+"""
+
+from repro.core.config import PlatformConfig
+from repro.core.costs import CostConstants, StageCosts
+from repro.core.engine import EngineResult, IndexingEngine
+from repro.core.pipeline import PipelineReport, simulate_pipeline
+from repro.core.workload import FileWork, GroupWork, WorkloadModel
+
+__all__ = [
+    "PlatformConfig",
+    "CostConstants",
+    "StageCosts",
+    "FileWork",
+    "GroupWork",
+    "WorkloadModel",
+    "simulate_pipeline",
+    "PipelineReport",
+    "IndexingEngine",
+    "EngineResult",
+]

@@ -1,0 +1,127 @@
+"""Platform and algorithm configuration (the knobs of Section IV).
+
+The paper's best configuration on two quad-core Xeon X5560 + two Tesla
+C1060: **six parsers, two CPU indexers, two GPU indexers with 480 thread
+blocks each** — the default here.  The experiment benchmarks construct
+variants (Fig 10 sweeps ``num_parsers``, Table IV sweeps the indexer mix,
+the ablations toggle regrouping/trie height/degree/caches/scheduling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.gpusim.costmodel import GPUSpec, TESLA_C1060
+from repro.indexers.assignment import PopularityPolicy
+
+__all__ = ["PlatformConfig"]
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Everything the engine and the pipeline simulator need to know."""
+
+    # --- pipeline shape (Fig 9) ---------------------------------------- #
+    num_parsers: int = 6
+    num_cpu_indexers: int = 2
+    num_gpus: int = 2
+    total_cores: int = 8
+    buffer_capacity: int = 2
+
+    # --- GPU (Section III.D.2 / IV.B) ---------------------------------- #
+    gpu_spec: GPUSpec = TESLA_C1060
+    thread_blocks_per_gpu: int = 480
+    gpu_schedule: str = "dynamic"  # "dynamic" | "static" (ablation E)
+    gpu_fidelity: str = "fast"  # "fast" | "warp"
+
+    # --- dictionary (Section III.B) ------------------------------------ #
+    trie_height: int = 3
+    btree_degree: int = 16
+    use_string_cache: bool = True
+
+    # --- parsing (Section III.C) --------------------------------------- #
+    strip_html: bool = True
+    regroup: bool = True
+    #: Real thread-pool lookahead for the functional build: up to this
+    #: many files are read/decompressed/parsed ahead of the indexers on
+    #: worker threads.  Output is byte-identical to a serial build.  Only
+    #: the I/O and gzip portions release the GIL, so this pays off when
+    #: reads dominate (big compressed files, slow storage) and can *cost*
+    #: a little on small hot-cache corpora where Python-bound stemming
+    #: dominates.  ``0`` (default) keeps the build strictly serial.
+    parse_prefetch: int = 0
+
+    # --- load balancing (Section III.E) -------------------------------- #
+    sample_fraction: float = 0.001
+    popularity: PopularityPolicy = field(default_factory=PopularityPolicy)
+
+    # --- output (Section III.F) ---------------------------------------- #
+    codec: str = "varbyte"
+    #: Spread run files round-robin over this many "disk" subdirectories
+    #: (§III.F: "the output files can be written onto multiple disks",
+    #: enabling parallel reading of the postings lists).
+    output_stripes: int = 1
+    #: Collection files per run.  The paper passes parsed results to the
+    #: indexers "after processing a number of documents with a fixed total
+    #: size, e.g. 1GB"; with 1GB collection files that is one file per run
+    #: (the default), but smaller files can be grouped.
+    files_per_run: int = 1
+    #: Build an Ivory-style positional index: every posting carries the
+    #: token's in-document positions, enabling phrase queries.  Selects a
+    #: positional codec automatically when left on "varbyte".
+    positional: bool = False
+
+    def __post_init__(self) -> None:
+        if self.positional:
+            if self.codec == "varbyte":
+                object.__setattr__(self, "codec", "varbyte-pos")
+            elif self.codec != "varbyte-pos":
+                raise ValueError(
+                    f"positional indexes need a positional codec, not {self.codec!r}"
+                )
+            if not self.regroup:
+                raise ValueError("positional indexing requires regrouping")
+        if self.num_parsers < 1:
+            raise ValueError("need at least one parser")
+        if self.output_stripes < 1:
+            raise ValueError("need at least one output stripe")
+        if self.files_per_run < 1:
+            raise ValueError("need at least one file per run")
+        if self.parse_prefetch < 0:
+            raise ValueError("parse_prefetch must be >= 0")
+        if self.num_cpu_indexers < 0 or self.num_gpus < 0:
+            raise ValueError("indexer counts must be non-negative")
+        if self.num_cpu_indexers == 0 and self.num_gpus == 0:
+            raise ValueError(
+                "need at least one indexer (CPU or GPU); use the pipeline "
+                "simulator's parse_only mode for the Fig 10 parse-only series"
+            )
+        if self.num_parsers + self.num_cpu_indexers > self.total_cores:
+            raise ValueError(
+                f"{self.num_parsers} parsers + {self.num_cpu_indexers} CPU "
+                f"indexers oversubscribe the {self.total_cores} physical cores "
+                "(the paper binds one thread per core)"
+            )
+
+    # ------------------------------------------------------------------ #
+
+    def with_(self, **changes) -> "PlatformConfig":
+        """Functional update, for experiment sweeps."""
+        return replace(self, **changes)
+
+    @property
+    def cores_for_indexing(self) -> int:
+        return self.num_cpu_indexers
+
+    def describe(self) -> str:
+        """One-line summary used by benchmark headers."""
+        gpu = (
+            f"{self.num_gpus} GPU ({self.thread_blocks_per_gpu} blocks, "
+            f"{self.gpu_schedule})"
+            if self.num_gpus
+            else "no GPU"
+        )
+        return (
+            f"{self.num_parsers} parsers / {self.num_cpu_indexers} CPU "
+            f"indexers / {gpu}"
+        )

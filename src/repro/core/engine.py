@@ -1,0 +1,392 @@
+""":class:`IndexingEngine` — the public facade of the reproduction.
+
+``engine.build(collection, output_dir)`` executes the paper's whole
+system functionally, in file order:
+
+1. **Sampling** (Section III.E): parse ~0.1% of documents, classify trie
+   collections into popular/unpopular, split popular across CPU indexers
+   by token balance and unpopular across GPUs by ``i mod N₂``.
+2. **Parse + index + runs** (Fig 8): parse with trie-indexed
+   regrouping; route each collection's stream to its bound indexer; CPU
+   indexers insert into their B-tree shards, GPU indexers run the warp
+   algorithm on the SIMT simulator; every ``files_per_run`` files, drain
+   all postings accumulators into a run file with its header mapping
+   table (one file per run by default — the paper's 1GB batches).
+3. **Epilogue** (Table VI): combine the dictionary shards, write the
+   front-coded dictionary and the docID-range map.
+4. **Timing**: replay the *measured* per-file work through the
+   discrete-event pipeline to produce the simulated Table IV/VI rows
+   (eight cores + two GPUs cannot run concurrently inside one Python
+   process; see DESIGN.md §2).
+
+The resulting directory is a queryable index:
+:class:`repro.postings.reader.PostingsReader` resolves term strings
+through the dictionary and splices partial postings across runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.core.config import PlatformConfig
+from repro.core.costs import CostConstants, StageCosts
+from repro.core.pipeline import BuildReport, simulate_full_build
+from repro.core.workload import FileWork, GroupWork
+from repro.corpus.collection import Collection
+from repro.dictionary.dictionary import Dictionary, DictionaryShard
+from repro.dictionary.serialize import save_dictionary
+from repro.dictionary.trie import TrieTable
+from repro.gpusim.device import Device
+from repro.indexers.assignment import WorkAssignment, build_assignment, sample_collection
+from repro.indexers.base import IndexerReport
+from repro.indexers.cpu import CPUIndexer
+from repro.indexers.gpu import GPUIndexer
+from repro.parsing.parser import Parser
+from repro.parsing.regroup import ParsedBatch
+from repro.postings.compression import get_codec
+from repro.postings.lists import PostingsList
+from repro.postings.doctable import DocTable
+from repro.postings.output import DocRangeMap, RunWriter
+from repro.util.timing import Stopwatch
+
+__all__ = ["IndexingEngine", "EngineResult", "WorkSplit"]
+
+
+@dataclass
+class WorkSplit:
+    """Table V: what the CPU side vs the GPU side actually processed."""
+
+    cpu_tokens: int = 0
+    cpu_terms: int = 0
+    cpu_characters: int = 0
+    gpu_tokens: int = 0
+    gpu_terms: int = 0
+    gpu_characters: int = 0
+
+
+@dataclass
+class EngineResult:
+    """Everything a build produces."""
+
+    output_dir: str
+    dictionary: Dictionary
+    assignment: WorkAssignment
+    file_works: list[FileWork]
+    report: BuildReport
+    split: WorkSplit
+    term_count: int = 0
+    token_count: int = 0
+    posting_count: int = 0
+    document_count: int = 0
+    run_count: int = 0
+    wall_seconds: float = 0.0
+    stopwatch: Stopwatch = field(default_factory=Stopwatch)
+    indexer_reports: dict[str, IndexerReport] = field(default_factory=dict)
+
+    @property
+    def simulated_total_seconds(self) -> float:
+        return self.report.total_s
+
+    @property
+    def simulated_throughput_mbps(self) -> float:
+        return self.report.throughput_mbps
+
+
+class IndexingEngine:
+    """The heterogeneous pipelined indexer."""
+
+    def __init__(
+        self,
+        config: PlatformConfig | None = None,
+        cost_constants: CostConstants | None = None,
+    ) -> None:
+        self.config = config if config is not None else PlatformConfig()
+        self.costs = StageCosts(cost_constants if cost_constants is not None else CostConstants())
+        if not self.config.regroup and self.config.num_gpus:
+            raise ValueError(
+                "regrouping cannot be disabled with GPU indexers: one thread "
+                "block consumes one trie collection at a time (Section III.C)"
+            )
+
+    # ------------------------------------------------------------------ #
+
+    def build(self, collection: Collection, output_dir: str) -> EngineResult:
+        """Build inverted files for ``collection`` into ``output_dir``."""
+        cfg = self.config
+        watch = Stopwatch()
+        t_start = time.perf_counter()
+        os.makedirs(output_dir, exist_ok=True)
+
+        trie = TrieTable(height=cfg.trie_height)
+
+        # ---- 1. sampling + assignment (Section III.E) ----------------- #
+        with watch.measure("sampling"):
+            sampled = sample_collection(
+                collection,
+                sample_fraction=cfg.sample_fraction,
+                strip_html=cfg.strip_html,
+            )
+            assignment = build_assignment(
+                sampled, cfg.num_cpu_indexers, cfg.num_gpus, cfg.popularity
+            )
+        popular_set = set(assignment.popular)
+
+        # ---- 2. indexers ---------------------------------------------- #
+        cpu_indexers = [
+            CPUIndexer(
+                i,
+                DictionaryShard(
+                    trie, shard_id=i, degree=cfg.btree_degree,
+                    use_string_cache=cfg.use_string_cache,
+                ),
+            )
+            for i in range(cfg.num_cpu_indexers)
+        ]
+        gpu_indexers = [
+            GPUIndexer(
+                100 + j,
+                DictionaryShard(
+                    trie, shard_id=100 + j, degree=cfg.btree_degree,
+                    use_string_cache=cfg.use_string_cache,
+                ),
+                device=Device(device_id=j, spec=cfg.gpu_spec),
+                num_blocks=cfg.thread_blocks_per_gpu,
+                schedule=cfg.gpu_schedule,
+                fidelity=cfg.gpu_fidelity,
+            )
+            for j in range(cfg.num_gpus)
+        ]
+
+        # ---- 3. parse + index + write runs (Fig 8) -------------------- #
+        writer = RunWriter(output_dir, codec=get_codec(cfg.codec), num_stripes=cfg.output_stripes)
+        range_map = DocRangeMap()
+        doc_table = DocTable()
+        file_works: list[FileWork] = []
+        split = WorkSplit()
+        doc_offset = 0
+        token_count = 0
+        posting_count = 0
+        run_count = 0
+
+        parsed_stream = self._parsed_files(collection, trie, watch)
+        for k, parsed in enumerate(parsed_stream):
+            batch = parsed.batch
+
+            with watch.measure("index"):
+                pop_work, unpop_work = self._index_batch(
+                    batch, doc_offset, assignment, popular_set, cpu_indexers, gpu_indexers
+                )
+
+            # A run closes after `files_per_run` files (the paper's
+            # fixed-total-size batches) or at the end of the collection.
+            if (k + 1) % cfg.files_per_run == 0 or k == len(collection.files) - 1:
+                with watch.measure("write_runs"):
+                    run_lists: dict[int, PostingsList] = {}
+                    for indexer in [*cpu_indexers, *gpu_indexers]:
+                        run_lists.update(indexer.drain_postings())
+                    posting_count += sum(len(p) for p in run_lists.values())
+                    run_id = k // cfg.files_per_run
+                    range_map.add(writer.write_run(run_id, run_lists))
+                    run_count += 1
+
+            file_works.append(
+                FileWork(
+                    file_index=k,
+                    compressed_bytes=parsed.metrics.compressed_bytes,
+                    uncompressed_bytes=parsed.metrics.uncompressed_bytes,
+                    num_docs=batch.num_docs,
+                    raw_tokens=parsed.metrics.tokens_raw,
+                    popular=pop_work,
+                    unpopular=unpop_work,
+                    segment=collection.segment_of(k),
+                )
+            )
+            for entry in parsed.doc_table:
+                doc_table.add(entry.source_file, entry.uri, entry.offset)
+            token_count += batch.total_tokens
+            doc_offset += batch.num_docs
+
+        # ---- 4. dictionary epilogue (Table VI) ------------------------ #
+        with watch.measure("dict_combine"):
+            dictionary = Dictionary.combine(
+                [ix.shard for ix in [*cpu_indexers, *gpu_indexers]]
+            )
+        with watch.measure("dict_write"):
+            save_dictionary(dictionary, os.path.join(output_dir, "dictionary.bin"))
+            range_map.save(output_dir)
+            doc_table.save(output_dir)
+
+        # ---- 5. Table V split + simulated timing ----------------------- #
+        for ix in cpu_indexers:
+            split.cpu_tokens += ix.total.tokens
+            split.cpu_terms += ix.total.new_terms
+            split.cpu_characters += ix.shard.string_bytes() - ix.total.new_terms
+        for ix in gpu_indexers:
+            split.gpu_tokens += ix.total.tokens
+            split.gpu_terms += ix.total.new_terms
+            split.gpu_characters += ix.shard.string_bytes() - ix.total.new_terms
+
+        report = simulate_full_build(file_works, cfg, self.costs)
+
+        result = EngineResult(
+            output_dir=output_dir,
+            dictionary=dictionary,
+            assignment=assignment,
+            file_works=file_works,
+            report=report,
+            split=split,
+            term_count=dictionary.term_count(),
+            token_count=token_count,
+            posting_count=posting_count,
+            document_count=doc_offset,
+            run_count=run_count,
+            wall_seconds=time.perf_counter() - t_start,
+            stopwatch=watch,
+            indexer_reports={
+                f"{ix.kind}{ix.indexer_id}": ix.total
+                for ix in [*cpu_indexers, *gpu_indexers]
+            },
+        )
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def _parsed_files(self, collection: Collection, trie: TrieTable, watch: Stopwatch):
+        """Yield parsed files in collection order.
+
+        With ``parse_prefetch > 0`` a thread pool reads, decompresses and
+        parses up to that many files ahead — gzip inflation and the regex
+        scan release the GIL, so the lookahead genuinely overlaps with
+        indexing (the paper's parser/indexer pipeline, executed for real).
+        Results are always consumed in file order, so indexes are
+        byte-identical to a serial build.
+        """
+        cfg = self.config
+
+        def make_parser() -> Parser:
+            return Parser(
+                parser_id=0,
+                trie=trie,
+                strip_html=cfg.strip_html,
+                regroup=cfg.regroup,
+                positional=cfg.positional,
+            )
+
+        if cfg.parse_prefetch <= 0:
+            parser = make_parser()
+            for k, path in enumerate(collection.files):
+                with watch.measure("parse"):
+                    parser.parser_id = k % cfg.num_parsers
+                    yield parser.parse_file(path, sequence=k)
+            return
+
+        import itertools
+        import threading
+        from collections import deque
+        from concurrent.futures import ThreadPoolExecutor
+
+        local = threading.local()
+
+        def parse_one(args: tuple[int, str]):
+            k, path = args
+            parser = getattr(local, "parser", None)
+            if parser is None:
+                parser = make_parser()
+                local.parser = parser
+            parser.parser_id = k % cfg.num_parsers
+            return parser.parse_file(path, sequence=k)
+
+        window = cfg.parse_prefetch
+        with ThreadPoolExecutor(max_workers=window) as pool:
+            pending = deque()
+            files = iter(enumerate(collection.files))
+            for args in itertools.islice(files, window):
+                pending.append(pool.submit(parse_one, args))
+            while pending:
+                future = pending.popleft()
+                with watch.measure("parse"):
+                    parsed = future.result()
+                nxt = next(files, None)
+                if nxt is not None:
+                    pending.append(pool.submit(parse_one, nxt))
+                yield parsed
+
+    def _index_batch(
+        self,
+        batch: ParsedBatch,
+        doc_offset: int,
+        assignment: WorkAssignment,
+        popular_set: set[int],
+        cpu_indexers: list[CPUIndexer],
+        gpu_indexers: list[GPUIndexer],
+    ) -> tuple[GroupWork, GroupWork]:
+        """Route one buffer's collections to their bound indexers.
+
+        Returns the measured (popular, unpopular) group work for the
+        pipeline simulator.  Sub-batches are built per (indexer, group) so
+        group-level work attribution stays exact even on CPU-only
+        configurations.
+        """
+        cfg = self.config
+        if batch.ungrouped is not None:
+            # Regrouping disabled (ablation): the whole document-order
+            # stream goes through one CPU indexer — the paper's ~15×
+            # comparison is against a *serial* indexer, and splitting an
+            # ungrouped stream would duplicate collections across shards.
+            report = GroupWork()
+            sub = cpu_indexers[0].index_batch(batch, doc_offset)
+            report.tokens = sub.tokens
+            report.new_terms = sub.new_terms
+            report.node_visits = sub.btree.node_visits
+            report.hot_visit_fraction = 0.0
+            return GroupWork(), report
+
+        subs: dict[tuple[str, int, bool], ParsedBatch] = {}
+        for cidx, stream in batch.collections.items():
+            kind, idx = assignment.bind_unseen(cidx)
+            is_popular = cidx in popular_set
+            key = (kind, idx, is_popular)
+            sub = subs.get(key)
+            if sub is None:
+                sub = ParsedBatch(
+                    parser_id=batch.parser_id,
+                    sequence=batch.sequence,
+                    source_file=batch.source_file,
+                    num_docs=batch.num_docs,
+                )
+                subs[key] = sub
+            sub.collections[cidx] = stream
+            if batch.positions is not None:
+                if sub.positions is None:
+                    sub.positions = {}
+                sub.positions[cidx] = batch.positions[cidx]
+            sub.tokens_per_collection[cidx] = batch.tokens_per_collection[cidx]
+            sub.chars_per_collection[cidx] = batch.chars_per_collection[cidx]
+
+        groups = {True: GroupWork(), False: GroupWork()}
+        hot_fractions = {True: 0.95, False: 0.35}
+        for (kind, idx, is_popular), sub in sorted(
+            subs.items(), key=lambda kv: (kv[0][0], kv[0][1], kv[0][2])
+        ):
+            indexer = cpu_indexers[idx] if kind == "cpu" else gpu_indexers[idx]
+            if kind == "cpu":
+                rep = indexer.index_batch(sub, doc_offset)
+            else:
+                rep = indexer.index_batch(sub, doc_offset).report
+            g = groups[is_popular]
+            g.tokens += rep.tokens
+            g.new_terms += rep.new_terms
+            g.node_visits += rep.btree.node_visits
+            g.full_string_fetches += rep.btree.full_string_fetches
+            g.splits += rep.btree.splits
+            g.stream_chars += rep.characters
+            g.dict_chars += rep.characters  # refined below
+            g.hot_visit_fraction = hot_fractions[is_popular]
+            largest = max(sub.tokens_per_collection.values(), default=0)
+            g.largest_collection_tokens = max(g.largest_collection_tokens, largest)
+        for g in groups.values():
+            if g.tokens:
+                g.visits_per_token = g.node_visits / g.tokens
+        return groups[True], groups[False]

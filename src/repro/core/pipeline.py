@@ -1,0 +1,238 @@
+"""The pipelined dataflow of Fig 9, as a discrete-event simulation.
+
+Stage 1 — **parsers**: parser *i* handles files ``i, i+M, i+2M, …`` (the
+static round-robin that makes "buffer of parser 0, buffer of parser 1, …"
+equal global file order).  Each file: acquire the disk token (reads are
+serialized by the paper's scheduler), read the compressed file, release,
+decompress in memory, parse, and put the batch into the parser's bounded
+output buffer — a full buffer back-pressures the parser.
+
+Stage 2 — **the run loop** (Fig 8): the indexer stage takes buffers in
+strict round-robin parser order; each buffer is one *run*: serialized
+pre-processing (GPU input transfers), parallel indexing (CPU indexers and
+GPU kernels run concurrently; the stage takes the max), serialized
+post-processing (combine + compress + write postings).
+
+The report carries every number the paper's evaluation section derives:
+Table IV's pre/indexing/post/total rows and both throughputs, Fig 11's
+per-file indexing throughput series, and the buffer-wait accounting behind
+"the time during which the indexers are waiting for results from the
+parsers".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import PlatformConfig
+from repro.core.costs import StageCosts
+from repro.core.workload import FileWork, GroupWork
+from repro.sim.events import Get, Put, Request, Simulator, Timeout
+from repro.sim.resources import Resource, Store
+
+__all__ = ["PipelineReport", "BuildReport", "simulate_pipeline", "simulate_full_build"]
+
+_MB = 1024 * 1024
+
+
+@dataclass
+class PipelineReport:
+    """Timing outcome of one simulated pipeline pass."""
+
+    config: PlatformConfig
+    num_files: int
+    uncompressed_bytes: int
+    parser_finish_s: float = 0.0
+    indexer_finish_s: float = 0.0
+    pre_total_s: float = 0.0
+    indexing_total_s: float = 0.0
+    post_total_s: float = 0.0
+    indexer_wait_s: float = 0.0
+    disk_busy_s: float = 0.0
+    per_file_indexing_s: list[float] = field(default_factory=list)
+    per_file_segment: list[str] = field(default_factory=list)
+
+    @property
+    def pipeline_s(self) -> float:
+        """Wall time of the two overlapped stages."""
+        return max(self.parser_finish_s, self.indexer_finish_s)
+
+    @property
+    def total_indexer_s(self) -> float:
+        """Table IV "Total Indexer Time": stage wall including waits."""
+        return self.indexer_finish_s
+
+    @property
+    def sum_of_three_s(self) -> float:
+        """Table IV "Sum of above Three"."""
+        return self.pre_total_s + self.indexing_total_s + self.post_total_s
+
+    @property
+    def indexing_throughput_mbps(self) -> float:
+        """Table IV: uncompressed size / pure indexing time."""
+        if self.indexing_total_s <= 0:
+            return 0.0
+        return self.uncompressed_bytes / self.indexing_total_s / _MB
+
+    @property
+    def total_indexer_throughput_mbps(self) -> float:
+        if self.total_indexer_s <= 0:
+            return 0.0
+        return self.uncompressed_bytes / self.total_indexer_s / _MB
+
+    @property
+    def overall_throughput_mbps(self) -> float:
+        """Fig 10's y-axis: uncompressed size over pipeline wall time."""
+        if self.pipeline_s <= 0:
+            return 0.0
+        return self.uncompressed_bytes / self.pipeline_s / _MB
+
+    def per_file_throughput_mbps(self) -> list[float]:
+        """Fig 11's series: per-file uncompressed MB / indexing seconds."""
+        per_file = self.uncompressed_bytes / max(1, self.num_files) / _MB
+        return [per_file / s if s > 0 else 0.0 for s in self.per_file_indexing_s]
+
+
+def _stage_groups(
+    work: FileWork, config: PlatformConfig
+) -> tuple[list[GroupWork], GroupWork | None]:
+    """Route the popular/unpopular groups per Section III.E for a config."""
+    if config.num_gpus == 0:
+        return [work.popular, work.unpopular], None
+    if config.num_cpu_indexers == 0:
+        merged = GroupWork()
+        merged.merge(work.popular)
+        merged.merge(work.unpopular)
+        merged.hot_visit_fraction = 0.0  # irrelevant on the GPU
+        return [], merged
+    return [work.popular], work.unpopular
+
+
+def simulate_pipeline(
+    works: list[FileWork],
+    config: PlatformConfig,
+    costs: StageCosts | None = None,
+    parse_only: bool = False,
+) -> PipelineReport:
+    """Run the Fig 9 pipeline over per-file work records.
+
+    ``parse_only`` reproduces Fig 10's third scenario: parsers write to
+    unbounded sinks and no indexing happens.
+    """
+    costs = costs if costs is not None else StageCosts()
+    sim = Simulator()
+    disk = Resource("disk", capacity=1)
+    m = config.num_parsers
+    # parse_only uses effectively-unbounded buffers (nothing consumes).
+    cap = max(config.buffer_capacity, len(works) + 1) if parse_only else config.buffer_capacity
+    buffers = [Store(f"buffer{i}", capacity=cap) for i in range(m)]
+
+    report = PipelineReport(
+        config=config,
+        num_files=len(works),
+        uncompressed_bytes=sum(w.uncompressed_bytes for w in works),
+    )
+
+    def parser_proc(parser_id: int):
+        for k in range(parser_id, len(works), m):
+            work = works[k]
+            yield Request(disk)
+            yield Timeout(costs.read_seconds(work))
+            disk.release()
+            yield Timeout(costs.decompress_seconds(work))
+            yield Timeout(costs.parse_seconds(work, regroup=config.regroup))
+            yield Put(buffers[parser_id], (k, work))
+
+    def indexer_stage():
+        for k in range(len(works)):
+            arrived = yield Get(buffers[k % m])
+            file_index, work = arrived
+            if file_index != k:
+                raise RuntimeError(
+                    f"buffer ordering violated: expected file {k}, got {file_index}"
+                )
+            # Pre-processing (serialized).
+            pre = costs.pre_seconds(work, config.num_gpus)
+            yield Timeout(pre)
+            report.pre_total_s += pre
+            # Parallel indexing: CPU threads and GPU kernels overlap.
+            cpu_groups, gpu_group = _stage_groups(work, config)
+            cpu_t = costs.cpu_stage_seconds(
+                cpu_groups,
+                config.num_cpu_indexers,
+                config.num_parsers,
+                config.total_cores,
+            )
+            gpu_t = (
+                costs.gpu_kernel_seconds(
+                    gpu_group,
+                    config.num_gpus,
+                    num_blocks=config.thread_blocks_per_gpu,
+                    dynamic=config.gpu_schedule == "dynamic",
+                )
+                if gpu_group is not None
+                else 0.0
+            )
+            stage_t = max(cpu_t, gpu_t)
+            yield Timeout(stage_t)
+            report.indexing_total_s += stage_t
+            report.per_file_indexing_s.append(stage_t)
+            report.per_file_segment.append(work.segment)
+            # Post-processing (serialized).
+            post = costs.post_seconds(work, config.num_gpus)
+            yield Timeout(post)
+            report.post_total_s += post
+
+    parser_procs = [sim.add_process(parser_proc(i), f"parser{i}") for i in range(m)]
+    stage_proc = sim.add_process(indexer_stage(), "indexers") if not parse_only else None
+
+    sim.run()
+
+    report.parser_finish_s = max(p.finish_time or 0.0 for p in parser_procs)
+    if stage_proc is not None:
+        report.indexer_finish_s = stage_proc.finish_time or 0.0
+        report.indexer_wait_s = report.indexer_finish_s - report.sum_of_three_s
+    report.disk_busy_s = disk.busy_s
+    return report
+
+
+@dataclass
+class BuildReport:
+    """Table VI's full-build rows: sampling + pipeline + dictionary."""
+
+    pipeline: PipelineReport
+    sampling_s: float
+    dict_combine_s: float
+    dict_write_s: float
+    total_terms: int
+
+    @property
+    def total_s(self) -> float:
+        return (
+            self.sampling_s + self.pipeline.pipeline_s + self.dict_combine_s + self.dict_write_s
+        )
+
+    @property
+    def throughput_mbps(self) -> float:
+        if self.total_s <= 0:
+            return 0.0
+        return self.pipeline.uncompressed_bytes / self.total_s / _MB
+
+
+def simulate_full_build(
+    works: list[FileWork],
+    config: PlatformConfig,
+    costs: StageCosts | None = None,
+) -> BuildReport:
+    """Sampling + pipeline + dictionary epilogue — one Table VI column."""
+    costs = costs if costs is not None else StageCosts()
+    sampling = costs.sampling_seconds(works, config.sample_fraction)
+    pipeline = simulate_pipeline(works, config, costs)
+    total_terms = sum(w.popular.new_terms + w.unpopular.new_terms for w in works)
+    return BuildReport(
+        pipeline=pipeline,
+        sampling_s=sampling,
+        dict_combine_s=costs.dict_combine_seconds(total_terms),
+        dict_write_s=costs.dict_write_seconds(total_terms),
+        total_terms=total_terms,
+    )

@@ -1,0 +1,52 @@
+"""Synthetic document collections (the evaluation-data substrate).
+
+The paper evaluates on ClueWeb09 (1.4TB of web pages), Wikipedia01-07
+(79GB of pre-cleaned text) and the Library-of-Congress Congressional crawl
+(507GB) — none redistributable or laptop-sized.  This package builds
+statistical stand-ins: Zipf-distributed vocabularies with English-like
+shape, Heaps-law vocabulary growth, HTML markup for the web collections,
+documents packed into gzip containers exactly like ClueWeb's distribution
+files, plus the published Table III statistics for report comparison.
+
+- :mod:`repro.corpus.zipf` — vocabulary construction and Zipf sampling.
+- :mod:`repro.corpus.synthetic` — document and collection generators.
+- :mod:`repro.corpus.collection` — on-disk collection handle + statistics.
+- :mod:`repro.corpus.warc` — the packed container format.
+- :mod:`repro.corpus.datasets` — the three mini presets and paper-scale
+  statistical descriptions.
+"""
+
+from repro.corpus.collection import Collection, CollectionStats, collection_statistics
+from repro.corpus.ingest import ingest_directory, ingest_documents, ingest_jsonl
+from repro.corpus.datasets import (
+    PAPER_COLLECTION_STATS,
+    PaperCollectionStats,
+    clueweb09_mini,
+    congress_mini,
+    wikipedia_mini,
+)
+from repro.corpus.synthetic import CollectionSpec, SegmentSpec, generate_collection
+from repro.corpus.warc import read_packed_file, write_packed_file
+from repro.corpus.zipf import ZipfSampler, ZipfVocabulary, heaps_vocabulary_size
+
+__all__ = [
+    "ZipfVocabulary",
+    "ZipfSampler",
+    "heaps_vocabulary_size",
+    "CollectionSpec",
+    "SegmentSpec",
+    "generate_collection",
+    "Collection",
+    "CollectionStats",
+    "collection_statistics",
+    "clueweb09_mini",
+    "wikipedia_mini",
+    "congress_mini",
+    "ingest_documents",
+    "ingest_directory",
+    "ingest_jsonl",
+    "PAPER_COLLECTION_STATS",
+    "PaperCollectionStats",
+    "read_packed_file",
+    "write_packed_file",
+]

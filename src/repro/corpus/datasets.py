@@ -1,0 +1,172 @@
+"""Dataset presets: mini stand-ins for the paper's three collections.
+
+Table III of the paper:
+
+====================  ============  ===========  ============
+Statistic             ClueWeb09 #1  Wikipedia    LoC Congress
+====================  ============  ===========  ============
+Compressed size       230 GB        29 GB        96 GB
+Uncompressed size     1,422 GB      79 GB        507 GB
+Documents             50,220,423    16,618,497   29,177,074
+Distinct terms        84,799,475    9,404,723    7,457,742
+Tokens                32.64 G       9.38 G       16.87 G
+====================  ============  ===========  ============
+
+The mini presets reproduce each collection's *profile*, scaled to laptop
+size: ClueWeb is HTML-heavy (low tokens/byte, enormous vocabulary) and
+ends with a Wikipedia.org segment over the last ~20% of files (the Fig 11
+cliff); Wikipedia01-07 is pre-cleaned pure text ("the HTML tags were
+removed, and the remainder is just pure text") with high tokens/byte;
+Congress sits between.  ``PAPER_COLLECTION_STATS`` carries the published
+numbers so report benchmarks can print paper-vs-ours side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.collection import Collection
+from repro.corpus.synthetic import CollectionSpec, SegmentSpec, generate_collection
+
+__all__ = [
+    "PaperCollectionStats",
+    "PAPER_COLLECTION_STATS",
+    "clueweb09_mini",
+    "wikipedia_mini",
+    "congress_mini",
+]
+
+_GB = 1024**3
+
+
+@dataclass(frozen=True)
+class PaperCollectionStats:
+    """Published Table III numbers for one collection."""
+
+    name: str
+    compressed_bytes: int
+    uncompressed_bytes: int
+    num_files: int
+    num_docs: int
+    num_terms: int
+    num_tokens: int
+    crawl_time: str
+
+
+PAPER_COLLECTION_STATS: dict[str, PaperCollectionStats] = {
+    "clueweb09": PaperCollectionStats(
+        name="ClueWeb09 1st Eng Seg",
+        compressed_bytes=230 * _GB,
+        uncompressed_bytes=1422 * _GB,
+        num_files=1492,
+        num_docs=50_220_423,
+        num_terms=84_799_475,
+        num_tokens=32_644_508_255,
+        crawl_time="01/09 to 02/09",
+    ),
+    "wikipedia": PaperCollectionStats(
+        name="Wikipedia 01-07",
+        compressed_bytes=29 * _GB,
+        uncompressed_bytes=79 * _GB,
+        num_files=84,
+        num_docs=16_618_497,
+        num_terms=9_404_723,
+        num_tokens=9_375_229_726,
+        crawl_time="02/01 to 12/07",
+    ),
+    "congress": PaperCollectionStats(
+        name="Library of Congress",
+        compressed_bytes=96 * _GB,
+        uncompressed_bytes=507 * _GB,
+        num_files=530,
+        num_docs=29_177_074,
+        num_terms=7_457_742,
+        num_tokens=16_865_180_093,
+        crawl_time="05/04 to 09/05",
+    ),
+}
+
+
+def _scaled(n: int, scale: float) -> int:
+    return max(1, round(n * scale))
+
+
+def clueweb09_mini(root_dir: str, scale: float = 1.0, seed: int = 9) -> Collection:
+    """Web-crawl profile with a trailing Wikipedia.org segment (~20%).
+
+    At ``scale=1.0``: 25 files ≈ a few hundred KB compressed each,
+    mirroring ClueWeb's 1,492-file × 160MB layout at 1:60-ish linear scale.
+    """
+    spec = CollectionSpec(
+        name="clueweb09_mini",
+        seed=seed,
+        segments=(
+            SegmentSpec(
+                name="web",
+                num_files=_scaled(20, scale),
+                docs_per_file=30,
+                tokens_per_doc_mean=320,
+                vocab_size=60_000,
+                zipf_s=1.0,
+                html=True,
+                mean_term_length=7.2,
+            ),
+            # Files 1,200–1,492 of the real collection: Wikipedia.org pages
+            # with "a totally different behavior" — fresh vocabulary and a
+            # different document shape.
+            SegmentSpec(
+                name="wikipedia.org",
+                num_files=_scaled(5, scale),
+                docs_per_file=45,
+                tokens_per_doc_mean=260,
+                vocab_size=35_000,
+                zipf_s=0.9,
+                html=True,
+                mean_term_length=7.6,
+            ),
+        ),
+    )
+    return generate_collection(spec, root_dir)
+
+
+def wikipedia_mini(root_dir: str, scale: float = 1.0, seed: int = 10) -> Collection:
+    """Pre-cleaned pure-text profile (no HTML, high tokens/byte)."""
+    spec = CollectionSpec(
+        name="wikipedia_mini",
+        seed=seed,
+        segments=(
+            SegmentSpec(
+                name="articles",
+                num_files=_scaled(8, scale),
+                docs_per_file=30,
+                tokens_per_doc_mean=480,
+                vocab_size=25_000,
+                zipf_s=1.05,
+                html=False,
+                stopword_rate=0.40,
+                mean_term_length=7.0,
+            ),
+        ),
+    )
+    return generate_collection(spec, root_dir)
+
+
+def congress_mini(root_dir: str, scale: float = 1.0, seed: int = 11) -> Collection:
+    """News/government crawl profile: HTML but smaller vocabulary."""
+    spec = CollectionSpec(
+        name="congress_mini",
+        seed=seed,
+        segments=(
+            SegmentSpec(
+                name="weekly-snapshots",
+                num_files=_scaled(12, scale),
+                docs_per_file=35,
+                tokens_per_doc_mean=400,
+                vocab_size=30_000,
+                zipf_s=1.1,
+                html=True,
+                mean_term_length=6.9,
+            ),
+        ),
+    )
+    return generate_collection(spec, root_dir)

@@ -1,0 +1,180 @@
+"""Zipf vocabulary construction and token sampling.
+
+Section III.E's load balancing rests on Zipf's law [12]: "a few common
+terms dominate the entries" of popular trie collections while unpopular
+collections hold the long tail of rare terms with nearly equal (tiny)
+frequencies.  The synthetic corpus must reproduce that skew or the paper's
+CPU/GPU split loses its meaning, so token sampling here is rank-frequency
+Zipf with exponent ``s`` (≈1.0 for web text).
+
+Vocabulary *shape* also matters for the dictionary experiments:
+
+- average stemmed-term length ≈ 6.6 characters (the paper's ClueWeb09
+  measurement that justifies the 3-character trie strip);
+- English-like first-letter skew (many terms under 't', 's', 'c'; almost
+  none under 'z'), so trie collections are unbalanced the way Table I
+  anticipates ("many words with prefix 'the' and hardly any with 'zzz'");
+- a sprinkle of pure numbers and special-character terms so trie
+  categories 0–10 are populated.
+
+Heaps' law (``V(n) = k·n^β``) extrapolates vocabulary growth for the
+paper-scale workload model that drives Fig 11.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+__all__ = ["ZipfVocabulary", "ZipfSampler", "heaps_vocabulary_size"]
+
+# English-like first-letter frequencies (relative weights a..z).
+_FIRST_LETTER_WEIGHTS = np.array(
+    [
+        11.7, 4.4, 5.2, 3.2, 2.8, 4.0, 1.6, 4.2, 7.3, 0.5, 0.9, 2.4, 3.8,
+        2.3, 7.6, 4.3, 0.2, 2.8, 6.7, 16.0, 1.2, 0.8, 5.5, 0.1, 0.8, 0.3,
+    ]
+)
+_LETTERS = np.frombuffer(b"abcdefghijklmnopqrstuvwxyz", dtype=np.uint8)
+# Interior letters roughly follow overall English letter frequency.
+_INNER_LETTER_WEIGHTS = np.array(
+    [
+        8.2, 1.5, 2.8, 4.3, 12.7, 2.2, 2.0, 6.1, 7.0, 0.15, 0.77, 4.0, 2.4,
+        6.7, 7.5, 1.9, 0.095, 6.0, 6.3, 9.1, 2.8, 0.98, 2.4, 0.15, 2.0, 0.074,
+    ]
+)
+# A handful of non-ASCII letters for the "special" trie category.
+_SPECIAL_CHARS = "éèçñöüá"
+
+
+def heaps_vocabulary_size(tokens: float, k: float = 38.0, beta: float = 0.59) -> int:
+    """Heaps-law estimate ``V = k · n^β`` of distinct terms in n tokens.
+
+    Defaults are fit to the paper's Table III: ClueWeb09's 32.6G tokens ↔
+    84.8M terms (β≈0.59, k≈38, with the Wikipedia.org segment contributing
+    its own fresh pool on top — see the workload model).  Web crawls have
+    fat vocabularies from typos, codes and markup junk.
+    """
+    if tokens <= 0:
+        return 0
+    return max(1, int(k * tokens**beta))
+
+
+class ZipfVocabulary:
+    """Deterministic synthetic vocabulary of distinct surface terms.
+
+    Parameters
+    ----------
+    size:
+        Number of distinct terms.
+    seed:
+        RNG seed; identical seeds give identical vocabularies.
+    mean_length:
+        Target mean term length (paper: 6.6 post-stemming; surface forms
+        run slightly longer because stemming trims suffixes).
+    number_fraction, special_fraction:
+        Share of pure-number terms (trie categories 1–10) and of terms
+        containing a non-ASCII character (category 0 or 11–36).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        seed: int = 0,
+        mean_length: float = 7.2,
+        number_fraction: float = 0.015,
+        special_fraction: float = 0.005,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"vocabulary size must be >= 1, got {size}")
+        self.size = size
+        self.seed = seed
+        rng = make_rng(seed)
+        self.terms = self._build(rng, size, mean_length, number_fraction, special_fraction)
+
+    @staticmethod
+    def _build(
+        rng: np.random.Generator,
+        size: int,
+        mean_length: float,
+        number_fraction: float,
+        special_fraction: float,
+    ) -> list[str]:
+        first_p = _FIRST_LETTER_WEIGHTS / _FIRST_LETTER_WEIGHTS.sum()
+        inner_p = _INNER_LETTER_WEIGHTS / _INNER_LETTER_WEIGHTS.sum()
+        terms: list[str] = []
+        seen: set[str] = set()
+        # Lognormal lengths concentrated near the mean, clipped to [2, 16].
+        sigma = 0.35
+        mu = float(np.log(mean_length)) - sigma**2 / 2
+
+        batch = max(1024, size // 8)
+        while len(terms) < size:
+            lengths = np.clip(
+                np.round(rng.lognormal(mu, sigma, batch)).astype(int), 2, 16
+            )
+            firsts = rng.choice(_LETTERS, size=batch, p=first_p)
+            kinds = rng.random(batch)
+            for i in range(batch):
+                if len(terms) >= size:
+                    break
+                n = int(lengths[i])
+                if kinds[i] < number_fraction:
+                    digits = rng.integers(0, 10, size=max(1, n - 2))
+                    word = "".join(str(d) for d in digits)
+                elif kinds[i] < number_fraction + special_fraction:
+                    inner = rng.choice(_LETTERS, size=max(1, n - 2), p=inner_p)
+                    word = chr(firsts[i]) + bytes(inner).decode("ascii")
+                    pos = int(rng.integers(0, len(word)))
+                    ch = _SPECIAL_CHARS[int(rng.integers(0, len(_SPECIAL_CHARS)))]
+                    word = word[:pos] + ch + word[pos + 1 :]
+                else:
+                    inner = rng.choice(_LETTERS, size=n - 1, p=inner_p)
+                    word = chr(firsts[i]) + bytes(inner).decode("ascii")
+                if word not in seen:
+                    seen.add(word)
+                    terms.append(word)
+        return terms
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, rank: int) -> str:
+        """Term at Zipf rank ``rank`` (0 = most frequent)."""
+        return self.terms[rank]
+
+
+class ZipfSampler:
+    """Vectorized rank-frequency Zipf sampler over a vocabulary.
+
+    ``P(rank r) ∝ 1 / (r+1)^s``.  Sampling draws uniforms and inverts the
+    cumulative distribution with :func:`numpy.searchsorted` — O(log V) per
+    token and fully vectorized, following the HPC-Python guide's
+    "vectorize the hot loop" rule.
+    """
+
+    def __init__(self, vocabulary: ZipfVocabulary, s: float = 1.0, seed: int = 1) -> None:
+        if s < 0:
+            raise ValueError(f"Zipf exponent must be >= 0, got {s}")
+        self.vocabulary = vocabulary
+        self.s = s
+        self._rng = make_rng(seed)
+        weights = 1.0 / np.arange(1, len(vocabulary) + 1, dtype=np.float64) ** s
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+
+    def sample_ranks(self, n: int) -> np.ndarray:
+        """Draw ``n`` Zipf ranks (int64 array)."""
+        u = self._rng.random(n)
+        return np.searchsorted(self._cdf, u, side="left")
+
+    def sample_terms(self, n: int) -> list[str]:
+        """Draw ``n`` term strings."""
+        terms = self.vocabulary.terms
+        return [terms[r] for r in self.sample_ranks(n)]
+
+    def expected_frequency(self, rank: int) -> float:
+        """Expected probability of the term at ``rank``."""
+        lo = self._cdf[rank - 1] if rank > 0 else 0.0
+        return float(self._cdf[rank] - lo)

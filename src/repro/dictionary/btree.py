@@ -1,0 +1,426 @@
+"""Degree-16 B-tree with per-key 4-byte string caches (Table II).
+
+One B-tree per trie collection.  The node layout mirrors Table II exactly:
+with degree ``t = 16`` a node holds up to ``2t − 1 = 31`` keys — chosen by
+the paper to match the CUDA warp size — and occupies 512 bytes::
+
+    valid term number      1 × 4 B
+    term string pointers  31 × 4 B
+    leaf indicator         1 × 4 B
+    postings pointers     31 × 4 B
+    child pointers        32 × 4 B
+    4-byte string caches  31 × 4 B
+    padding                1 × 4 B
+    total                     512 B
+
+Keys are the *suffixes* left after the trie prefix strip, stored in a
+:class:`~repro.dictionary.string_store.StringStore`; the node keeps only the
+string pointer plus a cache of the first four bytes.  A comparison first
+looks at the cache: because real term bytes are never ``0x00``, padding the
+cache with zeros keeps cached comparison order-consistent with full
+lexicographic byte order, and a cache mismatch is always conclusive.  The
+full string is dereferenced only when the padded caches tie and the key may
+extend past four bytes — the paper's observation that "it is a rare case
+that two arbitrary terms share the same long prefix".
+
+Insertion uses single-pass preemptive splitting, matching the paper's
+*Splitting* rule ("before accessing a B-Tree node, we check to determine
+whether this node is full").
+
+All structural work funnels through :class:`BTreeStats`, which the CPU cost
+model and the GPU SIMT simulator consume; the instrumentation records the
+*depth* of every operation because Fig 11's declining throughput tracks the
+inverse of B-tree depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.dictionary.string_store import StringStore
+
+__all__ = ["BTree", "BTreeNode", "BTreeStats", "NODE_SIZE_BYTES", "node_layout"]
+
+#: Paper values: degree 16 → 31 keys/node → 512-byte nodes.
+DEFAULT_DEGREE = 16
+NODE_SIZE_BYTES = 512
+
+_POINTER_BYTES = 4
+_CACHE_BYTES = 4
+_ALIGN = 64  # one coalesced 16-word line
+
+
+def node_layout(degree: int = DEFAULT_DEGREE) -> dict[str, int]:
+    """Byte sizes of every Table II field for a given B-tree degree.
+
+    For the paper's degree of 16 the totals reproduce Table II exactly,
+    including the 4 padding bytes that round the node to 512 bytes (eight
+    coalesced 64-byte lines).
+    """
+    max_keys = 2 * degree - 1
+    fields = {
+        "valid_term_number": _POINTER_BYTES,
+        "term_string_pointers": max_keys * _POINTER_BYTES,
+        "leaf_indicator": _POINTER_BYTES,
+        "postings_pointers": max_keys * _POINTER_BYTES,
+        "child_pointers": (max_keys + 1) * _POINTER_BYTES,
+        "string_caches": max_keys * _CACHE_BYTES,
+    }
+    raw = sum(fields.values())
+    fields["padding"] = (-raw) % _ALIGN
+    fields["total"] = raw + fields["padding"]
+    return fields
+
+
+@dataclass
+class BTreeStats:
+    """Work counters consumed by the CPU/GPU cost models.
+
+    ``depth_sum`` accumulates the node depth reached by every search/insert
+    so the engine can report the average operation depth that shapes the
+    Fig 11 curve.
+    """
+
+    searches: int = 0
+    inserts: int = 0
+    duplicate_hits: int = 0
+    node_visits: int = 0
+    key_comparisons: int = 0
+    cache_resolved: int = 0
+    full_string_fetches: int = 0
+    splits: int = 0
+    shifts: int = 0
+    depth_sum: int = 0
+
+    def merge(self, other: "BTreeStats") -> None:
+        """Fold another tree's counters into this one."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    @property
+    def operations(self) -> int:
+        """Searches plus insert attempts."""
+        return self.searches + self.inserts + self.duplicate_hits
+
+    @property
+    def mean_depth(self) -> float:
+        """Average node depth per operation (0 when idle)."""
+        ops = self.operations
+        return self.depth_sum / ops if ops else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of key comparisons resolved inside the 4-byte cache."""
+        if not self.key_comparisons:
+            return 0.0
+        return self.cache_resolved / self.key_comparisons
+
+
+class BTreeNode:
+    """A single 512-byte node.
+
+    Python-level representation keeps parallel lists, mirroring the packed
+    arrays of the real layout; ``byte_size`` reports the modeled footprint.
+    """
+
+    __slots__ = ("caches", "string_ptrs", "postings_ptrs", "children", "leaf")
+
+    def __init__(self, leaf: bool) -> None:
+        self.caches: list[bytes] = []  # 4-byte zero-padded prefixes
+        self.string_ptrs: list[int] = []
+        self.postings_ptrs: list[int] = []
+        self.children: list["BTreeNode"] = []
+        self.leaf = leaf
+
+    @property
+    def nkeys(self) -> int:
+        """The "valid term number" field."""
+        return len(self.string_ptrs)
+
+    def byte_size(self, degree: int = DEFAULT_DEGREE) -> int:
+        """Modeled on-device size of this node (constant per Table II)."""
+        return node_layout(degree)["total"]
+
+
+def _pad4(payload: bytes) -> bytes:
+    """First four bytes of ``payload``, zero-padded — the cache field."""
+    return payload[:_CACHE_BYTES].ljust(_CACHE_BYTES, b"\x00")
+
+
+class BTree:
+    """B-tree over suffix byte strings with postings-pointer values.
+
+    Parameters
+    ----------
+    store:
+        Shared :class:`StringStore` holding full suffix strings.
+    term_id_allocator:
+        Zero-argument callable handing out postings pointers for new terms.
+        The :class:`~repro.dictionary.dictionary.Dictionary` passes a global
+        allocator; standalone trees default to a local counter.
+    degree:
+        Minimum degree ``t`` (paper: 16).  Exposed for the ablation bench.
+    use_string_cache:
+        Disable to reproduce the "no cache" ablation — every comparison then
+        dereferences the full string.
+    """
+
+    def __init__(
+        self,
+        store: StringStore | None = None,
+        term_id_allocator: Callable[[], int] | None = None,
+        degree: int = DEFAULT_DEGREE,
+        use_string_cache: bool = True,
+    ) -> None:
+        if degree < 2:
+            raise ValueError(f"B-tree degree must be >= 2, got {degree}")
+        self.store = store if store is not None else StringStore()
+        self.degree = degree
+        self.max_keys = 2 * degree - 1
+        self.use_string_cache = use_string_cache
+        self.stats = BTreeStats()
+        #: Optional slot-search strategy override.  The GPU indexer's
+        #: warp-fidelity mode installs a hook that runs the Fig 7
+        #: parallel-compare + reduction instead of binary search; the hook
+        #: receives ``(tree, query, query4, node)`` and returns
+        #: ``(slot, found)`` with the same contract as ``_find_slot``.
+        self.find_slot_hook = None
+        self.root = BTreeNode(leaf=True)
+        self.node_count = 1
+        self.term_count = 0
+        if term_id_allocator is None:
+            counter = iter(range(1 << 62))
+            term_id_allocator = lambda: next(counter)  # noqa: E731
+        self._alloc = term_id_allocator
+
+    # ------------------------------------------------------------------ #
+    # Comparisons
+    # ------------------------------------------------------------------ #
+
+    def _compare(self, query: bytes, query4: bytes, node: BTreeNode, i: int) -> int:
+        """Three-way compare of ``query`` against key ``i`` of ``node``.
+
+        Returns negative/zero/positive like C's ``strcmp``.  Uses the 4-byte
+        cache when it is conclusive and counts how the comparison resolved.
+        """
+        self.stats.key_comparisons += 1
+        if self.use_string_cache:
+            cache = node.caches[i]
+            if query4 != cache:
+                self.stats.cache_resolved += 1
+                return -1 if query4 < cache else 1
+            # Padded caches tie.  A zero byte in the cache means the key is
+            # shorter than four bytes and therefore fully cached: the tie is
+            # a true equality (query must share the padding-zero property).
+            if b"\x00" in cache:
+                self.stats.cache_resolved += 1
+                return 0
+            # Key is >= 4 bytes with an identical first-4 prefix: only now
+            # pay for the pointer dereference.
+        full = self.store.get(node.string_ptrs[i])
+        self.stats.full_string_fetches += 1
+        if query == full:
+            return 0
+        return -1 if query < full else 1
+
+    def _find_slot(self, query: bytes, query4: bytes, node: BTreeNode) -> tuple[int, bool]:
+        """Index of the first key >= query, plus whether it equals query.
+
+        The CPU indexer walks keys with binary search; the GPU indexer
+        compares all 31 keys with one warp (see
+        :meth:`repro.indexers.gpu.GPUIndexer`).  Both reduce to this slot.
+        """
+        if self.find_slot_hook is not None:
+            return self.find_slot_hook(self, query, query4, node)
+        lo, hi = 0, node.nkeys
+        while lo < hi:
+            mid = (lo + hi) // 2
+            cmp = self._compare(query, query4, node, mid)
+            if cmp == 0:
+                return mid, True
+            if cmp < 0:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo, False
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+
+    def search(self, suffix: bytes) -> int | None:
+        """Postings pointer for ``suffix``, or ``None`` if absent."""
+        self.stats.searches += 1
+        query4 = _pad4(suffix)
+        node = self.root
+        depth = 0
+        while True:
+            self.stats.node_visits += 1
+            slot, found = self._find_slot(suffix, query4, node)
+            if found:
+                self.stats.depth_sum += depth
+                return node.postings_ptrs[slot]
+            if node.leaf:
+                self.stats.depth_sum += depth
+                return None
+            node = node.children[slot]
+            depth += 1
+
+    # ------------------------------------------------------------------ #
+    # Insert
+    # ------------------------------------------------------------------ #
+
+    def insert(self, suffix: bytes) -> tuple[int, bool]:
+        """Insert ``suffix`` if new; return ``(postings pointer, created)``.
+
+        Implements the paper's three node operations — *searching*,
+        *inserting* (with the right-shift of larger keys) and preemptive
+        *splitting* — in a single root-to-leaf pass.
+
+        Keys may not contain NUL bytes: the 4-byte cache pads with zeros
+        and relies on real term bytes never being ``0x00`` (true for any
+        UTF-8 term text; enforced here so corrupt input fails loudly
+        instead of colliding in the cache).
+        """
+        if 0 in suffix:
+            raise ValueError("term suffixes may not contain NUL bytes")
+        query4 = _pad4(suffix)
+        if self.root.nkeys == self.max_keys:
+            old_root = self.root
+            self.root = BTreeNode(leaf=False)
+            self.root.children.append(old_root)
+            self.node_count += 1
+            self._split_child(self.root, 0)
+        node = self.root
+        depth = 0
+        while True:
+            self.stats.node_visits += 1
+            slot, found = self._find_slot(suffix, query4, node)
+            if found:
+                self.stats.duplicate_hits += 1
+                self.stats.depth_sum += depth
+                return node.postings_ptrs[slot], False
+            if node.leaf:
+                term_id = self._alloc()
+                ptr = self.store.add(suffix)
+                node.caches.insert(slot, _pad4(suffix))
+                node.string_ptrs.insert(slot, ptr)
+                node.postings_ptrs.insert(slot, term_id)
+                # Keys shifted right to open the blank location.
+                self.stats.shifts += node.nkeys - 1 - slot
+                self.stats.inserts += 1
+                self.stats.depth_sum += depth
+                self.term_count += 1
+                return term_id, True
+            child = node.children[slot]
+            if child.nkeys == self.max_keys:
+                self._split_child(node, slot)
+                cmp = self._compare(suffix, query4, node, slot)
+                if cmp == 0:
+                    self.stats.duplicate_hits += 1
+                    self.stats.depth_sum += depth
+                    return node.postings_ptrs[slot], False
+                if cmp > 0:
+                    slot += 1
+                child = node.children[slot]
+            node = child
+            depth += 1
+
+    def _split_child(self, parent: BTreeNode, index: int) -> None:
+        """Split the full child at ``parent.children[index]``.
+
+        Median key moves up into the parent; the upper ``t − 1`` keys move
+        into a new right sibling.
+        """
+        t = self.degree
+        child = parent.children[index]
+        right = BTreeNode(leaf=child.leaf)
+        self.node_count += 1
+        self.stats.splits += 1
+
+        right.caches = child.caches[t:]
+        right.string_ptrs = child.string_ptrs[t:]
+        right.postings_ptrs = child.postings_ptrs[t:]
+        median = (child.caches[t - 1], child.string_ptrs[t - 1], child.postings_ptrs[t - 1])
+        del child.caches[t - 1 :]
+        del child.string_ptrs[t - 1 :]
+        del child.postings_ptrs[t - 1 :]
+        if not child.leaf:
+            right.children = child.children[t:]
+            del child.children[t:]
+
+        parent.caches.insert(index, median[0])
+        parent.string_ptrs.insert(index, median[1])
+        parent.postings_ptrs.insert(index, median[2])
+        parent.children.insert(index + 1, right)
+        self.stats.shifts += parent.nkeys - 1 - index
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def items(self) -> Iterator[tuple[bytes, int]]:
+        """In-order ``(suffix, postings pointer)`` pairs."""
+        yield from self._walk(self.root)
+
+    def _walk(self, node: BTreeNode) -> Iterator[tuple[bytes, int]]:
+        for i in range(node.nkeys):
+            if not node.leaf:
+                yield from self._walk(node.children[i])
+            yield self.store.get(node.string_ptrs[i]), node.postings_ptrs[i]
+        if not node.leaf:
+            yield from self._walk(node.children[node.nkeys])
+
+    def height(self) -> int:
+        """Edge-count height of the tree (a lone root has height 0)."""
+        h = 0
+        node = self.root
+        while not node.leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    def check_invariants(self) -> None:
+        """Raise :class:`AssertionError` on any structural violation.
+
+        Checked: key ordering (globally sorted in-order walk), per-node key
+        bounds, uniform leaf depth, child counts, and cache fields matching
+        the stored strings.  Used heavily by the hypothesis tests.
+        """
+        leaf_depths: set[int] = set()
+
+        def recurse(node: BTreeNode, depth: int, lo: bytes | None, hi: bytes | None) -> None:
+            assert node.nkeys <= self.max_keys, "node overflow"
+            if node is not self.root:
+                assert node.nkeys >= self.degree - 1, "node underflow"
+            keys = [self.store.get(p) for p in node.string_ptrs]
+            assert keys == sorted(keys), "keys out of order inside a node"
+            assert len(set(keys)) == len(keys), "duplicate keys inside a node"
+            for key, cache in zip(keys, node.caches):
+                assert cache == _pad4(key), "cache field desynchronized"
+            if lo is not None and keys:
+                assert keys[0] > lo, "subtree violates lower bound"
+            if hi is not None and keys:
+                assert keys[-1] < hi, "subtree violates upper bound"
+            if node.leaf:
+                assert not node.children, "leaf with children"
+                leaf_depths.add(depth)
+            else:
+                assert len(node.children) == node.nkeys + 1, "child count mismatch"
+                bounds = [lo] + keys + [hi]
+                for i, child in enumerate(node.children):
+                    recurse(child, depth + 1, bounds[i], bounds[i + 1])
+
+        recurse(self.root, 0, None, None)
+        assert len(leaf_depths) <= 1, "leaves at differing depths"
+
+    def __len__(self) -> int:
+        """Number of distinct terms."""
+        return self.term_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BTree(degree={self.degree}, terms={self.term_count}, "
+            f"nodes={self.node_count}, height={self.height()})"
+        )

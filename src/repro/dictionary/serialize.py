@@ -1,0 +1,94 @@
+"""Dictionary persistence with front-coding ("Dictionary Write", Table VI).
+
+"The dictionary is kept in main memory until the last batch of documents is
+processed, after which it is moved to the disk."  Terms inside one trie
+collection are written in lexicographic order, so adjacent suffixes tend to
+share prefixes; following Heinz & Zobel [4] (cited in Section II) we apply
+front-coding: each suffix stores the length of the prefix it shares with
+its predecessor plus the differing tail.
+
+On-disk format::
+
+    magic  b"RPRODIC1"                8 bytes
+    uvarint trie_height
+    uvarint n_nonempty_collections
+    per collection:
+        uvarint collection_index
+        uvarint n_terms
+        per term (sorted): uvarint lcp, uvarint tail_len, tail bytes,
+                           uvarint term_id
+
+Loading returns a plain ``{term: postings pointer}`` map — enough for the
+query path (:class:`repro.postings.reader.PostingsReader`) without
+rebuilding B-trees.
+"""
+
+from __future__ import annotations
+
+from repro.dictionary.dictionary import DictionaryShard
+from repro.dictionary.trie import TrieTable
+from repro.postings.compression import decode_uvarint, encode_uvarint
+
+__all__ = ["save_dictionary", "load_dictionary", "DICT_MAGIC"]
+
+DICT_MAGIC = b"RPRODIC1"
+
+
+def _common_prefix_len(a: bytes, b: bytes) -> int:
+    n = min(len(a), len(b))
+    i = 0
+    while i < n and a[i] == b[i]:
+        i += 1
+    return i
+
+
+def save_dictionary(dictionary: DictionaryShard, path: str) -> int:
+    """Serialize to ``path``; returns bytes written."""
+    out = bytearray(DICT_MAGIC)
+    encode_uvarint(dictionary.trie.height, out)
+    nonempty = [cidx for cidx in sorted(dictionary.trees) if len(dictionary.trees[cidx])]
+    encode_uvarint(len(nonempty), out)
+    for cidx in nonempty:
+        tree = dictionary.trees[cidx]
+        encode_uvarint(cidx, out)
+        encode_uvarint(len(tree), out)
+        prev = b""
+        for suffix, term_id in tree.items():  # in-order = lexicographic
+            lcp = _common_prefix_len(prev, suffix)
+            tail = suffix[lcp:]
+            encode_uvarint(lcp, out)
+            encode_uvarint(len(tail), out)
+            out.extend(tail)
+            encode_uvarint(term_id, out)
+            prev = suffix
+    with open(path, "wb") as fh:
+        fh.write(out)
+    return len(out)
+
+
+def load_dictionary(path: str) -> dict[str, int]:
+    """Load a serialized dictionary into a ``{term: term_id}`` map."""
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if data[: len(DICT_MAGIC)] != DICT_MAGIC:
+        raise ValueError(f"{path} is not a serialized dictionary (bad magic)")
+    pos = len(DICT_MAGIC)
+    height, pos = decode_uvarint(data, pos)
+    trie = TrieTable(height=height)
+    n_collections, pos = decode_uvarint(data, pos)
+    terms: dict[str, int] = {}
+    for _ in range(n_collections):
+        cidx, pos = decode_uvarint(data, pos)
+        n_terms, pos = decode_uvarint(data, pos)
+        prefix = trie.prefix_for(cidx)
+        prev = b""
+        for _ in range(n_terms):
+            lcp, pos = decode_uvarint(data, pos)
+            tail_len, pos = decode_uvarint(data, pos)
+            tail = data[pos : pos + tail_len]
+            pos += tail_len
+            term_id, pos = decode_uvarint(data, pos)
+            suffix = prev[:lcp] + tail
+            terms[prefix + suffix.decode("utf-8")] = term_id
+            prev = suffix
+    return terms

@@ -1,0 +1,96 @@
+"""Term-string heap with the Fig 6 layout.
+
+Term strings do not fit in fixed-size B-tree nodes, so nodes hold integer
+*pointers* into this heap.  Following Fig 6 of the paper, each string is
+stored as::
+
+    [ length (1 byte) | payload bytes ... ]
+
+with the length in the first byte, which bounds terms to 255 bytes ("without
+loss of generality, we also assume that no term is longer than 255 bytes").
+The GPU indexer reads this heap in contiguous 512-byte chunks into shared
+memory (see :mod:`repro.gpusim`), so the store also exposes chunked views.
+
+Pointers are byte offsets, which keeps the functional model identical to the
+device-memory representation the CUDA kernels use.
+"""
+
+from __future__ import annotations
+
+__all__ = ["StringStore", "MAX_TERM_BYTES"]
+
+#: Paper assumption: one length byte suffices.
+MAX_TERM_BYTES = 255
+
+
+class StringStore:
+    """Append-only heap of length-prefixed byte strings."""
+
+    __slots__ = ("_heap", "_count")
+
+    def __init__(self) -> None:
+        self._heap = bytearray()
+        self._count = 0
+
+    def add(self, payload: bytes) -> int:
+        """Store ``payload`` and return its pointer (byte offset).
+
+        Raises :class:`ValueError` for strings longer than 255 bytes, the
+        paper's representational limit.
+        """
+        if len(payload) > MAX_TERM_BYTES:
+            raise ValueError(
+                f"term of {len(payload)} bytes exceeds the {MAX_TERM_BYTES}-byte "
+                "limit imposed by the one-byte length prefix (Fig 6)"
+            )
+        ptr = len(self._heap)
+        self._heap.append(len(payload))
+        self._heap.extend(payload)
+        self._count += 1
+        return ptr
+
+    def add_str(self, text: str) -> int:
+        """Convenience: UTF-8 encode and store."""
+        return self.add(text.encode("utf-8"))
+
+    def get(self, ptr: int) -> bytes:
+        """Fetch the payload bytes at ``ptr``."""
+        length = self._heap[ptr]
+        return bytes(self._heap[ptr + 1 : ptr + 1 + length])
+
+    def get_str(self, ptr: int) -> str:
+        """Fetch and UTF-8 decode."""
+        return self.get(ptr).decode("utf-8")
+
+    def length(self, ptr: int) -> int:
+        """Length byte at ``ptr`` without copying the payload."""
+        return self._heap[ptr]
+
+    def chunks(self, chunk_bytes: int = 512):
+        """Yield the heap in contiguous chunks (the GPU staging pattern).
+
+        The CUDA indexer reads term strings from device memory in 512-byte
+        coalesced chunks into shared memory; iterating here mirrors that
+        access pattern for the simulator's cost accounting.
+        """
+        if chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        view = memoryview(self._heap)
+        for start in range(0, len(view), chunk_bytes):
+            yield bytes(view[start : start + chunk_bytes])
+
+    def raw_bytes(self) -> bytes:
+        """The heap exactly as it would sit in device memory (Fig 6)."""
+        return bytes(self._heap)
+
+    @property
+    def byte_size(self) -> int:
+        """Total heap bytes (length prefixes included)."""
+        return len(self._heap)
+
+    def __len__(self) -> int:
+        """Number of strings stored."""
+        return self._count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StringStore(strings={self._count}, bytes={len(self._heap)})"

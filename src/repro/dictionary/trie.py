@@ -1,0 +1,185 @@
+"""The trie-collection index table of Table I.
+
+The paper replaces the top of the dictionary with a trie of fixed height 3.
+Because the height is constant, no trie structure is ever built: a term's
+first characters are mapped arithmetically to a *trie collection index* and
+a flat table maps that index to the root of the collection's B-tree.
+
+The index space for height ``h = 3`` (Table I):
+
+====================  ===========================================  =========
+Index                 Term category                                 Count
+====================  ===========================================  =========
+0                     special — anything not matching below         1
+1 .. 10               pure numbers, by first digit '0'..'9'         10
+11 .. 36              first char a..z AND (≤h letters OR a           26
+                      non-[a-z] char among the first h chars)
+37 .. 37+26^h−1       >h letters, first h chars all a..z,            26^h
+                      ranked lexicographically ('aaa'..'zzz')
+====================  ===========================================  =========
+
+Total for h=3: ``1 + 10 + 26 + 17576 = 17613`` collections.
+
+Terms inside one collection share a prefix (except collection 0), so the
+dictionary stores only the *suffix*: the shared first digit/letter for
+categories 1–36, or the shared first ``h`` letters for the tail category.
+Stripping is bijective within a collection, which the property tests verify.
+
+The height is a constructor parameter (default 3) so the ablation benchmark
+can reproduce the paper's §III.B.1 argument that heights 2 and 4 balance
+worse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["TrieTable", "TrieCategory", "NUM_TRIE_COLLECTIONS"]
+
+_LOWER = "abcdefghijklmnopqrstuvwxyz"
+_DIGITS = "0123456789"
+
+#: Number of collections for the paper's default height of 3.
+NUM_TRIE_COLLECTIONS = 1 + 10 + 26 + 26**3
+
+
+class TrieCategory(Enum):
+    """The four term categories of Table I."""
+
+    SPECIAL = "special"
+    PURE_NUMBER = "pure_number"
+    SHORT_OR_SPECIAL = "short_or_special"
+    FULL_PREFIX = "full_prefix"
+
+
+def _is_lower(ch: str) -> bool:
+    return "a" <= ch <= "z"
+
+
+def _is_digit(ch: str) -> bool:
+    return "0" <= ch <= "9"
+
+
+@dataclass(frozen=True)
+class TrieSplit:
+    """Result of mapping a term through the trie table."""
+
+    index: int
+    suffix: str
+    category: TrieCategory
+
+
+class TrieTable:
+    """Arithmetic implementation of the Table I trie.
+
+    Parameters
+    ----------
+    height:
+        Trie height ``h >= 1``; the paper uses 3.  The tail category then
+        has ``26**h`` entries and strips ``h`` characters.
+    """
+
+    def __init__(self, height: int = 3) -> None:
+        if height < 1:
+            raise ValueError(f"trie height must be >= 1, got {height}")
+        self.height = height
+        self._tail_base = 1 + 10 + 26
+        self._tail_count = 26**height
+        self.num_collections = self._tail_base + self._tail_count
+
+    # ------------------------------------------------------------------ #
+    # Forward mapping
+    # ------------------------------------------------------------------ #
+
+    def split(self, term: str) -> TrieSplit:
+        """Map ``term`` to ``(collection index, stored suffix, category)``.
+
+        ``term`` is the post-parsing form: already lower-cased and stemmed.
+        """
+        if not term:
+            raise ValueError("cannot index an empty term")
+        h = self.height
+        first = term[0]
+        if _is_digit(first):
+            if all(_is_digit(c) for c in term):
+                # Pure number: bucket by first digit, strip it.
+                return TrieSplit(1 + (ord(first) - ord("0")), term[1:], TrieCategory.PURE_NUMBER)
+            return TrieSplit(0, term, TrieCategory.SPECIAL)
+        if _is_lower(first):
+            head = term[:h]
+            if len(term) <= h or not all(_is_lower(c) for c in head):
+                # Short term, or a special character inside the prefix
+                # window: bucket by first letter, strip it.
+                return TrieSplit(
+                    11 + (ord(first) - ord("a")), term[1:], TrieCategory.SHORT_OR_SPECIAL
+                )
+            rank = 0
+            for c in head:
+                rank = rank * 26 + (ord(c) - ord("a"))
+            return TrieSplit(self._tail_base + rank, term[h:], TrieCategory.FULL_PREFIX)
+        return TrieSplit(0, term, TrieCategory.SPECIAL)
+
+    def trie_index(self, term: str) -> int:
+        """Collection index only (the hot path used by the tokenizer)."""
+        return self.split(term).index
+
+    # ------------------------------------------------------------------ #
+    # Inverse mapping
+    # ------------------------------------------------------------------ #
+
+    def prefix_for(self, index: int) -> str:
+        """The shared prefix stripped from terms in collection ``index``.
+
+        Collection 0 strips nothing, so its "prefix" is the empty string.
+        """
+        self._check_index(index)
+        if index == 0:
+            return ""
+        if index <= 10:
+            return _DIGITS[index - 1]
+        if index < self._tail_base:
+            return _LOWER[index - 11]
+        rank = index - self._tail_base
+        chars = []
+        for _ in range(self.height):
+            rank, rem = divmod(rank, 26)
+            chars.append(_LOWER[rem])
+        return "".join(reversed(chars))
+
+    def reconstruct(self, index: int, suffix: str) -> str:
+        """Rebuild the original term from ``(index, suffix)``."""
+        return self.prefix_for(index) + suffix
+
+    def category_of(self, index: int) -> TrieCategory:
+        """Which Table I category a collection index belongs to."""
+        self._check_index(index)
+        if index == 0:
+            return TrieCategory.SPECIAL
+        if index <= 10:
+            return TrieCategory.PURE_NUMBER
+        if index < self._tail_base:
+            return TrieCategory.SHORT_OR_SPECIAL
+        return TrieCategory.FULL_PREFIX
+
+    # ------------------------------------------------------------------ #
+    # Reporting (Table I benchmark)
+    # ------------------------------------------------------------------ #
+
+    def category_ranges(self) -> dict[TrieCategory, tuple[int, int]]:
+        """Inclusive index ranges per category, for the Table I report."""
+        return {
+            TrieCategory.SPECIAL: (0, 0),
+            TrieCategory.PURE_NUMBER: (1, 10),
+            TrieCategory.SHORT_OR_SPECIAL: (11, 36),
+            TrieCategory.FULL_PREFIX: (self._tail_base, self.num_collections - 1),
+        }
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.num_collections:
+            raise IndexError(
+                f"trie collection index {index} out of range [0, {self.num_collections})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TrieTable(height={self.height}, collections={self.num_collections})"

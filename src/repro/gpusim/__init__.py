@@ -1,0 +1,43 @@
+"""SIMT GPU simulator — the substitute for the paper's Tesla C1060s.
+
+This environment has no CUDA device, so the GPU indexer runs on a
+simulator that reproduces the execution model the paper's Section I and
+III.D.2 rely on:
+
+- **warps** of 32 lockstep threads (one warp per thread block, as the
+  paper configures its indexer kernels);
+- **coalesced device-memory transactions** in 16-word (64-byte) lines with
+  a 400–600 cycle latency, hidden by switching among resident warps;
+- **shared memory** with 16 banks and bank-conflict serialization;
+- **thread blocks** scheduled onto 30 streaming multiprocessors, with the
+  paper's *dynamic round-robin* work queue handing trie collections to
+  blocks as they finish (vs. the static pre-assignment ablation);
+- a **cycle cost model** (:mod:`repro.gpusim.costmodel`) translating the
+  counted transactions/steps into seconds at the C1060's clock.
+
+The simulator is *functional* as well as costed: the warp-parallel B-tree
+node search of Fig 7 (:func:`repro.gpusim.reduction.warp_find_slot`) really
+executes 32 lanes and a log₂32-step reduction, and the test suite checks it
+agrees with the CPU binary search on every node.
+"""
+
+from repro.gpusim.costmodel import GPUSpec, TESLA_C1060
+from repro.gpusim.device import Device
+from repro.gpusim.kernel import KernelLaunch, KernelResult, WorkItem
+from repro.gpusim.memory import SharedMemory, coalesced_transactions
+from repro.gpusim.reduction import warp_find_slot, warp_reduce_min
+from repro.gpusim.warp import WarpExecutor
+
+__all__ = [
+    "GPUSpec",
+    "TESLA_C1060",
+    "Device",
+    "WarpExecutor",
+    "SharedMemory",
+    "coalesced_transactions",
+    "warp_find_slot",
+    "warp_reduce_min",
+    "KernelLaunch",
+    "KernelResult",
+    "WorkItem",
+]

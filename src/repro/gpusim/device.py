@@ -1,0 +1,93 @@
+"""A whole GPU: device memory, PCIe transfers, kernel launches.
+
+:class:`Device` tracks device-memory occupancy (the C1060's 4GB bounds how
+much parsed stream a single run can ship to one GPU — the engine sizes its
+runs against this), times host↔device transfers (the pre-processing and
+post-processing steps that Section IV.B notes limit multi-GPU indexer
+performance), and launches indexing kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpusim.costmodel import GPUSpec, TESLA_C1060
+from repro.gpusim.kernel import KernelLaunch, KernelResult, WorkItem
+
+__all__ = ["Device", "TransferRecord"]
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One host↔device copy."""
+
+    direction: str  # "h2d" or "d2h"
+    nbytes: int
+    seconds: float
+
+
+@dataclass
+class Device:
+    """One simulated GPU."""
+
+    device_id: int = 0
+    spec: GPUSpec = TESLA_C1060
+    allocated_bytes: int = 0
+    transfers: list[TransferRecord] = field(default_factory=list)
+    kernel_seconds: float = 0.0
+    launches: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Device memory
+    # ------------------------------------------------------------------ #
+
+    def alloc(self, nbytes: int) -> None:
+        """Reserve device memory; raises when the 4GB card is full."""
+        if self.allocated_bytes + nbytes > self.spec.device_memory_bytes:
+            raise MemoryError(
+                f"GPU {self.device_id}: allocation of {nbytes} bytes exceeds "
+                f"device memory ({self.allocated_bytes} of "
+                f"{self.spec.device_memory_bytes} in use)"
+            )
+        self.allocated_bytes += nbytes
+
+    def free_all(self) -> None:
+        """Release run-scoped allocations."""
+        self.allocated_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # Transfers
+    # ------------------------------------------------------------------ #
+
+    def transfer_to_device(self, nbytes: int) -> float:
+        """Pre-processing copy (parsed streams → device); returns seconds."""
+        self.alloc(nbytes)
+        seconds = self.spec.transfer_seconds(nbytes)
+        self.transfers.append(TransferRecord("h2d", nbytes, seconds))
+        return seconds
+
+    def transfer_from_device(self, nbytes: int) -> float:
+        """Post-processing copy (postings → host); returns seconds."""
+        seconds = self.spec.transfer_seconds(nbytes)
+        self.transfers.append(TransferRecord("d2h", nbytes, seconds))
+        return seconds
+
+    # ------------------------------------------------------------------ #
+    # Kernels
+    # ------------------------------------------------------------------ #
+
+    def launch(
+        self,
+        items: list[WorkItem],
+        num_blocks: int = 480,
+        schedule: str = "dynamic",
+    ) -> KernelResult:
+        """Run one indexing kernel over the given trie-collection work."""
+        result = KernelLaunch(self.spec, num_blocks=num_blocks, schedule=schedule).run(items)
+        self.kernel_seconds += result.elapsed_seconds
+        self.launches += 1
+        return result
+
+    @property
+    def transfer_seconds_total(self) -> float:
+        return sum(t.seconds for t in self.transfers)

@@ -1,0 +1,143 @@
+"""Device-memory coalescing and shared-memory bank-conflict accounting.
+
+The paper's two GPU memory rules (Section I):
+
+1. Device-memory bandwidth "is achieved only when simultaneous accesses
+   are coalesced into contiguous 16-word lines" — so the half-warp's
+   addresses must fall in aligned 64-byte windows, and every extra window
+   is an extra transaction.
+2. Shared memory has 16 banks; "the eight cores will be fully utilized as
+   long as operands in the shared memory reside in different banks ... or
+   access the same location from a bank" (broadcast).  Conflicting lanes
+   serialize into extra passes.
+
+Both rules are implemented literally here so the GPU indexer's access
+patterns can be audited and costed; tests drive them with the classic
+conflict/broadcast patterns.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+__all__ = ["coalesced_transactions", "SharedMemory", "half_warp_transactions"]
+
+WORD_BYTES = 4
+LINE_BYTES = 64  # 16 words
+HALF_WARP = 16
+
+
+def half_warp_transactions(addresses: Sequence[int]) -> int:
+    """Memory transactions for one half-warp's word addresses.
+
+    Each distinct aligned 64-byte line touched costs one transaction; a
+    fully coalesced access (16 consecutive words in one line) costs one.
+    """
+    if not addresses:
+        return 0
+    return len({addr // LINE_BYTES for addr in addresses})
+
+
+def coalesced_transactions(start: int, nbytes: int) -> int:
+    """Transactions to stream ``nbytes`` starting at byte ``start``.
+
+    This is the cost the warp pays to pull one B-tree node (512B → 8
+    transactions when 64-byte aligned) or one 512B string chunk into
+    shared memory.
+    """
+    if nbytes <= 0:
+        return 0
+    first = start // LINE_BYTES
+    last = (start + nbytes - 1) // LINE_BYTES
+    return last - first + 1
+
+
+class SharedMemory:
+    """A 16KB, 16-bank shared memory with conflict accounting.
+
+    Functional: data can be staged and read back (the warp B-tree search
+    stages nodes and string chunks here).  Cost: every half-warp access
+    pattern is scored in *passes* — 1 for conflict-free or broadcast, k for
+    a k-way bank conflict.
+    """
+
+    def __init__(self, size_bytes: int = 16 * 1024, banks: int = HALF_WARP) -> None:
+        self.size_bytes = size_bytes
+        self.banks = banks
+        self.data = bytearray(size_bytes)
+        #: Total serialized passes over all accesses (cost-model input).
+        self.access_passes = 0
+        #: Number of half-warp access patterns scored.
+        self.access_count = 0
+        #: Bytes currently allocated by the resident block.
+        self.allocated = 0
+
+    # ------------------------------------------------------------------ #
+    # Allocation (per thread block residency)
+    # ------------------------------------------------------------------ #
+
+    def alloc(self, nbytes: int) -> int:
+        """Reserve ``nbytes``; returns the base offset.
+
+        A thread block whose allocations exceed 16KB would not launch on
+        real hardware, so we raise instead of silently spilling.
+        """
+        if self.allocated + nbytes > self.size_bytes:
+            raise MemoryError(
+                f"shared memory exhausted: {self.allocated} + {nbytes} "
+                f"> {self.size_bytes} bytes"
+            )
+        base = self.allocated
+        self.allocated += nbytes
+        return base
+
+    def reset(self) -> None:
+        """Release all allocations (block retired)."""
+        self.allocated = 0
+
+    # ------------------------------------------------------------------ #
+    # Functional staging
+    # ------------------------------------------------------------------ #
+
+    def store(self, offset: int, payload: bytes) -> None:
+        if offset + len(payload) > self.size_bytes:
+            raise MemoryError("store past end of shared memory")
+        self.data[offset : offset + len(payload)] = payload
+
+    def load(self, offset: int, nbytes: int) -> bytes:
+        return bytes(self.data[offset : offset + nbytes])
+
+    # ------------------------------------------------------------------ #
+    # Bank-conflict scoring
+    # ------------------------------------------------------------------ #
+
+    def bank_of(self, byte_offset: int) -> int:
+        return (byte_offset // WORD_BYTES) % self.banks
+
+    def access(self, word_offsets: Iterable[int]) -> int:
+        """Score one half-warp access; returns serialized passes.
+
+        ``word_offsets`` are byte offsets (word-aligned) accessed by the
+        active lanes.  Lanes reading the *same word* broadcast (1 pass);
+        lanes hitting the same bank at different words serialize.
+        """
+        per_bank: dict[int, set[int]] = {}
+        for off in word_offsets:
+            per_bank.setdefault(self.bank_of(off), set()).add(off // WORD_BYTES)
+        passes = max((len(words) for words in per_bank.values()), default=0)
+        passes = max(passes, 1) if per_bank else 0
+        self.access_passes += passes
+        self.access_count += 1
+        return passes
+
+    def conflict_degree(self, word_offsets: Sequence[int]) -> int:
+        """Max same-bank distinct-word count (1 = conflict free)."""
+        counts = Counter()
+        seen: set[tuple[int, int]] = set()
+        for off in word_offsets:
+            key = (self.bank_of(off), off // WORD_BYTES)
+            if key not in seen:
+                seen.add(key)
+                counts[key[0]] += 1
+        return max(counts.values(), default=0)

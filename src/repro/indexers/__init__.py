@@ -1,0 +1,39 @@
+"""CPU and GPU indexers plus the Section III.E load balancer.
+
+An *indexer* consumes per-collection parsed streams (the output of Step 5
+regrouping) and builds its exclusive shard of the dictionary plus the
+postings lists.  The paper runs some indexers as CPU threads (the
+*popular* trie collections, whose hot B-tree paths live in cache) and the
+rest as GPU kernels (the long tail of *unpopular* collections, where warp
+parallelism inside each node wins).
+
+- :mod:`repro.indexers.base` — shared stream-consumption logic + stats.
+- :mod:`repro.indexers.cpu` — the CPU indexer thread (Section III.D.1).
+- :mod:`repro.indexers.gpu` — the warp B-tree indexer (Section III.D.2),
+  running against :mod:`repro.gpusim`.
+- :mod:`repro.indexers.assignment` — sampling, popular/unpopular
+  classification, token-balanced CPU split and ``i mod N₂`` GPU split
+  (Section III.E).
+"""
+
+from repro.indexers.assignment import (
+    PopularityPolicy,
+    WorkAssignment,
+    build_assignment,
+    sample_collection,
+)
+from repro.indexers.base import BaseIndexer, IndexerReport
+from repro.indexers.cpu import CPUIndexer
+from repro.indexers.gpu import GPUBatchReport, GPUIndexer
+
+__all__ = [
+    "BaseIndexer",
+    "IndexerReport",
+    "CPUIndexer",
+    "GPUIndexer",
+    "GPUBatchReport",
+    "sample_collection",
+    "PopularityPolicy",
+    "WorkAssignment",
+    "build_assignment",
+]

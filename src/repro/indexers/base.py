@@ -1,0 +1,130 @@
+"""Shared indexer machinery.
+
+Every indexer — CPU thread or GPU kernel — does the same functional job
+(Fig 4): for each trie collection it owns, insert each term suffix into
+the collection's B-tree and append the occurrence to the term's postings
+list, using the global document ID (local ID + the offset the pipeline
+assigns when the buffer is consumed).
+
+:class:`IndexerReport` carries the Table V accounting (tokens, terms,
+characters routed to this indexer) plus the B-tree work deltas the cost
+models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dictionary.btree import BTreeStats
+from repro.dictionary.dictionary import DictionaryShard
+from repro.parsing.regroup import ParsedBatch
+from repro.postings.lists import PostingsAccumulator
+
+__all__ = ["BaseIndexer", "IndexerReport"]
+
+
+@dataclass
+class IndexerReport:
+    """Work performed by one indexer over one batch (or accumulated)."""
+
+    tokens: int = 0
+    new_terms: int = 0
+    characters: int = 0
+    documents: int = 0
+    collections: int = 0
+    btree: BTreeStats = field(default_factory=BTreeStats)
+    #: Modeled execution time in simulated seconds (filled by cost models).
+    modeled_seconds: float = 0.0
+
+    def merge(self, other: "IndexerReport") -> None:
+        self.tokens += other.tokens
+        self.new_terms += other.new_terms
+        self.characters += other.characters
+        self.documents += other.documents
+        self.collections += other.collections
+        self.btree.merge(other.btree)
+        self.modeled_seconds += other.modeled_seconds
+
+
+class BaseIndexer:
+    """Common stream-consumption logic for CPU and GPU indexers.
+
+    Parameters
+    ----------
+    indexer_id:
+        Unique across the engine; also the dictionary shard id, which
+        partitions the term-id space.
+    shard:
+        The exclusive dictionary shard this indexer owns.
+    """
+
+    kind = "base"
+
+    def __init__(self, indexer_id: int, shard: DictionaryShard) -> None:
+        self.indexer_id = indexer_id
+        self.shard = shard
+        self.accumulator = PostingsAccumulator()
+        self.total = IndexerReport()
+
+    # ------------------------------------------------------------------ #
+
+    def owns(self, collection_index: int) -> bool:
+        return self.shard.owned is None or collection_index in self.shard.owned
+
+    def _owned_collections(self, batch: ParsedBatch) -> list[int]:
+        return [cidx for cidx in batch.collections if self.owns(cidx)]
+
+    def _index_collection(
+        self,
+        cidx: int,
+        stream: list[tuple[int, list[bytes]]],
+        doc_offset: int,
+        positions: list[list[int]] | None = None,
+    ) -> IndexerReport:
+        """Consume one trie collection's stream; returns the work report.
+
+        This is the inner loop of Fig 4: every suffix is inserted into the
+        collection's B-tree (getting the postings pointer) and the
+        occurrence appended under the *global* document ID.  When the
+        parser supplied ``positions`` (parallel to ``stream``), each
+        occurrence also records its in-document token position.
+        """
+        tree = self.shard.tree_for(cidx)
+        before = BTreeStats()
+        before.merge(tree.stats)
+        terms_before = tree.term_count
+
+        add_occurrence = self.accumulator.add_occurrence
+        insert = tree.insert
+        report = IndexerReport(collections=1)
+        for i, (local_doc, suffixes) in enumerate(stream):
+            global_doc = doc_offset + local_doc
+            report.documents += 1
+            doc_positions = positions[i] if positions is not None else None
+            for j, suffix in enumerate(suffixes):
+                term_id, _ = insert(suffix)
+                add_occurrence(
+                    term_id,
+                    global_doc,
+                    doc_positions[j] if doc_positions is not None else None,
+                )
+                report.characters += len(suffix)
+            report.tokens += len(suffixes)
+
+        report.new_terms = tree.term_count - terms_before
+        delta = BTreeStats()
+        delta.merge(tree.stats)
+        for name in BTreeStats.__dataclass_fields__:
+            setattr(delta, name, getattr(delta, name) - getattr(before, name))
+        report.btree = delta
+        return report
+
+    def index_batch(self, batch: ParsedBatch, doc_offset: int) -> IndexerReport:
+        """Consume all owned collections of one parsed buffer."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+
+    def drain_postings(self):
+        """End-of-run handoff of accumulated postings (Fig 8)."""
+        return self.accumulator.drain()

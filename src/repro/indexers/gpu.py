@@ -1,0 +1,215 @@
+"""The GPU indexer (Section III.D.2), running on the SIMT simulator.
+
+One thread block (one 32-thread warp) builds one trie collection's B-tree
+at a time:
+
+1. term strings are staged from device memory into shared memory in
+   coalesced 512-byte chunks (Fig 6 layout);
+2. each node on the root-to-leaf path is loaded into shared memory with a
+   coalesced 512-byte stream (the degree-16 node exists *because* 31 keys
+   match the warp);
+3. all 31 key comparisons happen in one SIMD step against the 4-byte
+   caches, followed by a log₂32-step parallel reduction (Fig 7) to find
+   the slot — a cache tie forces an uncoalesced full-string fetch;
+4. inserts shift larger keys right in parallel and write the node back;
+   preemptive splits copy half the node into a new sibling.
+
+Two fidelity modes produce **identical indexes and identical cycle
+charges**:
+
+- ``fidelity="fast"`` (default) lets the shared ``BTree`` do slot search
+  with binary comparison while cycles are charged from the op deltas —
+  the right trade for corpus-scale runs;
+- ``fidelity="warp"`` installs a ``find_slot_hook`` that literally runs
+  :func:`~repro.gpusim.reduction.warp_find_slot` on every node visit, for
+  tests and demonstrations.
+
+The per-collection cycle totals become :class:`~repro.gpusim.kernel.WorkItem`
+entries; a simulated kernel launch (dynamic round-robin over 480 blocks)
+turns them into elapsed seconds, and PCIe transfers for input streams and
+output postings are timed by the :class:`~repro.gpusim.device.Device` —
+the pre/post-processing serialization the paper calls out as the limit on
+multi-GPU scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dictionary.btree import BTree, BTreeNode, BTreeStats
+from repro.gpusim.device import Device
+from repro.gpusim.kernel import KernelResult, WorkItem
+from repro.gpusim.reduction import warp_find_slot
+from repro.gpusim.warp import WarpCounters, WarpExecutor
+from repro.indexers.base import BaseIndexer, IndexerReport
+from repro.parsing.regroup import ParsedBatch
+
+__all__ = ["GPUIndexer", "GPUBatchReport"]
+
+#: Estimated device-side bytes per posting entry shipped back to the host.
+_POSTING_BYTES = 8
+#: Average suffix bytes fetched on a cache tie (full-string dereference).
+_AVG_FETCH_BYTES = 8
+
+
+@dataclass
+class GPUBatchReport:
+    """One batch's GPU-side outcome."""
+
+    report: IndexerReport
+    kernel: KernelResult | None = None
+    h2d_seconds: float = 0.0
+    d2h_seconds: float = 0.0
+    work_items: list[WorkItem] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        kernel_s = self.kernel.elapsed_seconds if self.kernel else 0.0
+        return kernel_s + self.h2d_seconds + self.d2h_seconds
+
+
+class GPUIndexer(BaseIndexer):
+    """One GPU's indexer: a grid of warp thread blocks."""
+
+    kind = "gpu"
+
+    def __init__(
+        self,
+        indexer_id,
+        shard,
+        device: Device | None = None,
+        num_blocks: int = 480,
+        schedule: str = "dynamic",
+        fidelity: str = "fast",
+    ) -> None:
+        super().__init__(indexer_id, shard)
+        self.device = device if device is not None else Device(device_id=indexer_id)
+        self.num_blocks = num_blocks
+        self.schedule = schedule
+        if fidelity not in ("fast", "warp"):
+            raise ValueError(f"fidelity must be 'fast' or 'warp', got {fidelity!r}")
+        self.fidelity = fidelity
+        self.warp_counters = WarpCounters()
+        self.batch_reports: list[GPUBatchReport] = []
+
+    # ------------------------------------------------------------------ #
+    # Warp-fidelity slot search (Fig 7, executed literally)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _warp_hook(tree: BTree, query: bytes, query4: bytes, node: BTreeNode):
+        """``find_slot_hook`` running the parallel compare + reduction.
+
+        The lane comparator delegates to the tree's cached comparison so
+        the cache/full-fetch statistics stay identical to binary search
+        *semantics*; the warp, of course, compares every key.
+        """
+        # Lane i's "key" is just its index; the comparator closes over the
+        # node and runs the cached compare for that slot.
+        lane_keys = list(range(node.nkeys))
+
+        def compare(q: bytes, lane: int) -> int:
+            return tree._compare(q, query4, node, lane)
+
+        return warp_find_slot(query, lane_keys, compare=compare)
+
+    # ------------------------------------------------------------------ #
+    # Functional indexing + cycle charging
+    # ------------------------------------------------------------------ #
+
+    def index_batch(self, batch: ParsedBatch, doc_offset: int) -> GPUBatchReport:
+        """Consume owned collections; simulate transfers + kernel launch."""
+        if batch.ungrouped is not None:
+            raise ValueError(
+                "the GPU indexer requires regrouped parser output: one thread "
+                "block processes one trie collection at a time"
+            )
+        owned = self._owned_collections(batch)
+        report = IndexerReport()
+        items: list[WorkItem] = []
+
+        # Pre-processing: ship this batch's owned streams to device memory
+        # in the Fig 6 length-prefixed layout.
+        h2d_bytes = 0
+        for cidx in owned:
+            for _, suffixes in batch.collections[cidx]:
+                h2d_bytes += sum(len(s) + 1 for s in suffixes) + 8  # +docID header
+        self.device.free_all()
+        h2d_seconds = self.device.transfer_to_device(h2d_bytes) if h2d_bytes else 0.0
+
+        for cidx in owned:
+            warp = WarpExecutor(self.device.spec)
+            tree = self.shard.tree_for(cidx)
+            if self.fidelity == "warp":
+                tree.find_slot_hook = self._warp_hook
+            try:
+                positions = batch.positions.get(cidx) if batch.positions else None
+                sub = self._index_collection(
+                    cidx, batch.collections[cidx], doc_offset, positions
+                )
+            finally:
+                tree.find_slot_hook = None
+            self._charge_collection(warp, sub.btree, sub.characters, sub.tokens)
+            sub.modeled_seconds = self.device.spec.seconds(warp.counters.total_cycles)
+            report.merge(sub)
+            self.warp_counters.merge(warp.counters)
+            items.append(
+                WorkItem(
+                    key=cidx,
+                    compute_cycles=warp.counters.compute_cycles,
+                    memory_stall_cycles=warp.counters.memory_stall_cycles,
+                    bus_cycles=warp.counters.bus_cycles,
+                )
+            )
+
+        kernel = (
+            self.device.launch(items, num_blocks=self.num_blocks, schedule=self.schedule)
+            if items
+            else None
+        )
+        # Post-processing: postings generated this batch flow back to the
+        # host for the run writer.
+        d2h_bytes = report.tokens * _POSTING_BYTES
+        d2h_seconds = self.device.transfer_from_device(d2h_bytes) if d2h_bytes else 0.0
+
+        self.total.merge(report)
+        out = GPUBatchReport(
+            report=report,
+            kernel=kernel,
+            h2d_seconds=h2d_seconds,
+            d2h_seconds=d2h_seconds,
+            work_items=items,
+        )
+        self.batch_reports.append(out)
+        return out
+
+    def _charge_collection(
+        self, warp: WarpExecutor, delta: BTreeStats, characters: int, tokens: int
+    ) -> None:
+        """Charge warp cycles for one collection's B-tree op deltas.
+
+        Identical totals in both fidelity modes: events, not wall time,
+        drive the charges.
+        """
+        # Stage the collection's term strings through shared memory in
+        # 512B coalesced chunks.
+        stream_bytes = characters + tokens  # + length prefixes
+        if stream_bytes:
+            warp.load_string_chunk(count=-(-stream_bytes // 512))
+        # Per node visit: coalesced node load + one SIMD compare step
+        # against the 4-byte caches + the Fig 7 reduction.
+        if delta.node_visits:
+            warp.load_node(count=delta.node_visits)
+            warp.parallel_compare(count=delta.node_visits)
+            warp.reduce(count=delta.node_visits)
+        # Cache ties dereference the full string (uncoalesced).
+        if delta.full_string_fetches:
+            warp.fetch_full_string(_AVG_FETCH_BYTES, count=delta.full_string_fetches)
+        # Inserts shift larger keys right and dirty the node.
+        if delta.inserts:
+            warp.shift(0, count=delta.inserts)
+            warp.writeback_node(count=delta.inserts)
+        if delta.splits:
+            warp.split(count=delta.splits)
+        # Scalar bookkeeping: doc-ID handling, postings append per token.
+        warp.scalar_op(steps=2 * tokens)

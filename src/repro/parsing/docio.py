@@ -1,0 +1,71 @@
+"""Step 1 of the parser: file read, decompression, document-ID assignment.
+
+"Step 1 reads files from disk, decompresses them if necessary, assigns a
+local document ID to each document, and builds a table containing
+``<document ID, document location on disk>`` mapping."
+
+Local IDs are dense integers starting at 0 within one parsed file; the
+pipeline later adds the global offset.  The doc table rows keep the source
+file and byte offset so the paper's docID→location lookups are possible.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.corpus.warc import read_packed_file
+
+__all__ = ["DocTableEntry", "LoadedFile", "load_collection_file"]
+
+
+@dataclass(frozen=True)
+class DocTableEntry:
+    """One row of the ``<document ID, location>`` table."""
+
+    local_doc_id: int
+    source_file: str
+    uri: str
+    offset: int
+
+
+@dataclass
+class LoadedFile:
+    """A decompressed collection file ready for tokenization."""
+
+    path: str
+    texts: list[str]
+    doc_table: list[DocTableEntry]
+    compressed_bytes: int
+    uncompressed_bytes: int
+
+    @property
+    def num_docs(self) -> int:
+        return len(self.texts)
+
+
+def load_collection_file(path: str) -> LoadedFile:
+    """Read + decompress one container file and assign local doc IDs."""
+    docs = read_packed_file(path)
+    compressed = os.path.getsize(path)
+    texts: list[str] = []
+    table: list[DocTableEntry] = []
+    uncompressed = 0
+    for local_id, doc in enumerate(docs):
+        texts.append(doc.text)
+        uncompressed += len(doc.text.encode("utf-8"))
+        table.append(
+            DocTableEntry(
+                local_doc_id=local_id,
+                source_file=os.path.basename(path),
+                uri=doc.uri,
+                offset=doc.offset,
+            )
+        )
+    return LoadedFile(
+        path=path,
+        texts=texts,
+        doc_table=table,
+        compressed_bytes=compressed,
+        uncompressed_bytes=uncompressed,
+    )

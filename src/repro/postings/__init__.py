@@ -1,0 +1,58 @@
+"""Postings lists, compression codecs, and the paper's run-output format.
+
+Section II notes that "almost all the above strategies perform compression
+on the postings lists": document IDs are sorted inside each list, so gaps
+between neighbours are encoded with variable-byte, Elias-γ, or Golomb codes.
+Section III.F defines the on-disk layout: one output file per *run* whose
+header holds a mapping table from postings pointers to (offset, length)
+pairs, plus an auxiliary file mapping document-ID ranges to run files so a
+query restricted to a docID range touches only overlapping partial lists.
+
+- :mod:`repro.postings.compression` — gap transform + the three codecs.
+- :mod:`repro.postings.lists` — in-memory accumulation during a run.
+- :mod:`repro.postings.output` — run files with header mapping tables.
+- :mod:`repro.postings.reader` — term → merged postings across runs.
+- :mod:`repro.postings.merge` — the optional post-processing step that
+  splices partial lists into one monolithic list per term.
+"""
+
+from repro.postings.compression import (
+    CODECS,
+    EliasGammaCodec,
+    GolombCodec,
+    PostingsCodec,
+    VarByteCodec,
+    VarBytePositionalCodec,
+    decode_uvarint,
+    encode_uvarint,
+    from_gaps,
+    get_codec,
+    to_gaps,
+)
+from repro.postings.doctable import DocTable, DocTableRow
+from repro.postings.lists import PostingsAccumulator, PostingsList
+from repro.postings.merge import merge_index
+from repro.postings.output import DocRangeMap, RunWriter
+from repro.postings.reader import PostingsReader
+
+__all__ = [
+    "PostingsCodec",
+    "VarByteCodec",
+    "VarBytePositionalCodec",
+    "EliasGammaCodec",
+    "GolombCodec",
+    "CODECS",
+    "get_codec",
+    "to_gaps",
+    "from_gaps",
+    "encode_uvarint",
+    "decode_uvarint",
+    "PostingsList",
+    "PostingsAccumulator",
+    "RunWriter",
+    "DocRangeMap",
+    "DocTable",
+    "DocTableRow",
+    "PostingsReader",
+    "merge_index",
+]

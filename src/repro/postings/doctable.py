@@ -1,0 +1,88 @@
+"""The global ``<document ID, document location>`` table.
+
+Step 1 of every parser "builds a table containing <document ID, document
+location on disk> mapping" (Fig 3), and the output format's docID-range
+narrowing relies on "an auxiliary file containing the mapping of document
+IDs to output file names".  This module persists the *document* side of
+that metadata: for every global document ID, the source collection file,
+the document's URI, and its byte offset inside the (uncompressed)
+container — enough to fetch the original document for result display.
+
+On disk: ``doctable.tsv``, one row per document in global-ID order.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["DocTable", "DocTableRow", "DOCTABLE_FILENAME"]
+
+DOCTABLE_FILENAME = "doctable.tsv"
+
+
+@dataclass(frozen=True)
+class DocTableRow:
+    """One document's location record."""
+
+    doc_id: int
+    source_file: str
+    uri: str
+    offset: int
+
+
+class DocTable:
+    """Append-ordered document location table."""
+
+    def __init__(self) -> None:
+        self.rows: list[DocTableRow] = []
+
+    def add(self, source_file: str, uri: str, offset: int) -> int:
+        """Append the next document; returns its global ID."""
+        doc_id = len(self.rows)
+        self.rows.append(DocTableRow(doc_id, source_file, uri, offset))
+        return doc_id
+
+    def lookup(self, doc_id: int) -> DocTableRow:
+        """Location of a global document ID."""
+        if not 0 <= doc_id < len(self.rows):
+            raise KeyError(f"document {doc_id} not in table (0..{len(self.rows) - 1})")
+        return self.rows[doc_id]
+
+    def documents_in_file(self, source_file: str) -> list[DocTableRow]:
+        """All documents that came from one collection file."""
+        return [r for r in self.rows if r.source_file == source_file]
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, output_dir: str) -> str:
+        """Write ``doctable.tsv`` into the index directory."""
+        path = os.path.join(output_dir, DOCTABLE_FILENAME)
+        with open(path, "w", encoding="utf-8") as fh:
+            for row in self.rows:
+                fh.write(f"{row.doc_id}\t{row.source_file}\t{row.uri}\t{row.offset}\n")
+        return path
+
+    @classmethod
+    def load(cls, output_dir: str) -> "DocTable":
+        """Read ``doctable.tsv`` back into memory."""
+        path = os.path.join(output_dir, DOCTABLE_FILENAME)
+        table = cls()
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                doc_id_s, source_file, uri, offset_s = line.rstrip("\n").split("\t")
+                row = DocTableRow(int(doc_id_s), source_file, uri, int(offset_s))
+                if row.doc_id != len(table.rows):
+                    raise ValueError(f"doctable corrupt: expected id {len(table.rows)}")
+                table.rows.append(row)
+        return table
+
+    @classmethod
+    def exists(cls, output_dir: str) -> bool:
+        """Whether an index directory carries a doc table."""
+        return os.path.exists(os.path.join(output_dir, DOCTABLE_FILENAME))
+
+    def __len__(self) -> int:
+        return len(self.rows)

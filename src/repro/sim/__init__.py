@@ -1,0 +1,29 @@
+"""Discrete-event simulation of the pipeline (the threading substitute).
+
+The paper's throughput numbers come from eight real cores and two real
+GPUs running concurrently; CPython threads cannot reproduce that, so the
+pipeline's *timing* runs on a small discrete-event simulator while the
+*work* is executed functionally (see DESIGN.md §5).
+
+- :mod:`repro.sim.events` — the event loop: processes are generators that
+  yield :class:`Timeout`, resource :class:`Request` or buffer
+  :class:`Put`/:class:`Get` effects (a dependency-free miniature of the
+  SimPy model).
+- :mod:`repro.sim.resources` — capacity resources (CPU cores, the
+  single-reader disk token, PCIe) and bounded FIFO stores (parser output
+  buffers).
+"""
+
+from repro.sim.events import Get, Process, Put, Request, Simulator, Timeout
+from repro.sim.resources import Resource, Store
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Timeout",
+    "Request",
+    "Put",
+    "Get",
+    "Resource",
+    "Store",
+]

@@ -1,0 +1,184 @@
+"""A miniature generator-based discrete-event simulator.
+
+Processes are plain Python generators.  Each ``yield`` hands the simulator
+an *effect*; the simulator resumes the generator (optionally sending a
+value) when the effect completes:
+
+- ``yield Timeout(dt)`` — resume after ``dt`` simulated seconds;
+- ``yield Request(resource)`` — resume once a capacity slot is granted
+  (release with ``resource.release()``);
+- ``yield Put(store, item)`` — resume once the bounded store accepts the
+  item (this is how a full parser buffer back-pressures its parser);
+- ``yield Get(store)`` — resume with the next item in FIFO order.
+
+The loop is deterministic: events fire in (time, sequence) order, so two
+runs of the same pipeline give identical timelines — a property the
+hypothesis tests lean on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Generator, Iterator
+
+__all__ = ["Simulator", "Process", "Timeout", "Request", "Put", "Get"]
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Sleep for ``delay`` simulated seconds."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"negative timeout {self.delay}")
+
+
+@dataclass(frozen=True)
+class Request:
+    """Acquire one capacity slot of a resource (FIFO)."""
+
+    resource: Any  # repro.sim.resources.Resource
+
+
+@dataclass(frozen=True)
+class Put:
+    """Offer ``item`` to a bounded store; blocks while full."""
+
+    store: Any  # repro.sim.resources.Store
+    item: Any
+
+
+@dataclass(frozen=True)
+class Get:
+    """Take the oldest item from a store; blocks while empty."""
+
+    store: Any
+
+
+@dataclass
+class Process:
+    """A running generator with liveness bookkeeping."""
+
+    pid: int
+    name: str
+    generator: Generator
+    finished: bool = False
+    finish_time: float | None = None
+    result: Any = None
+
+
+class Simulator:
+    """The event loop."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Process, Any]] = []
+        self._seq = 0
+        self._processes: list[Process] = []
+        self._trace: list[tuple[float, str, str]] = []
+        self.trace_enabled = False
+
+    # ------------------------------------------------------------------ #
+    # Process management
+    # ------------------------------------------------------------------ #
+
+    def add_process(self, generator: Iterator, name: str = "proc") -> Process:
+        """Register a generator as a process starting at the current time."""
+        proc = Process(pid=len(self._processes), name=name, generator=generator)
+        self._processes.append(proc)
+        self._push(self.now, proc, None)
+        return proc
+
+    def _push(self, when: float, proc: Process, send_value: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, proc, send_value))
+
+    def _log(self, proc: Process, what: str) -> None:
+        if self.trace_enabled:
+            self._trace.append((self.now, proc.name, what))
+
+    @property
+    def trace(self) -> list[tuple[float, str, str]]:
+        return list(self._trace)
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+
+    def run(self, until: float | None = None) -> float:
+        """Run to quiescence (or ``until``); returns the final sim time.
+
+        Raises :class:`RuntimeError` on deadlock — live processes waiting
+        on effects nobody will complete (e.g. a Get on a store no producer
+        ever fills).  Pipeline bugs surface here instead of hanging.
+        """
+        while self._heap:
+            when, _, proc, send_value = heapq.heappop(self._heap)
+            if until is not None and when > until:
+                # Put the event back and stop at the horizon.
+                self._push(when, proc, send_value)
+                self.now = until
+                return self.now
+            self.now = when
+            self._step(proc, send_value)
+        blocked = [p for p in self._processes if not p.finished and p.pid in self._parked]
+        if blocked:
+            names = ", ".join(p.name for p in blocked)
+            raise RuntimeError(f"deadlock: processes blocked forever: {names}")
+        return self.now
+
+    # ------------------------------------------------------------------ #
+    # Effect dispatch
+    # ------------------------------------------------------------------ #
+
+    @property
+    def _parked(self) -> set[int]:
+        parked = getattr(self, "_parked_set", None)
+        if parked is None:
+            parked = set()
+            self._parked_set = parked
+        return parked
+
+    def _step(self, proc: Process, send_value: Any) -> None:
+        self._parked.discard(proc.pid)
+        try:
+            effect = proc.generator.send(send_value)
+        except StopIteration as stop:
+            proc.finished = True
+            proc.finish_time = self.now
+            proc.result = stop.value
+            self._log(proc, "finished")
+            return
+        if isinstance(effect, Timeout):
+            self._log(proc, f"timeout {effect.delay:.6f}")
+            self._push(self.now + effect.delay, proc, None)
+        elif isinstance(effect, Request):
+            self._log(proc, f"request {effect.resource.name}")
+            granted_now = effect.resource._request(self, proc)
+            if granted_now:
+                self._push(self.now, proc, None)
+            else:
+                self._parked.add(proc.pid)
+        elif isinstance(effect, Put):
+            self._log(proc, f"put -> {effect.store.name}")
+            accepted_now = effect.store._put(self, proc, effect.item)
+            if not accepted_now:
+                self._parked.add(proc.pid)
+        elif isinstance(effect, Get):
+            self._log(proc, f"get <- {effect.store.name}")
+            got_now = effect.store._get(self, proc)
+            if not got_now:
+                self._parked.add(proc.pid)
+        else:
+            raise TypeError(
+                f"process {proc.name} yielded {effect!r}; expected Timeout, "
+                "Request, Put or Get"
+            )
+
+    # Called by resources/stores when a parked process can continue.
+    def _resume(self, proc: Process, send_value: Any = None) -> None:
+        self._parked.discard(proc.pid)
+        self._push(self.now, proc, send_value)

@@ -1,0 +1,141 @@
+"""Resources and bounded stores for the pipeline simulation.
+
+- :class:`Resource` models exclusive or limited hardware: the single disk
+  whose reads the paper's scheduler serializes ("a scheduler is used to
+  organize the reads of the different parsers, one at a time"), and the
+  PCIe bus that serializes pre/post-processing transfers.
+- :class:`Store` models parser output buffers: bounded FIFO queues where a
+  full buffer back-pressures its parser and an empty one makes the
+  indexing stage wait (those waits are the "gap" rows of Table IV).
+
+Both keep utilization accounting so reports can show disk busy time,
+per-resource queue delays, and buffer occupancy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sim.events import Process, Simulator
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A FIFO capacity resource (``capacity=1`` → mutex, e.g. the disk)."""
+
+    def __init__(self, name: str, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: deque[Process] = deque()
+        self._sim: Simulator | None = None
+        # Accounting.
+        self.total_wait_s = 0.0
+        self.grants = 0
+        self._wait_started: dict[int, float] = {}
+        self.busy_s = 0.0
+        self._grant_time: dict[int, float] = {}
+
+    # Called by the simulator on `yield Request(resource)`.
+    def _request(self, sim: Simulator, proc: Process) -> bool:
+        self._sim = sim
+        if self.in_use < self.capacity:
+            self._grant(sim, proc)
+            return True
+        self._waiters.append(proc)
+        self._wait_started[proc.pid] = sim.now
+        return False
+
+    def _grant(self, sim: Simulator, proc: Process) -> None:
+        self.in_use += 1
+        self.grants += 1
+        self._grant_time[proc.pid] = sim.now
+        waited_since = self._wait_started.pop(proc.pid, None)
+        if waited_since is not None:
+            self.total_wait_s += sim.now - waited_since
+
+    def release(self, proc: Process | None = None) -> None:
+        """Release one slot (call from the owning process's code)."""
+        if self.in_use <= 0:
+            raise RuntimeError(f"release of idle resource {self.name}")
+        self.in_use -= 1
+        if proc is not None:
+            start = self._grant_time.pop(proc.pid, None)
+            if start is not None and self._sim is not None:
+                self.busy_s += self._sim.now - start
+        if self._waiters and self._sim is not None:
+            nxt = self._waiters.popleft()
+            self._grant(self._sim, nxt)
+            self._sim._resume(nxt)
+
+
+@dataclass
+class Store:
+    """A bounded FIFO store (parser output buffer)."""
+
+    name: str
+    capacity: int = 2
+    items: deque = field(default_factory=deque)
+    _put_waiters: deque = field(default_factory=deque)  # (proc, item)
+    _get_waiters: deque = field(default_factory=deque)
+    puts: int = 0
+    gets: int = 0
+    producer_blocked_s: float = 0.0
+    consumer_blocked_s: float = 0.0
+    _blocked_since: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"store capacity must be >= 1, got {self.capacity}")
+
+    # Called by the simulator on `yield Put(store, item)`.
+    def _put(self, sim: Simulator, proc: Process, item: Any) -> bool:
+        if self._get_waiters:
+            # Hand the item straight to a waiting consumer.
+            consumer = self._get_waiters.popleft()
+            since = self._blocked_since.pop(("get", consumer.pid), None)
+            if since is not None:
+                self.consumer_blocked_s += sim.now - since
+            self.puts += 1
+            self.gets += 1
+            sim._resume(consumer, item)
+            sim._resume(proc, None)
+            return True
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            self.puts += 1
+            sim._resume(proc, None)
+            return True
+        self._put_waiters.append((proc, item))
+        self._blocked_since[("put", proc.pid)] = sim.now
+        return False
+
+    # Called by the simulator on `yield Get(store)`.
+    def _get(self, sim: Simulator, proc: Process) -> bool:
+        if self.items:
+            item = self.items.popleft()
+            self.gets += 1
+            self._drain_put_waiters(sim)
+            sim._resume(proc, item)
+            return True
+        self._get_waiters.append(proc)
+        self._blocked_since[("get", proc.pid)] = sim.now
+        return False
+
+    def _drain_put_waiters(self, sim: Simulator) -> None:
+        while self._put_waiters and len(self.items) < self.capacity:
+            producer, item = self._put_waiters.popleft()
+            since = self._blocked_since.pop(("put", producer.pid), None)
+            if since is not None:
+                self.producer_blocked_s += sim.now - since
+            self.items.append(item)
+            self.puts += 1
+            sim._resume(producer, None)
+
+    def __len__(self) -> int:
+        return len(self.items)

@@ -1,0 +1,58 @@
+"""Human-readable formatting for the paper-style reports.
+
+The benchmark harnesses print rows shaped exactly like the paper's tables
+(Table III–VII) and figure series (Fig 10–12); these helpers keep the
+formatting consistent: binary byte sizes, thousands-separated counts, MB/s
+throughputs, and a plain-text table renderer with aligned columns.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["fmt_bytes", "fmt_count", "fmt_mbps", "fmt_seconds", "render_table"]
+
+_UNITS = ["B", "KB", "MB", "GB", "TB", "PB"]
+
+
+def fmt_bytes(n: float) -> str:
+    """``1536`` → ``'1.50KB'`` (binary units, two decimals above bytes)."""
+    n = float(n)
+    for unit in _UNITS:
+        if abs(n) < 1024.0 or unit == _UNITS[-1]:
+            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.2f}{unit}"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_count(n: int) -> str:
+    """Thousands-separated integer, matching the paper's Table III style."""
+    return f"{int(n):,}"
+
+
+def fmt_mbps(bytes_total: float, seconds: float) -> str:
+    """Throughput as ``'262.76 MB/s'`` given bytes and seconds."""
+    if seconds <= 0:
+        return "inf MB/s"
+    return f"{bytes_total / seconds / (1024 * 1024):.2f} MB/s"
+
+
+def fmt_seconds(seconds: float) -> str:
+    """Seconds with two decimals, the paper's Table IV/VI convention."""
+    return f"{seconds:.2f}"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table.
+
+    Used by every benchmark harness to print reproduction rows next to the
+    paper's published values.
+    """
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for ri, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if ri == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

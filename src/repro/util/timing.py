@@ -1,0 +1,78 @@
+"""Wall-clock and simulated-time instruments.
+
+``Timer`` measures real elapsed time (used by the benchmark harnesses when
+they time the functional implementation).  ``Stopwatch`` accumulates *named*
+durations — either real or simulated seconds — and is how the engine builds
+the per-phase rows of Table IV and Table VI (sampling time, parser time,
+indexer time, dictionary combine, dictionary write).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Timer", "Stopwatch"]
+
+
+class Timer:
+    """Context-manager wall-clock timer.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(10))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class Stopwatch:
+    """Accumulator of named durations in seconds.
+
+    Durations can come from real timing (:meth:`measure`) or be charged
+    directly from the discrete-event simulator (:meth:`charge`); the engine
+    mixes both when producing its reports.
+    """
+
+    buckets: dict[str, float] = field(default_factory=dict)
+
+    def charge(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to the named bucket."""
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time {seconds} to {name!r}")
+        self.buckets[name] = self.buckets.get(name, 0.0) + seconds
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Measure a real code block into the named bucket."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.charge(name, time.perf_counter() - start)
+
+    def get(self, name: str) -> float:
+        """Seconds accumulated under ``name`` (0.0 if absent)."""
+        return self.buckets.get(name, 0.0)
+
+    def total(self) -> float:
+        """Sum across all buckets."""
+        return sum(self.buckets.values())
+
+    def merge(self, other: "Stopwatch") -> None:
+        """Fold another stopwatch's buckets into this one."""
+        for name, seconds in other.buckets.items():
+            self.charge(name, seconds)

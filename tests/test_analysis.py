@@ -1,0 +1,133 @@
+"""Report builders: shapes and the headline qualitative claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import (
+    ablation_block_sweep,
+    fig10_parser_sweep,
+    fig11_per_file_series,
+    fig12_comparison,
+)
+from repro.analysis.tables import (
+    TABLE4_PAPER,
+    table1_trie_categories,
+    table2_node_layout,
+    table4_indexer_configs,
+    table5_work_split,
+    table7_platforms,
+)
+from repro.core.workload import WorkloadModel
+from repro.gpusim.kernel import WorkItem
+
+
+@pytest.fixture(scope="module")
+def works():
+    model = WorkloadModel.paper_scale("clueweb09")
+    all_works = model.files()
+    # Subsample for speed but keep both segments and total mass shape.
+    return all_works[::10]
+
+
+class TestTables:
+    def test_table1_shape(self):
+        headers, rows = table1_trie_categories()
+        assert len(rows) == 4
+        total_entries = sum(r[2] for r in rows)
+        assert total_entries == 17613
+
+    def test_table1_with_distribution(self):
+        headers, rows = table1_trie_categories(sampled_tokens={11: 50, 40: 50})
+        assert "Token share" in headers
+        assert rows[2][-1] == "50.0%"
+
+    def test_table2_matches_paper(self):
+        _, rows = table2_node_layout()
+        for name, ours, paper in rows:
+            assert ours == paper, name
+
+    def test_table4_rows(self, works):
+        headers, rows = table4_indexer_configs(works)
+        assert len(headers) == 5
+        labels = [r[0] for r in rows]
+        assert "Indexing Throughput (MB/s)" in labels
+        assert len(rows) == 2 * len(TABLE4_PAPER)  # ours + paper per metric
+
+    def test_table5_ratios(self):
+        from repro.core.engine import WorkSplit
+
+        split = WorkSplit(
+            cpu_tokens=100, gpu_tokens=80, cpu_terms=10, gpu_terms=30,
+            cpu_characters=50, gpu_characters=100,
+        )
+        _, rows = table5_work_split(split)
+        assert rows[0][3] == "0.80"
+        assert rows[1][3] == "3.00"
+
+    def test_table7(self):
+        _, rows = table7_platforms()
+        assert [r[0] for r in rows] == [
+            "This paper", "Ivory MapReduce", "Single-Pass MapReduce",
+        ]
+        assert rows[1][1] == 99 and rows[2][1] == 8
+
+
+class TestFig10:
+    def test_shape_and_claims(self, works):
+        series = fig10_parser_sweep(works)
+        no_gpu = series["M parsers + (8-M) CPU indexers"]
+        with_gpu = series["M parsers + CPU + 2 GPU indexers"]
+        parse_only = series["M parsers only"]
+        # Near-linear scaling for M=1..5 in every scenario.
+        for s in (no_gpu, with_gpu, parse_only):
+            for m in range(1, 5):
+                assert s[m] / s[0] == pytest.approx(m + 1, rel=0.12)
+        # Without GPUs the best is 5 parsers (the paper's 5:3 ratio)...
+        assert max(range(7), key=lambda i: no_gpu[i]) == 4
+        # ...with GPUs six parsers win and seven regress.
+        assert max(range(7), key=lambda i: with_gpu[i]) == 5
+        assert with_gpu[6] < with_gpu[5]
+        # GPUs only matter once CPU indexers become the bottleneck.
+        assert with_gpu[5] > no_gpu[5]
+
+
+class TestFig11:
+    def test_decline_and_cliff(self):
+        out = fig11_per_file_series(sample_points=12)
+        combined = out["2 CPU + 2 GPU indexers"]
+        points = out["file_index"]
+        boundary = out["segment_boundary"]
+        assert boundary == 1200
+        # Sharp decrease near the beginning, then flattening.
+        assert combined[0] > combined[2] > combined[4]
+        early_drop = combined[0] - combined[2]
+        late_drop = abs(combined[4] - combined[6])
+        assert early_drop > late_drop
+        # The Wikipedia cliff hits the combined configuration hardest.
+        assert out["2 CPU + 2 GPU indexers drop"] < out["2 CPU indexers drop"] < 1.0
+
+
+class TestFig12:
+    def test_ordering(self):
+        bars = {b.system: b for b in fig12_comparison()}
+        ours_gpu = bars["This paper (2 CPU + 2 GPU)"].throughput_mbps
+        ours_cpu = bars["This paper (no GPUs)"].throughput_mbps
+        ivory = bars["Ivory MapReduce"].throughput_mbps
+        spmr = bars["Single-Pass MapReduce"].throughput_mbps
+        assert ours_gpu > ours_cpu > ivory > spmr
+        # Per-core the single node is an order of magnitude ahead.
+        assert bars["This paper (2 CPU + 2 GPU)"].mbps_per_core > 10 * bars[
+            "Ivory MapReduce"
+        ].mbps_per_core
+
+
+class TestBlockSweep:
+    def test_u_shape(self):
+        items = [
+            WorkItem(key=i, compute_cycles=2e4, memory_stall_cycles=4e5)
+            for i in range(3000)
+        ]
+        sweep = ablation_block_sweep(items)
+        assert sweep[480] < sweep[30]
+        assert sweep[480] < sweep[1920]

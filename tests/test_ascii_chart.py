@@ -1,0 +1,63 @@
+"""Plain-text chart rendering for the benchmark reports."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.ascii_chart import bar_chart, line_chart, sparkline
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        out = bar_chart({"a": 100.0, "b": 50.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_labels_and_values_present(self):
+        out = bar_chart({"ours": 262.76, "ivory": 180.4}, unit=" MB/s")
+        assert "ours" in out and "262.76 MB/s" in out
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_zero_values(self):
+        out = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in out  # no division crash
+
+
+class TestSparkline:
+    def test_monotone_shape(self):
+        out = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert out == "▁▂▃▄▅▆▇█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestLineChart:
+    def test_dimensions(self):
+        out = line_chart([1, 2, 3], {"s": [10, 20, 30]}, height=5, width=20)
+        lines = out.splitlines()
+        assert len(lines) == 5 + 3  # grid + axis + x labels + legend
+        assert "s" in lines[-1]
+
+    def test_multiple_series_distinct_glyphs(self):
+        out = line_chart([1, 2], {"a": [1, 2], "b": [2, 1]}, height=4, width=10)
+        assert "o = a" in out and "x = b" in out
+
+    def test_empty(self):
+        assert line_chart([], {}) == "(no data)"
+
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=30),
+    )
+    def test_never_crashes(self, ys):
+        xs = list(range(len(ys)))
+        out = line_chart(xs, {"s": ys})
+        assert isinstance(out, str) and out
+        assert sparkline(ys)

@@ -1,0 +1,305 @@
+"""Baseline indexers: mutual equivalence and work profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.cluster import (
+    CLUEWEB09_MR_STATS,
+    GOV2_MR_STATS,
+    IVORY_PLATFORM,
+    SP_MR_PLATFORM,
+    THIS_PAPER_PLATFORM,
+    ClusterModel,
+)
+from repro.baselines.dictionaries import GlobalBTreeDictionary, HashDictionary
+from repro.baselines.ivory import IvoryIndexer
+from repro.baselines.linkedlist import LinkedListIndexer
+from repro.baselines.mapreduce import MapReduceJob
+from repro.baselines.singlepass_mr import SinglePassMRIndexer
+from repro.baselines.sortbased import SortBasedIndexer
+from repro.baselines.spimi import SPIMIIndexer
+
+
+class TestMapReduceRuntime:
+    def test_word_count(self):
+        def mapper(line):
+            for word in line.split():
+                yield word, 1
+
+        def reducer(word, counts):
+            yield sum(counts)
+
+        job = MapReduceJob(mapper, reducer, num_reducers=3)
+        out = job.run([["a b a"], ["b c"]])
+        assert out == {"a": [2], "b": [2], "c": [1]}
+        assert job.stats.map_tasks == 2
+        assert job.stats.map_output_pairs == 5
+        assert job.stats.reduce_input_groups == 3
+
+    def test_keys_sorted_within_reducer(self):
+        seen = []
+
+        def mapper(x):
+            yield x, 1
+
+        def reducer(key, values):
+            seen.append(key)
+            yield len(values)
+
+        job = MapReduceJob(mapper, reducer, num_reducers=1)
+        job.run([[3, 1, 2], [2, 0]])
+        assert seen == sorted(seen)
+
+    def test_partition_routes_same_key_together(self):
+        def mapper(x):
+            yield x % 5, x
+
+        def reducer(key, values):
+            yield sorted(values)
+
+        job = MapReduceJob(mapper, reducer, num_reducers=4)
+        out = job.run([list(range(20))])
+        for key, [values] in out.items():
+            assert values == sorted(range(key, 20, 5))
+
+    def test_combiner_reduces_shuffle(self):
+        def mapper(line):
+            for w in line.split():
+                yield w, 1
+
+        def reducer(w, counts):
+            yield sum(counts)
+
+        def combiner(w, counts):
+            yield sum(counts)
+
+        plain = MapReduceJob(mapper, reducer, num_reducers=2)
+        combined = MapReduceJob(mapper, reducer, num_reducers=2, combiner_fn=combiner)
+        data = [["x x x x y"], ["x y y"]]
+        assert plain.run(data) == combined.run(data)
+        assert combined.stats.shuffle_bytes < plain.stats.shuffle_bytes
+
+    def test_invalid_reducers(self):
+        with pytest.raises(ValueError):
+            MapReduceJob(lambda x: [], lambda k, v: [], num_reducers=0)
+
+
+class TestBaselineEquivalence:
+    """All five Section II strategies build the same index as the naive
+    reference (and hence as each other)."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: IvoryIndexer(num_reducers=3, docs_per_split=7),
+            lambda: SinglePassMRIndexer(num_reducers=3, docs_per_split=7),
+            lambda: SortBasedIndexer(memory_limit_bytes=1 << 14),
+            lambda: SPIMIIndexer(memory_limit_bytes=1 << 14),
+            lambda: LinkedListIndexer(),
+        ],
+        ids=["ivory", "sp-mr", "sort-based", "spimi", "linked-list"],
+    )
+    def test_matches_reference(self, factory, tiny_collection, reference_index):
+        assert factory().build(tiny_collection) == reference_index
+
+
+class TestWorkProfiles:
+    def test_sort_based_runs_scale_with_memory(self, tiny_collection):
+        small = SortBasedIndexer(memory_limit_bytes=1 << 12)
+        big = SortBasedIndexer(memory_limit_bytes=1 << 22)
+        small.build(tiny_collection)
+        big.build(tiny_collection)
+        assert small.stats.runs > big.stats.runs
+        assert big.stats.runs == 1
+        assert small.stats.triples == big.stats.triples
+
+    def test_spimi_front_coding_compresses(self, tiny_collection):
+        ix = SPIMIIndexer(memory_limit_bytes=1 << 14)
+        ix.build(tiny_collection)
+        assert ix.stats.blocks >= 2
+        assert ix.stats.dict_bytes_front_coded < ix.stats.dict_bytes_raw
+
+    def test_linked_list_traversal_cost(self, tiny_collection):
+        ix = LinkedListIndexer()
+        index = ix.build(tiny_collection)
+        # Every cell is chased exactly once in the post-processing run.
+        assert ix.stats.traversal_steps == ix.stats.cells
+        assert ix.stats.terms == len(index)
+
+    def test_ivory_single_value_per_key(self, tiny_collection):
+        ix = IvoryIndexer(num_reducers=2)
+        ix.build(tiny_collection)
+        assert ix.stats is not None
+        assert ix.stats.reduce_input_groups == ix.stats.map_output_pairs
+
+    def test_spmr_fewer_emits_than_ivory(self, tiny_collection):
+        ivory = IvoryIndexer(num_reducers=2, docs_per_split=16)
+        spmr = SinglePassMRIndexer(num_reducers=2, docs_per_split=16)
+        ivory.build(tiny_collection)
+        spmr.build(tiny_collection)
+        # McCreadie's whole point: far fewer (but fatter) emits.
+        assert spmr.stats.map_output_pairs < ivory.stats.map_output_pairs
+
+
+class TestDictionaryBaselines:
+    WORDS = [f"suffix{i % 97}x{i % 13}".encode() for i in range(2000)]
+
+    def test_hash_dictionary_semantics(self):
+        h = HashDictionary(initial_capacity=8)  # force many growths
+        ids = {}
+        for w in self.WORDS:
+            tid, created = h.insert(w)
+            if w in ids:
+                assert not created and ids[w] == tid
+            else:
+                assert created
+                ids[w] = tid
+        assert len(h) == len(ids)
+        for w, tid in ids.items():
+            assert h.lookup(w) == tid
+        assert h.lookup(b"absent") is None
+
+    def test_hash_pays_full_string_comparisons(self):
+        h = HashDictionary()
+        for w in self.WORDS:
+            h.insert(w)
+        # §III.B: "a hash function will still require comparisons and
+        # searches on full strings".
+        assert h.stats.full_string_comparisons > len(set(self.WORDS))
+        assert h.stats.compared_bytes > 0
+
+    def test_global_btree_is_taller_than_forest_trees(self):
+        g = GlobalBTreeDictionary()
+        for w in self.WORDS:
+            g.insert(w)
+        assert g.height() >= 1
+        assert g.lookup(self.WORDS[0]) is not None
+        assert len(g) == len(set(self.WORDS))
+
+    def test_lock_contention_grows_with_writers(self):
+        solo = GlobalBTreeDictionary(writer_threads=1)
+        four = GlobalBTreeDictionary(writer_threads=4)
+        for w in self.WORDS[:400]:
+            solo.insert(w)
+            four.insert(w)
+        assert solo.lock_stats.contended_acquisitions == 0
+        assert four.lock_stats.contended_acquisitions == 300  # 3 of every 4
+
+
+class TestClusterModel:
+    def test_table7_shapes(self):
+        assert THIS_PAPER_PLATFORM.total_cores == 8
+        assert IVORY_PLATFORM.total_cores == 198
+        assert SP_MR_PLATFORM.usable_cores == 24
+
+    def test_fig12_ordering(self):
+        ivory = ClusterModel(IVORY_PLATFORM).throughput_mbps(CLUEWEB09_MR_STATS, "ivory")
+        spmr = ClusterModel(SP_MR_PLATFORM).throughput_mbps(GOV2_MR_STATS, "single-pass")
+        # The comparison the paper draws: both MapReduce systems below the
+        # single-node result (204–263 MB/s); SP-MR far below Ivory.
+        assert 100 < ivory < 204
+        assert 5 < spmr < 80
+        assert spmr < ivory
+
+    def test_breakdown_sums(self):
+        model = ClusterModel(IVORY_PLATFORM)
+        b = model.index_time_breakdown(CLUEWEB09_MR_STATS)
+        components = [v for k, v in b.items() if k not in ("raw_total_s", "total_s")]
+        assert sum(components) == pytest.approx(b["raw_total_s"])
+        assert b["total_s"] > b["raw_total_s"]
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            ClusterModel(IVORY_PLATFORM).index_time_breakdown(CLUEWEB09_MR_STATS, "flink")
+
+
+class TestRemoteLists:
+    """The distributed Remote-Buffer/Remote-Lists algorithm [6]."""
+
+    def test_matches_reference(self, tiny_collection, reference_index):
+        from repro.baselines.remote_lists import RemoteListsIndexer
+
+        ix = RemoteListsIndexer(num_processors=3, batch_size=8)
+        assert ix.build(tiny_collection) == reference_index
+
+    def test_single_processor_degenerates_to_local(self, tiny_collection, reference_index):
+        from repro.baselines.remote_lists import RemoteListsIndexer
+
+        ix = RemoteListsIndexer(num_processors=1)
+        assert ix.build(tiny_collection) == reference_index
+        assert ix.stats.tuples_sent == 0  # everything is owner-local
+        assert ix.stats.local_tuples > 0
+
+    def test_communication_accounting(self, tiny_collection):
+        from repro.baselines.remote_lists import RemoteListsIndexer
+
+        ix = RemoteListsIndexer(num_processors=4, batch_size=16)
+        ix.build(tiny_collection)
+        s = ix.stats
+        # Run 1: two vocabulary messages per processor.
+        assert s.vocabulary_messages == 8
+        assert s.vocabulary_bytes > 0
+        # Run 2: ~3/4 of tuples cross the network with 4 hash-partitioned owners.
+        total = s.tuples_sent + s.local_tuples
+        assert 0.6 < s.tuples_sent / total < 0.9
+        # Buffering amortizes messages: far fewer flushes than tuples.
+        assert s.tuple_messages < s.tuples_sent / 2
+        # Sorted inserts are the algorithm's CPU tax (our engine appends).
+        assert s.sorted_insert_comparisons >= total
+
+    def test_bigger_batches_fewer_messages(self, tiny_collection):
+        from repro.baselines.remote_lists import RemoteListsIndexer
+
+        small = RemoteListsIndexer(num_processors=4, batch_size=4)
+        big = RemoteListsIndexer(num_processors=4, batch_size=256)
+        small.build(tiny_collection)
+        big.build(tiny_collection)
+        assert big.stats.tuple_messages < small.stats.tuple_messages
+        assert big.stats.tuples_sent == small.stats.tuples_sent
+
+    def test_invalid_args(self):
+        from repro.baselines.remote_lists import RemoteListsIndexer
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            RemoteListsIndexer(num_processors=0)
+        with _pytest.raises(ValueError):
+            RemoteListsIndexer(batch_size=0)
+
+
+class TestMelnikStages:
+    """Melnik et al.'s pipelined loading/processing/flushing [5]."""
+
+    def test_matches_reference(self, tiny_collection, reference_index):
+        from repro.baselines.melnik import StagedIndexer
+
+        ix = StagedIndexer(docs_per_batch=9)
+        assert ix.build(tiny_collection) == reference_index
+        assert ix.times.batches == -(-tiny_collection.num_docs // 9)
+
+    def test_pipelining_hides_load_and_flush(self, tiny_collection):
+        from repro.baselines.melnik import StagedIndexer
+
+        ix = StagedIndexer(docs_per_batch=8)
+        ix.build(tiny_collection)
+        cmp = ix.simulate_schedule()
+        # The paper's claim: loading and flushing hide behind processing.
+        assert cmp.pipelined_s < cmp.serial_s
+        assert cmp.hiding_efficiency > 0.6
+        # Wall can never beat the dominant stage.
+        assert cmp.pipelined_s >= cmp.processing_s - 1e-9
+
+    def test_schedule_requires_build(self):
+        from repro.baselines.melnik import StagedIndexer
+        import pytest as _pytest
+
+        with _pytest.raises(RuntimeError):
+            StagedIndexer().simulate_schedule()
+
+    def test_invalid_batch(self):
+        from repro.baselines.melnik import StagedIndexer
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            StagedIndexer(docs_per_batch=0)

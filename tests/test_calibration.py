@@ -1,0 +1,50 @@
+"""Calibration audit: the cost constants still fit the paper's numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.calibration import (
+    PAPER_TARGETS,
+    audit_calibration,
+    derive_cpu_costs,
+)
+from repro.core.costs import CostConstants
+
+
+class TestAudit:
+    @pytest.fixture(scope="class")
+    def audit(self):
+        return audit_calibration()
+
+    def test_all_targets_within_tolerance(self, audit):
+        failures = {
+            key: f"paper {paper:.2f}, ours {ours:.2f} ({dev:+.1%})"
+            for key, (paper, ours, dev, ok) in audit.items()
+            if not ok
+        }
+        assert not failures, failures
+
+    def test_every_target_measured(self, audit):
+        assert set(audit) == {t.key for t in PAPER_TARGETS}
+
+    def test_detects_a_broken_constant(self):
+        """Halving the disk bandwidth must trip the read-time target."""
+        broken = CostConstants(disk_read_bytes_per_s=50e6)
+        audit = audit_calibration(broken)
+        assert not audit["read_s"][3]
+
+
+class TestDerivation:
+    def test_contention_matches_shipped_constant(self):
+        facts = derive_cpu_costs()
+        # Table IV: 229.08/129.53 = 1.77× → γ = 2/s − 1 ≈ 0.131.
+        assert facts["two_thread_speedup"] == pytest.approx(1.769, abs=0.01)
+        assert facts["bandwidth_contention"] == pytest.approx(
+            CostConstants().cpu_bandwidth_contention, abs=0.01
+        )
+
+    def test_single_thread_file_time(self):
+        facts = derive_cpu_costs()
+        # ~1GB file at 129.53 MB/s ≈ 7.5 s.
+        assert facts["single_thread_seconds_per_file"] == pytest.approx(7.5, abs=0.5)

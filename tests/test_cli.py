@@ -1,0 +1,93 @@
+"""The ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_arg_parser, main
+
+
+@pytest.fixture(scope="module")
+def generated(tmp_path_factory, capsys_module=None):
+    root = str(tmp_path_factory.mktemp("cli"))
+    code = main(["generate", "wikipedia", root, "--scale", "0.2"])
+    assert code == 0
+    return f"{root}/wikipedia_mini"
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_arg_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_arg_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_arg_parser().parse_args(["simulate"])
+        assert (args.parsers, args.cpu_indexers, args.gpus) == (6, 2, 2)
+        assert args.dataset == "clueweb09"
+
+
+class TestCommands:
+    def test_generate_and_stats(self, generated, capsys):
+        code = main(["stats", generated, "--no-html"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "documents:" in out and "tokens:" in out
+
+    def test_build_query_merge(self, generated, tmp_path, capsys):
+        index = str(tmp_path / "idx")
+        code = main([
+            "build", generated, index,
+            "--parsers", "2", "--cpu-indexers", "1", "--gpus", "1",
+            "--positional", "--sample-fraction", "0.2", "--no-html",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "indexed" in out and "MB/s" in out
+
+        # Ranked query over some indexed term.
+        from repro.postings.reader import PostingsReader
+
+        term = next(iter(PostingsReader(index).vocabulary()))
+        assert main(["query", index, term, "--mode", "ranked", "-k", "3"]) == 0
+        ranked_out = capsys.readouterr().out
+        assert "doc" in ranked_out
+
+        assert main(["query", index, term, "--mode", "and"]) == 0
+        assert main(["query", index, term, "--mode", "phrase"]) == 0
+        capsys.readouterr()
+
+        merged = str(tmp_path / "merged")
+        assert main(["merge", index, merged]) == 0
+        assert "merged" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        code = main(["simulate", "--dataset", "wikipedia"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total" in out and "MB/s" in out
+
+    def test_simulate_custom_config(self, capsys):
+        assert main(["simulate", "--dataset", "congress", "--parsers", "4",
+                     "--cpu-indexers", "4", "--gpus", "0"]) == 0
+        assert "4 parsers" in capsys.readouterr().out
+
+
+class TestErrorHandling:
+    def test_missing_collection_dir(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path / "nope")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_index_dir(self, tmp_path, capsys):
+        code = main(["query", str(tmp_path / "noidx"), "term"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_ingest_source(self, tmp_path, capsys):
+        code = main(["ingest", str(tmp_path / "missing"), str(tmp_path / "out")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

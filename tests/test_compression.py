@@ -1,0 +1,165 @@
+"""Postings codecs: varbyte, Elias-γ, Golomb over d-gaps."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.postings.compression import (
+    CODECS,
+    EliasGammaCodec,
+    GolombCodec,
+    VarByteCodec,
+    decode_uvarint,
+    encode_uvarint,
+    from_gaps,
+    get_codec,
+    to_gaps,
+)
+from repro.util.bitio import BitReader, BitWriter
+
+postings_lists = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=10), st.integers(min_value=1, max_value=50)),
+    max_size=60,
+).map(
+    # Strictly increasing doc ids from cumulative positive gaps.
+    lambda pairs: [
+        (sum(g for g, _ in pairs[: i + 1]) + i, tf) for i, (_, tf) in enumerate(pairs)
+    ]
+)
+
+ALL_CODECS = [VarByteCodec(), EliasGammaCodec(), GolombCodec()]
+
+
+class TestVarint:
+    @given(st.integers(min_value=0, max_value=2**62))
+    def test_round_trip(self, n):
+        buf = bytearray()
+        encode_uvarint(n, buf)
+        value, pos = decode_uvarint(bytes(buf), 0)
+        assert value == n and pos == len(buf)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_uvarint(-1, bytearray())
+
+    def test_truncated(self):
+        with pytest.raises(EOFError):
+            decode_uvarint(b"\x80", 0)
+
+    def test_compact_small_values(self):
+        buf = bytearray()
+        encode_uvarint(127, buf)
+        assert len(buf) == 1
+
+
+class TestGaps:
+    def test_round_trip(self):
+        ids = [0, 1, 5, 100]
+        assert from_gaps(to_gaps(ids)) == ids
+
+    def test_first_gap_is_doc_plus_one(self):
+        assert to_gaps([7]) == [8]
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            to_gaps([5, 5])
+        with pytest.raises(ValueError):
+            to_gaps([5, 3])
+
+    def test_bad_gap_rejected(self):
+        with pytest.raises(ValueError):
+            from_gaps([0])
+
+
+class TestCodecs:
+    @pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda c: c.name)
+    def test_known_list(self, codec):
+        pl = [(0, 3), (5, 1), (6, 2), (100, 9), (100000, 1)]
+        assert codec.decode(codec.encode(pl)) == pl
+
+    @pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda c: c.name)
+    def test_empty_list(self, codec):
+        assert codec.decode(codec.encode([])) == []
+
+    @pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda c: c.name)
+    def test_single_posting(self, codec):
+        assert codec.decode(codec.encode([(42, 7)])) == [(42, 7)]
+
+    @pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda c: c.name)
+    def test_unsorted_rejected(self, codec):
+        with pytest.raises(ValueError):
+            codec.encode([(5, 1), (5, 1)])
+
+    @pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda c: c.name)
+    def test_zero_tf_rejected(self, codec):
+        with pytest.raises(ValueError):
+            codec.encode([(1, 0)])
+
+    @settings(max_examples=60, deadline=None)
+    @given(postings_lists, st.sampled_from(["varbyte", "gamma", "golomb"]))
+    def test_round_trip_random(self, postings, name):
+        codec = get_codec(name)
+        assert codec.decode(codec.encode(postings)) == postings
+
+    def test_registry(self):
+        assert set(CODECS) == {"varbyte", "gamma", "golomb", "varbyte-pos"}
+        with pytest.raises(KeyError):
+            get_codec("zstd")
+
+    def test_gap_encoding_beats_absolute_for_dense_lists(self):
+        dense = [(i, 1) for i in range(0, 2000, 2)]
+        encoded = VarByteCodec().encode(dense)
+        # Absolute 2-byte+ ids would need >2 bytes per posting; gaps of 2
+        # need 1 byte for the gap + 1 for tf.
+        assert len(encoded) < len(dense) * 2.5
+
+
+class TestGamma:
+    def test_gamma_code_of_one_is_single_bit(self):
+        w = BitWriter()
+        EliasGammaCodec._write_gamma(w, 1)
+        assert w.bit_length == 1
+
+    def test_gamma_lengths(self):
+        # γ(n) uses 2⌊log2 n⌋ + 1 bits.
+        for n, bits in [(1, 1), (2, 3), (3, 3), (4, 5), (100, 13)]:
+            w = BitWriter()
+            EliasGammaCodec._write_gamma(w, n)
+            assert w.bit_length == bits, n
+
+    def test_gamma_rejects_zero(self):
+        with pytest.raises(ValueError):
+            EliasGammaCodec._write_gamma(BitWriter(), 0)
+
+    @given(st.integers(min_value=1, max_value=2**30))
+    def test_gamma_round_trip(self, n):
+        w = BitWriter()
+        EliasGammaCodec._write_gamma(w, n)
+        assert EliasGammaCodec._read_gamma(BitReader(w.getvalue())) == n
+
+
+class TestGolomb:
+    @given(st.integers(min_value=1, max_value=10000), st.integers(min_value=1, max_value=64))
+    def test_golomb_round_trip_any_b(self, value, b):
+        w = BitWriter()
+        GolombCodec._write_golomb(w, value, b)
+        assert GolombCodec._read_golomb(BitReader(w.getvalue()), b) == value
+
+    def test_optimal_b_rule(self):
+        assert GolombCodec.optimal_b(10.0) == 7  # ceil(0.69 * 10)
+        assert GolombCodec.optimal_b(0.1) == 1
+
+    def test_fixed_b_encodes_header(self):
+        codec = GolombCodec(b=4)
+        pl = [(3, 1), (10, 2)]
+        assert codec.decode(codec.encode(pl)) == pl
+
+    def test_invalid_b(self):
+        with pytest.raises(ValueError):
+            GolombCodec(b=0)
+
+    def test_golomb_beats_varbyte_on_small_uniform_gaps(self):
+        pl = [(i * 3, 1) for i in range(500)]
+        assert len(GolombCodec().encode(pl)) < len(VarByteCodec().encode(pl))

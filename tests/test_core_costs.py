@@ -1,0 +1,128 @@
+"""Cost model structure and Table IV calibration invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.costs import CostConstants, StageCosts
+from repro.core.workload import FileWork, GroupWork, WorkloadModel
+
+
+@pytest.fixture(scope="module")
+def costs():
+    return StageCosts()
+
+
+@pytest.fixture(scope="module")
+def work():
+    return WorkloadModel.paper_scale("clueweb09").files()[700]
+
+
+class TestParserCosts:
+    def test_paper_io_measurements(self, costs, work):
+        # §IV.A: ~160MB compressed reads in ~1.6s; ~1GB decompresses in ~3.2s.
+        assert costs.read_seconds(work) == pytest.approx(1.6, rel=0.15)
+        assert costs.decompress_seconds(work) == pytest.approx(3.2, rel=0.25)
+
+    def test_parse_around_17s_per_file(self, costs, work):
+        assert 12 < costs.parse_seconds(work) < 22
+
+    def test_regroup_overhead_is_5_percent(self, costs, work):
+        with_r = costs.parse_seconds(work, regroup=True)
+        without = costs.parse_seconds(work, regroup=False)
+        assert with_r / without == pytest.approx(1.05)
+
+
+class TestCPUCosts:
+    def test_two_indexers_speedup_1_77(self, costs, work):
+        groups = [work.popular, work.unpopular]
+        one = costs.cpu_stage_seconds(groups, 1)
+        two = costs.cpu_stage_seconds(groups, 2)
+        assert one / two == pytest.approx(1.77, rel=0.02)
+
+    def test_hot_groups_cheaper(self, costs):
+        hot = GroupWork(tokens=1000, node_visits=3000, hot_visit_fraction=0.95)
+        cold = GroupWork(tokens=1000, node_visits=3000, hot_visit_fraction=0.1)
+        assert costs.cpu_group_seconds(hot) < costs.cpu_group_seconds(cold)
+
+    def test_extra_parsers_pressure_the_cache(self, costs, work):
+        at6 = costs.cpu_stage_seconds([work.popular], 1, num_parsers=6)
+        at7 = costs.cpu_stage_seconds([work.popular], 1, num_parsers=7)
+        assert at7 > at6  # the Fig 10 M=7 effect
+
+    def test_zero_indexers(self, costs, work):
+        assert costs.cpu_stage_seconds([work.popular], 0) == 0.0
+
+
+class TestGPUCosts:
+    def test_more_gpus_faster(self, costs, work):
+        one = costs.gpu_kernel_seconds(work.unpopular, 1)
+        two = costs.gpu_kernel_seconds(work.unpopular, 2)
+        assert two < one
+
+    def test_480_blocks_near_optimal(self, costs, work):
+        times = {
+            nb: costs.gpu_kernel_seconds(work.unpopular, 2, num_blocks=nb)
+            for nb in [30, 120, 240, 480, 960, 3840]
+        }
+        assert times[480] < times[30]
+        assert times[480] < times[3840]
+        assert times[480] <= min(times.values()) * 1.02
+
+    def test_static_schedule_slower_when_floor_bound(self, costs):
+        group = GroupWork(
+            tokens=10**7, node_visits=4 * 10**7,
+            largest_collection_tokens=10**6, visits_per_token=4.0,
+        )
+        dyn = costs.gpu_kernel_seconds(group, 2, dynamic=True)
+        stat = costs.gpu_kernel_seconds(group, 2, dynamic=False)
+        assert stat > dyn
+
+    def test_popular_floor_dominates_gpu(self, costs, work):
+        """The structural reason popular collections belong on the CPU: a
+        single giant collection serializes on one warp."""
+        merged = GroupWork()
+        merged.merge(work.popular)
+        merged.merge(work.unpopular)
+        t_all = costs.gpu_kernel_seconds(merged, 2)
+        t_unpop = costs.gpu_kernel_seconds(work.unpopular, 2)
+        assert t_all > 2 * t_unpop
+
+    def test_empty_group_free(self, costs):
+        assert costs.gpu_kernel_seconds(GroupWork(), 2) == 0.0
+        assert costs.gpu_kernel_seconds(GroupWork(tokens=10), 0) == 0.0
+
+
+class TestRunLifecycle:
+    def test_pre_post_positive(self, costs, work):
+        assert costs.pre_seconds(work, 2) > costs.pre_seconds(work, 0) > 0
+        assert costs.post_seconds(work, 2) > 0
+
+    def test_post_scales_with_postings(self, costs, work):
+        small = FileWork(
+            file_index=0, compressed_bytes=1, uncompressed_bytes=1,
+            num_docs=1, raw_tokens=1,
+        )
+        assert costs.post_seconds(work, 0) > costs.post_seconds(small, 0)
+
+    def test_epilogue_rows(self, costs):
+        # Table VI: 84.8M terms → combine ≈ 2.46s, write ≈ 59.2s.
+        terms = 84_799_475
+        assert costs.dict_combine_seconds(terms) == pytest.approx(2.46, rel=0.02)
+        assert costs.dict_write_seconds(terms) == pytest.approx(59.21, rel=0.02)
+
+    def test_sampling_seconds(self, costs):
+        works = WorkloadModel.paper_scale("clueweb09").files()
+        s = costs.sampling_seconds(works, sample_fraction=0.001)
+        assert s == pytest.approx(59.53, rel=0.25)
+
+
+class TestConstants:
+    def test_frozen(self):
+        c = CostConstants()
+        with pytest.raises(Exception):
+            c.disk_read_bytes_per_s = 1.0  # type: ignore[misc]
+
+    def test_custom_constants_flow_through(self, work):
+        fast_disk = StageCosts(CostConstants(disk_read_bytes_per_s=1e9))
+        assert fast_disk.read_seconds(work) < StageCosts().read_seconds(work)

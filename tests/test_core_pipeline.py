@@ -1,0 +1,119 @@
+"""The DES pipeline: Fig 9 structure and Table IV/VI outputs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PlatformConfig
+from repro.core.costs import StageCosts
+from repro.core.pipeline import simulate_full_build, simulate_pipeline
+from repro.core.workload import WorkloadModel
+
+
+@pytest.fixture(scope="module")
+def works():
+    # A truncated ClueWeb-scale workload keeps the suite fast while
+    # preserving both segments.
+    model = WorkloadModel.paper_scale("clueweb09")
+    all_works = model.files()
+    return all_works[:80] + all_works[1190:1230]
+
+
+class TestConfig:
+    def test_defaults_match_paper_best(self):
+        cfg = PlatformConfig()
+        assert (cfg.num_parsers, cfg.num_cpu_indexers, cfg.num_gpus) == (6, 2, 2)
+        assert cfg.thread_blocks_per_gpu == 480
+
+    def test_core_oversubscription_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(num_parsers=7, num_cpu_indexers=2)
+
+    def test_no_indexers_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(num_cpu_indexers=0, num_gpus=0)
+
+    def test_with_(self):
+        cfg = PlatformConfig().with_(num_parsers=3)
+        assert cfg.num_parsers == 3
+        assert cfg.num_cpu_indexers == 2
+
+    def test_describe(self):
+        assert "6 parsers" in PlatformConfig().describe()
+        assert "no GPU" in PlatformConfig(num_gpus=0).describe()
+
+
+class TestPipeline:
+    def test_accounting_consistent(self, works):
+        r = simulate_pipeline(works, PlatformConfig())
+        assert r.num_files == len(works)
+        assert len(r.per_file_indexing_s) == len(works)
+        assert r.sum_of_three_s == pytest.approx(
+            r.pre_total_s + r.indexing_total_s + r.post_total_s
+        )
+        assert r.indexer_finish_s >= r.sum_of_three_s
+        assert r.indexer_wait_s >= 0
+        assert r.pipeline_s == max(r.parser_finish_s, r.indexer_finish_s)
+
+    def test_parsers_and_indexers_overlap(self, works):
+        """Pipelining: wall time far below the serial sum of stages."""
+        r = simulate_pipeline(works, PlatformConfig())
+        parser_busy = sum(
+            StageCosts().read_seconds(w)
+            + StageCosts().decompress_seconds(w)
+            + StageCosts().parse_seconds(w)
+            for w in works
+        )
+        assert r.pipeline_s < parser_busy  # M parsers in parallel
+        assert r.pipeline_s < parser_busy / 6 + r.indexer_finish_s
+
+    def test_parse_only_mode(self, works):
+        r = simulate_pipeline(works, PlatformConfig(), parse_only=True)
+        assert r.indexer_finish_s == 0.0
+        assert r.indexing_total_s == 0.0
+        assert r.parser_finish_s > 0
+        assert r.overall_throughput_mbps > 0
+
+    def test_more_parsers_more_parse_throughput(self, works):
+        t1 = simulate_pipeline(
+            works, PlatformConfig(num_parsers=1), parse_only=True
+        ).overall_throughput_mbps
+        t4 = simulate_pipeline(
+            works, PlatformConfig(num_parsers=4), parse_only=True
+        ).overall_throughput_mbps
+        assert t4 > 3.0 * t1  # near-linear below the disk limit
+
+    def test_gpu_config_beats_cpu_only(self, works):
+        cpu = simulate_pipeline(works, PlatformConfig(num_gpus=0))
+        both = simulate_pipeline(works, PlatformConfig())
+        assert both.indexing_total_s < cpu.indexing_total_s
+
+    def test_per_file_throughput_series(self, works):
+        r = simulate_pipeline(works, PlatformConfig())
+        series = r.per_file_throughput_mbps()
+        assert len(series) == len(works)
+        assert all(v > 0 for v in series)
+
+    def test_buffer_ordering_enforced(self, works):
+        # The stage raises if files arrive out of order; a healthy run
+        # must simply complete.
+        r = simulate_pipeline(works, PlatformConfig(num_parsers=5, num_cpu_indexers=3))
+        assert r.indexer_finish_s > 0
+
+    def test_deterministic(self, works):
+        a = simulate_pipeline(works, PlatformConfig())
+        b = simulate_pipeline(works, PlatformConfig())
+        assert a.pipeline_s == b.pipeline_s
+        assert a.per_file_indexing_s == b.per_file_indexing_s
+
+
+class TestFullBuild:
+    def test_rows_present(self, works):
+        b = simulate_full_build(works, PlatformConfig())
+        assert b.sampling_s > 0
+        assert b.dict_combine_s > 0
+        assert b.dict_write_s > b.dict_combine_s  # write ≫ combine (Table VI)
+        assert b.total_s > b.pipeline.pipeline_s
+        assert b.throughput_mbps > 0
+        assert b.total_terms > 0
+

@@ -1,0 +1,123 @@
+"""The paper-scale workload model (Heaps/Zipf extrapolation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.workload import FileWork, GroupWork, SegmentStats, WorkloadModel, _btree_depth
+
+
+class TestBTreeDepth:
+    def test_small_collection_fits_in_root(self):
+        assert _btree_depth(31, 16) == 0.0
+
+    def test_grows_logarithmically(self):
+        d1 = _btree_depth(1_000, 16)
+        d2 = _btree_depth(1_000_000, 16)
+        assert 0 < d1 < d2
+        assert d2 - d1 == pytest.approx(
+            __import__("math").log(1000, 16), rel=0.05
+        )
+
+
+class TestPaperScaleClueWeb:
+    @pytest.fixture(scope="class")
+    def works(self):
+        return WorkloadModel.paper_scale("clueweb09").files()
+
+    def test_file_count(self, works):
+        assert len(works) == 1492
+
+    def test_token_total_matches_table3(self, works):
+        total = sum(w.tokens for w in works)
+        assert total == pytest.approx(32_644_508_255, rel=0.01)
+
+    def test_term_total_matches_table3(self, works):
+        terms = sum(w.popular.new_terms + w.unpopular.new_terms for w in works)
+        assert terms == pytest.approx(84_799_475, rel=0.05)
+
+    def test_byte_total_matches_table3(self, works):
+        unc = sum(w.uncompressed_bytes for w in works)
+        assert unc == pytest.approx(1422 * 1024**3, rel=0.01)
+
+    def test_wikipedia_segment_at_1200(self, works):
+        assert works[1199].segment == "web"
+        assert works[1200].segment == "wikipedia.org"
+
+    def test_visits_per_token_grow_with_depth(self, works):
+        early = works[10].unpopular.visits_per_token
+        late = works[1100].unpopular.visits_per_token
+        assert late > early  # Fig 11's declining-throughput mechanism
+
+    def test_popular_share_matches_table5(self, works):
+        w = works[600]
+        share = w.popular.tokens / w.tokens
+        assert share == pytest.approx(0.443, abs=0.02)
+
+    def test_new_terms_decline_then_burst_at_wikipedia(self, works):
+        assert works[5].unpopular.new_terms > works[1100].unpopular.new_terms
+        # Fresh vocabulary at the segment boundary.
+        assert works[1200].unpopular.new_terms > works[1199].unpopular.new_terms * 3
+
+    def test_popular_trees_deeper_but_hotter(self, works):
+        w = works[800]
+        assert w.popular.visits_per_token > w.unpopular.visits_per_token
+        assert w.popular.hot_visit_fraction > w.unpopular.hot_visit_fraction
+
+
+class TestOtherDatasets:
+    @pytest.mark.parametrize(
+        "name,files,tokens,terms",
+        [
+            ("wikipedia", 84, 9_375_229_726, 9_404_723),
+            ("congress", 530, 16_865_180_093, 7_457_742),
+        ],
+    )
+    def test_table3_totals(self, name, files, tokens, terms):
+        works = WorkloadModel.paper_scale(name).files()
+        assert len(works) == files
+        assert sum(w.tokens for w in works) == pytest.approx(tokens, rel=0.01)
+        got_terms = sum(w.popular.new_terms + w.unpopular.new_terms for w in works)
+        assert got_terms == pytest.approx(terms, rel=0.10)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            WorkloadModel.paper_scale("gov3")
+
+
+class TestGroupWork:
+    def test_merge_accumulates(self):
+        a = GroupWork(tokens=10, new_terms=2, node_visits=30, largest_collection_tokens=5)
+        b = GroupWork(tokens=20, new_terms=3, node_visits=40, largest_collection_tokens=9)
+        a.merge(b)
+        assert a.tokens == 30
+        assert a.new_terms == 5
+        assert a.largest_collection_tokens == 9
+        assert a.visits_per_token == pytest.approx(70 / 30)
+
+    def test_filework_helpers(self):
+        w = FileWork(
+            file_index=0, compressed_bytes=10, uncompressed_bytes=100,
+            num_docs=2, raw_tokens=50,
+            popular=GroupWork(tokens=30), unpopular=GroupWork(tokens=70),
+        )
+        assert w.tokens == 100
+        assert w.postings_estimate == 62
+
+
+class TestCustomSegments:
+    def test_sampling_mismatch_shifts_work_to_gpu_side(self):
+        base = SegmentStats(
+            name="s", num_files=10, uncompressed_bytes_per_file=10**9,
+            compressed_bytes_per_file=10**8, docs_per_file=100,
+            tokens_per_file=10**7,
+        )
+        matched = WorkloadModel([base]).files()[-1]
+        mismatched = WorkloadModel(
+            [SegmentStats(**{**base.__dict__, "sampling_mismatch": 0.5})]
+        ).files()[-1]
+        assert mismatched.popular.tokens < matched.popular.tokens
+        assert (
+            mismatched.unpopular.largest_collection_tokens
+            > matched.unpopular.largest_collection_tokens
+        )

@@ -1,0 +1,133 @@
+"""Dictionary shards, ownership, and the combine step."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dictionary.dictionary import SHARD_ID_SPACE_BITS, Dictionary, DictionaryShard
+from repro.dictionary.trie import TrieTable
+
+terms = st.text(
+    alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789é"),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestShard:
+    def test_add_and_lookup(self):
+        d = Dictionary()
+        tid, created = d.add_term("application")
+        assert created
+        assert d.lookup("application") == tid
+        assert d.lookup("nothere") is None
+
+    def test_duplicate_same_id(self):
+        d = Dictionary()
+        t1, _ = d.add_term("parallel")
+        t2, created = d.add_term("parallel")
+        assert t1 == t2 and not created
+
+    def test_terms_reconstructed_with_prefix(self):
+        d = Dictionary()
+        for term in ["application", "apple", "zoo", "01", "-80"]:
+            d.add_term(term)
+        assert sorted(t for t, _ in d.terms()) == sorted(
+            ["application", "apple", "zoo", "01", "-80"]
+        )
+
+    def test_ownership_enforced(self):
+        trie = TrieTable()
+        cidx = trie.trie_index("application")
+        shard = DictionaryShard(trie, shard_id=1, owned_collections={cidx})
+        shard.add_term("application")
+        with pytest.raises(PermissionError):
+            shard.add_term("zebra")  # different collection
+
+    def test_shard_id_spaces_disjoint(self):
+        trie = TrieTable()
+        s0 = DictionaryShard(trie, shard_id=0)
+        s1 = DictionaryShard(trie, shard_id=1)
+        id0, _ = s0.add_term("aaaa")
+        id1, _ = s1.add_term("bbbb")
+        assert id0 >> SHARD_ID_SPACE_BITS == 0
+        assert id1 >> SHARD_ID_SPACE_BITS == 1
+
+    def test_term_count_and_len(self):
+        d = Dictionary()
+        for t in ["one", "two", "three", "two"]:
+            d.add_term(t)
+        assert len(d) == d.term_count() == 3
+
+    def test_string_bytes_counts_heaps(self):
+        d = Dictionary()
+        d.add_term("application")  # suffix "lication" + length byte
+        assert d.string_bytes() == 9
+
+    def test_stats_aggregation(self):
+        d = Dictionary()
+        d.add_term("aaaa")
+        d.add_term("aaab")
+        stats = d.stats()
+        assert stats.inserts == 2
+
+
+class TestCombine:
+    def _two_shards(self):
+        trie = TrieTable()
+        s0 = DictionaryShard(trie, shard_id=0)
+        s1 = DictionaryShard(trie, shard_id=1)
+        s0.add_term("application")
+        s0.add_term("apple")
+        s1.add_term("zebra")
+        return trie, s0, s1
+
+    def test_combine_unions_terms(self):
+        _, s0, s1 = self._two_shards()
+        combined = Dictionary.combine([s0, s1])
+        assert combined.term_count() == 3
+        assert combined.lookup("zebra") is not None
+        assert combined.lookup("apple") is not None
+
+    def test_combine_preserves_term_ids(self):
+        _, s0, s1 = self._two_shards()
+        tid = s1.lookup("zebra")
+        combined = Dictionary.combine([s0, s1])
+        assert combined.lookup("zebra") == tid
+
+    def test_combine_rejects_overlap(self):
+        trie = TrieTable()
+        s0 = DictionaryShard(trie, shard_id=0)
+        s1 = DictionaryShard(trie, shard_id=1)
+        s0.add_term("zebra")
+        s1.add_term("zebu")  # same 'zeb' collection
+        with pytest.raises(ValueError):
+            Dictionary.combine([s0, s1])
+
+    def test_combine_rejects_mixed_heights(self):
+        s0 = DictionaryShard(TrieTable(height=3), shard_id=0)
+        s1 = DictionaryShard(TrieTable(height=2), shard_id=1)
+        with pytest.raises(ValueError):
+            Dictionary.combine([s0, s1])
+
+    def test_combine_empty(self):
+        assert Dictionary.combine([]).term_count() == 0
+
+
+class TestProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(terms, max_size=200))
+    def test_dictionary_is_a_set_with_ids(self, words):
+        d = Dictionary()
+        model: dict[str, int] = {}
+        for w in words:
+            tid, created = d.add_term(w)
+            if w in model:
+                assert not created and tid == model[w]
+            else:
+                assert created
+                model[w] = tid
+        assert dict(d.terms()) == model
+        d.check_invariants()

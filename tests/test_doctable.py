@@ -1,0 +1,85 @@
+"""The persisted global document-location table."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.config import PlatformConfig
+from repro.core.engine import IndexingEngine
+from repro.corpus.warc import read_packed_file
+from repro.postings.doctable import DOCTABLE_FILENAME, DocTable
+
+
+class TestDocTable:
+    def test_add_and_lookup(self):
+        table = DocTable()
+        assert table.add("f0", "u://a", 12) == 0
+        assert table.add("f0", "u://b", 99) == 1
+        row = table.lookup(1)
+        assert (row.source_file, row.uri, row.offset) == ("f0", "u://b", 99)
+        assert len(table) == 2
+
+    def test_lookup_bounds(self):
+        table = DocTable()
+        table.add("f", "u", 0)
+        with pytest.raises(KeyError):
+            table.lookup(1)
+        with pytest.raises(KeyError):
+            table.lookup(-1)
+
+    def test_documents_in_file(self):
+        table = DocTable()
+        table.add("a", "u0", 0)
+        table.add("b", "u1", 0)
+        table.add("a", "u2", 5)
+        assert [r.uri for r in table.documents_in_file("a")] == ["u0", "u2"]
+
+    def test_save_load_round_trip(self, tmp_path):
+        table = DocTable()
+        table.add("file_00000.warc.gz", "repro://x/doc0", 12)
+        table.add("file_00001.warc.gz", "repro://x/doc1", 345)
+        table.save(str(tmp_path))
+        loaded = DocTable.load(str(tmp_path))
+        assert loaded.rows == table.rows
+        assert DocTable.exists(str(tmp_path))
+
+    def test_corrupt_ids_detected(self, tmp_path):
+        with open(tmp_path / DOCTABLE_FILENAME, "w") as fh:
+            fh.write("5\tf\tu\t0\n")
+        with pytest.raises(ValueError):
+            DocTable.load(str(tmp_path))
+
+
+class TestEngineIntegration:
+    def test_engine_writes_doctable(self, tiny_collection, tmp_path):
+        out = str(tmp_path / "idx")
+        result = IndexingEngine(
+            PlatformConfig(num_parsers=2, num_cpu_indexers=1, num_gpus=0,
+                           sample_fraction=0.3)
+        ).build(tiny_collection, out)
+        table = DocTable.load(out)
+        assert len(table) == result.document_count
+        # Global IDs follow file order; rows point at real documents.
+        row = table.lookup(0)
+        assert row.source_file == os.path.basename(tiny_collection.files[0])
+        first_file_docs = read_packed_file(tiny_collection.files[0])
+        assert row.uri == first_file_docs[0].uri
+        # The recorded offset locates the DOC header in the container.
+        assert first_file_docs[0].offset == row.offset
+
+    def test_doc_ids_partition_by_file(self, tiny_collection, tmp_path):
+        out = str(tmp_path / "idx2")
+        IndexingEngine(
+            PlatformConfig(num_parsers=2, num_cpu_indexers=1, num_gpus=0,
+                           sample_fraction=0.3)
+        ).build(tiny_collection, out)
+        table = DocTable.load(out)
+        boundaries = [r.source_file for r in table.rows]
+        # Documents from one file are contiguous in global-ID order.
+        seen = []
+        for name in boundaries:
+            if not seen or seen[-1] != name:
+                seen.append(name)
+        assert len(seen) == tiny_collection.num_files

@@ -1,0 +1,79 @@
+"""Smoke tests: the shipped examples run end to end.
+
+Examples are documentation that executes; a refactor that breaks them
+must fail the suite, not a reader.  Each example's ``main`` runs against
+a throwaway work directory (the slower ones on the smallest scale their
+preset supports).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _load(name: str):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path, capsys, monkeypatch):
+        # Shrink the preset so the smoke test stays fast.
+        import repro.corpus.datasets as datasets
+
+        real = datasets.clueweb09_mini
+        monkeypatch.setattr(
+            "repro.corpus.datasets.clueweb09_mini",
+            lambda root, scale=0.4, seed=9: real(root, scale=0.1, seed=seed),
+        )
+        module = _load("quickstart")
+        module.main(str(tmp_path))
+        out = capsys.readouterr().out
+        assert "indexed" in out and "partial-list fetches" in out
+
+    def test_gpu_simulation(self, capsys):
+        module = _load("gpu_simulation")
+        module.demo_warp_search()
+        module.demo_memory_rules()
+        module.demo_warp_costs()
+        module.demo_device()
+        out = capsys.readouterr().out
+        assert "8 transactions" in out
+        assert "slot" in out
+
+    def test_paper_scale_simulation_runs(self, capsys):
+        module = _load("paper_scale_simulation")
+        module.main()
+        out = capsys.readouterr().out
+        assert "Table IV" in out and "Fig 12" in out
+        assert "315.46" in out  # the paper column is printed
+
+    def test_custom_corpus(self, tmp_path, capsys):
+        module = _load("custom_corpus")
+        module.main(str(tmp_path))
+        out = capsys.readouterr().out
+        assert "hardware.txt" in out and "BM25" in out
+
+    @pytest.mark.slow
+    def test_search_engine(self, tmp_path, capsys):
+        module = _load("search_engine")
+        module.main(str(tmp_path))
+        out = capsys.readouterr().out
+        assert "phrase query" in out
+
+    @pytest.mark.slow
+    def test_baseline_comparison(self, tmp_path, capsys):
+        module = _load("baseline_comparison")
+        module.main(str(tmp_path))
+        out = capsys.readouterr().out
+        assert "identical to engine: True" in out

@@ -1,0 +1,129 @@
+"""Failure injection: corrupt and inconsistent on-disk artifacts.
+
+A downstream system reads these files long after the build; corruption
+must surface as clear errors, never as silently wrong postings.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.dictionary.dictionary import Dictionary
+from repro.dictionary.serialize import save_dictionary, load_dictionary
+from repro.postings.lists import PostingsList
+from repro.postings.output import DocRangeMap, RunWriter, read_run_header
+from repro.postings.reader import PostingsReader
+
+
+def _plist(pairs):
+    pl = PostingsList()
+    for d, tf in pairs:
+        pl.add_posting(d, tf)
+    return pl
+
+
+def _write_index(out_dir: str) -> None:
+    writer = RunWriter(out_dir)
+    mapping = DocRangeMap()
+    for run_id in range(2):
+        mapping.add(
+            writer.write_run(run_id, {1: _plist([(run_id * 10, 1), (run_id * 10 + 3, 2)])})
+        )
+    mapping.save(out_dir)
+
+
+class TestCorruptRunFiles:
+    def test_truncated_payload_raises(self, tmp_path):
+        _write_index(str(tmp_path))
+        path = tmp_path / "run_00000.post"
+        data = path.read_bytes()
+        path.write_bytes(data[:-2])  # chop the payload tail
+        reader = PostingsReader(str(tmp_path))
+        with pytest.raises(EOFError):
+            reader.postings(1)
+
+    def test_zeroed_header_raises(self, tmp_path):
+        _write_index(str(tmp_path))
+        path = tmp_path / "run_00001.post"
+        path.write_bytes(b"\x00" * 64)
+        reader = PostingsReader(str(tmp_path))
+        with pytest.raises(ValueError):
+            reader.postings(1)
+
+    def test_unknown_codec_name_raises(self, tmp_path):
+        _write_index(str(tmp_path))
+        path = tmp_path / "run_00000.post"
+        data = bytearray(path.read_bytes())
+        # Patch the codec name bytes ("varbyte" follows magic + run_id +
+        # name length) to an unregistered name of the same length.
+        idx = data.find(b"varbyte")
+        data[idx : idx + 7] = b"zzzbyte"
+        path.write_bytes(bytes(data))
+        reader = PostingsReader(str(tmp_path))
+        with pytest.raises(KeyError):
+            reader.postings(1)
+
+    def test_overlapping_run_doc_ranges_detected(self, tmp_path):
+        # Two runs whose documents interleave: splicing must refuse.
+        writer = RunWriter(str(tmp_path))
+        mapping = DocRangeMap()
+        mapping.add(writer.write_run(0, {1: _plist([(0, 1), (10, 1)])}))
+        mapping.add(writer.write_run(1, {1: _plist([(5, 1)])}))
+        mapping.save(str(tmp_path))
+        reader = PostingsReader(str(tmp_path))
+        with pytest.raises(ValueError, match="overlap"):
+            reader.postings(1)
+
+    def test_missing_run_file(self, tmp_path):
+        _write_index(str(tmp_path))
+        os.remove(tmp_path / "run_00001.post")
+        with pytest.raises(FileNotFoundError):
+            PostingsReader(str(tmp_path))
+
+
+class TestMissingArtifacts:
+    def test_missing_runs_map(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            PostingsReader(str(tmp_path))
+
+    def test_corrupt_runs_map_line(self, tmp_path):
+        _write_index(str(tmp_path))
+        with open(tmp_path / "runs.map", "a") as fh:
+            fh.write("not a valid line\n")
+        with pytest.raises(ValueError):
+            PostingsReader(str(tmp_path))
+
+
+class TestCorruptDictionary:
+    def test_truncated_dictionary(self, tmp_path):
+        d = Dictionary()
+        for t in ["alpha", "beta", "gamma"]:
+            d.add_term(t)
+        path = str(tmp_path / "dictionary.bin")
+        save_dictionary(d, path)
+        data = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(data[: len(data) // 2])
+        with pytest.raises((EOFError, IndexError, UnicodeDecodeError)):
+            load_dictionary(path)
+
+    def test_reader_surfaces_dictionary_corruption(self, tmp_path):
+        _write_index(str(tmp_path))
+        with open(tmp_path / "dictionary.bin", "wb") as fh:
+            fh.write(b"JUNKJUNKJUNK")
+        with pytest.raises(ValueError):
+            PostingsReader(str(tmp_path))
+
+
+class TestHeaderParser:
+    def test_header_fields_robust(self, tmp_path):
+        writer = RunWriter(str(tmp_path))
+        run = writer.write_run(3, {9: _plist([(4, 2)])})
+        data = open(run.path, "rb").read()
+        run_id, codec, min_doc, max_doc, table, payload_start = read_run_header(data)
+        assert run_id == 3 and codec == "varbyte"
+        assert (min_doc, max_doc) == (4, 4)
+        assert set(table) == {9}
+        assert payload_start < len(data)

@@ -1,0 +1,99 @@
+"""Coalescing and shared-memory bank-conflict rules (Section I)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.memory import SharedMemory, coalesced_transactions, half_warp_transactions
+
+
+class TestCoalescing:
+    def test_aligned_node_load_is_8_lines(self):
+        # A 512-byte node at an aligned address = 8 × 64B transactions.
+        assert coalesced_transactions(0, 512) == 8
+
+    def test_misaligned_costs_extra_line(self):
+        assert coalesced_transactions(4, 512) == 9
+
+    def test_single_word(self):
+        assert coalesced_transactions(0, 4) == 1
+        assert coalesced_transactions(60, 8) == 2  # straddles a boundary
+
+    def test_zero_bytes(self):
+        assert coalesced_transactions(0, 0) == 0
+
+    def test_half_warp_fully_coalesced(self):
+        # 16 consecutive words in one line = one transaction.
+        addrs = [i * 4 for i in range(16)]
+        assert half_warp_transactions(addrs) == 1
+
+    def test_half_warp_strided_touches_many_lines(self):
+        # Stride-16-words: every lane in its own line.
+        addrs = [i * 64 for i in range(16)]
+        assert half_warp_transactions(addrs) == 16
+
+    def test_half_warp_same_word(self):
+        assert half_warp_transactions([128] * 16) == 1
+
+    def test_empty(self):
+        assert half_warp_transactions([]) == 0
+
+
+class TestSharedMemory:
+    def test_capacity_is_16kb(self):
+        sm = SharedMemory()
+        assert sm.size_bytes == 16 * 1024
+        assert sm.banks == 16
+
+    def test_alloc_and_overflow(self):
+        sm = SharedMemory()
+        base = sm.alloc(512)
+        assert base == 0
+        sm.alloc(15 * 1024 + 512)  # exactly fills
+        with pytest.raises(MemoryError):
+            sm.alloc(1)
+        sm.reset()
+        sm.alloc(16 * 1024)
+
+    def test_store_load(self):
+        sm = SharedMemory()
+        sm.store(64, b"node-bytes")
+        assert sm.load(64, 10) == b"node-bytes"
+
+    def test_store_past_end(self):
+        with pytest.raises(MemoryError):
+            SharedMemory().store(16 * 1024 - 2, b"xxxx")
+
+    def test_conflict_free_access_one_pass(self):
+        sm = SharedMemory()
+        # 16 lanes reading 16 consecutive words: one word per bank.
+        passes = sm.access([i * 4 for i in range(16)])
+        assert passes == 1
+
+    def test_broadcast_is_one_pass(self):
+        sm = SharedMemory()
+        assert sm.access([256] * 16) == 1
+
+    def test_two_way_conflict_two_passes(self):
+        sm = SharedMemory()
+        # Stride of 2 words: lanes pair up on 8 banks.
+        passes = sm.access([i * 8 for i in range(16)])
+        assert passes == 2
+
+    def test_worst_case_16_way(self):
+        sm = SharedMemory()
+        # All lanes in bank 0, all different words.
+        passes = sm.access([i * 64 for i in range(16)])
+        assert passes == 16
+
+    def test_conflict_degree_matches_access(self):
+        sm = SharedMemory()
+        addrs = [i * 8 for i in range(16)]
+        assert sm.conflict_degree(addrs) == 2
+
+    def test_accounting_accumulates(self):
+        sm = SharedMemory()
+        sm.access([0] * 16)
+        sm.access([i * 64 for i in range(16)])
+        assert sm.access_count == 2
+        assert sm.access_passes == 17

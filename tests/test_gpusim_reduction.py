@@ -1,0 +1,92 @@
+"""The Fig 7 warp-parallel comparison + reduction, checked against
+sequential binary search."""
+
+from __future__ import annotations
+
+import bisect
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpusim.reduction import (
+    REDUCTION_STEPS,
+    WARP_SIZE,
+    warp_compare_keys,
+    warp_find_slot,
+    warp_reduce_min,
+)
+
+keys_strategy = st.lists(
+    st.binary(min_size=1, max_size=5), max_size=31, unique=True
+).map(sorted)
+
+
+class TestCompareKeys:
+    def test_lane_results(self):
+        lanes = warp_compare_keys(b"m", [b"a", b"m", b"z"])
+        assert lanes[:3] == [1, 0, -1]
+        assert all(v == -1 for v in lanes[3:])  # +∞ sentinels
+
+    def test_too_many_keys_rejected(self):
+        with pytest.raises(ValueError):
+            warp_compare_keys(b"x", [b"k"] * 32)
+
+    def test_custom_comparator(self):
+        lanes = warp_compare_keys(b"x", [0, 1], compare=lambda q, k: k)  # type: ignore[arg-type]
+        assert lanes[0] == 0 and lanes[1] == 1
+
+
+class TestReduceMin:
+    def test_finds_minimum_and_lane(self):
+        values = list(range(WARP_SIZE))
+        values[17] = -5
+        assert warp_reduce_min(values) == (-5, 17)
+
+    def test_tie_resolves_to_lowest_lane(self):
+        values = [9] * WARP_SIZE
+        values[4] = 1
+        values[20] = 1
+        assert warp_reduce_min(values) == (1, 4)
+
+    def test_requires_full_warp(self):
+        with pytest.raises(ValueError):
+            warp_reduce_min([1, 2, 3])
+
+    def test_step_count_is_log2_warp(self):
+        assert REDUCTION_STEPS == 5
+        assert 2**REDUCTION_STEPS == WARP_SIZE
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=32, max_size=32))
+    def test_matches_python_min(self, values):
+        val, lane = warp_reduce_min(values)
+        assert val == min(values)
+        assert lane == values.index(val)
+
+
+class TestFindSlot:
+    def test_empty_node(self):
+        assert warp_find_slot(b"x", []) == (0, False)
+
+    def test_exact_hit(self):
+        keys = [b"b", b"d", b"f"]
+        assert warp_find_slot(b"d", keys) == (1, True)
+
+    def test_insert_positions(self):
+        keys = [b"b", b"d", b"f"]
+        assert warp_find_slot(b"a", keys) == (0, False)
+        assert warp_find_slot(b"c", keys) == (1, False)
+        assert warp_find_slot(b"z", keys) == (3, False)
+
+    def test_full_node_31_keys(self):
+        keys = [bytes([97 + i]) for i in range(26)] + [b"zz", b"zzz", b"zzzz", b"zzzzz", b"zzzzzz"]
+        assert len(keys) == 31
+        slot, found = warp_find_slot(b"zzz", keys)
+        assert (slot, found) == (27, True)
+
+    @given(keys_strategy, st.binary(min_size=1, max_size=5))
+    def test_agrees_with_binary_search(self, keys, query):
+        slot, found = warp_find_slot(query, keys)
+        expected_slot = bisect.bisect_left(keys, query)
+        expected_found = expected_slot < len(keys) and keys[expected_slot] == query
+        assert (slot, found) == (expected_slot, expected_found)

@@ -1,0 +1,101 @@
+"""Ingesting user documents into indexable collections."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import PlatformConfig
+from repro.core.engine import IndexingEngine
+from repro.corpus.collection import Collection
+from repro.corpus.ingest import ingest_directory, ingest_documents, ingest_jsonl
+from repro.corpus.warc import read_packed_file
+from repro.search.query import SearchEngine
+
+
+class TestIngestDocuments:
+    def test_packing_and_manifest(self, tmp_path):
+        docs = [(f"u://{i}", f"document number {i} about parallel indexing")
+                for i in range(10)]
+        coll = ingest_documents(docs, str(tmp_path), docs_per_file=4)
+        assert coll.num_docs == 10
+        assert coll.num_files == 3  # 4 + 4 + 2
+        reloaded = Collection.load("ingested", coll.directory)
+        assert reloaded.files == coll.files
+
+    def test_uri_whitespace_escaped(self, tmp_path):
+        coll = ingest_documents(
+            [("has space\tand tab", "text")], str(tmp_path), compress=False
+        )
+        doc = read_packed_file(coll.files[0])[0]
+        assert " " not in doc.uri and "\t" not in doc.uri
+        assert doc.text == "text"
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ingest_documents([], str(tmp_path))
+
+    def test_invalid_docs_per_file(self, tmp_path):
+        with pytest.raises(ValueError):
+            ingest_documents([("u", "t")], str(tmp_path), docs_per_file=0)
+
+
+class TestIngestDirectory:
+    def test_recursive_walk(self, tmp_path):
+        src = tmp_path / "src"
+        (src / "sub").mkdir(parents=True)
+        (src / "a.txt").write_text("alpha document about indexing")
+        (src / "sub" / "b.html").write_text("<p>beta document</p>")
+        (src / "ignored.bin").write_bytes(b"\x00\x01")
+        coll = ingest_directory(str(src), str(tmp_path / "out"))
+        assert coll.num_docs == 2
+        uris = {d.uri for d in read_packed_file(coll.files[0])}
+        assert any("a.txt" in u for u in uris)
+        assert any("b.html" in u for u in uris)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(NotADirectoryError):
+            ingest_directory(str(tmp_path / "nope"), str(tmp_path / "out"))
+
+
+class TestIngestJsonl:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "docs.jsonl"
+        rows = [
+            {"id": "doc-a", "text": "parallel inverted files"},
+            {"id": "doc-b", "text": "heterogeneous platforms"},
+            {"text": "anonymous document"},
+        ]
+        path.write_text("\n".join(json.dumps(r) for r in rows) + "\n\n")
+        coll = ingest_jsonl(str(path), str(tmp_path / "out"))
+        assert coll.num_docs == 3
+        docs = read_packed_file(coll.files[0])
+        assert docs[0].uri == "doc-a"
+        assert docs[2].uri == "jsonl://2"
+
+    def test_missing_text_field(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"body": "x"}\n')
+        with pytest.raises(KeyError):
+            ingest_jsonl(str(path), str(tmp_path / "out"))
+
+
+class TestEndToEnd:
+    def test_ingested_corpus_is_searchable(self, tmp_path):
+        docs = [
+            ("mem://0", "the quick brown fox jumps over the lazy dog"),
+            ("mem://1", "a fast algorithm for constructing inverted files"),
+            ("mem://2", "inverted files on heterogeneous platforms with a fox"),
+        ]
+        coll = ingest_documents(docs, str(tmp_path), docs_per_file=2, compress=False)
+        out = str(tmp_path / "index")
+        result = IndexingEngine(
+            PlatformConfig(num_parsers=1, num_cpu_indexers=1, num_gpus=0,
+                           sample_fraction=1.0, strip_html=False)
+        ).build(coll, out)
+        assert result.document_count == 3
+        engine = SearchEngine(out, num_docs=3)
+        assert engine.boolean_and("inverted files") == [1, 2]
+        assert engine.boolean_and("fox") == [0, 2]
+        assert engine.boolean_and("quick fox") == [0]

@@ -1,0 +1,60 @@
+"""The optional post-processing merge of partial postings lists."""
+
+from __future__ import annotations
+
+from repro.postings.compression import GolombCodec
+from repro.postings.lists import PostingsList
+from repro.postings.merge import merge_index
+from repro.postings.output import DocRangeMap, RunWriter
+from repro.postings.reader import PostingsReader
+
+
+def _build_multi_run(out_dir: str, runs: int = 4) -> None:
+    writer = RunWriter(out_dir)
+    mapping = DocRangeMap()
+    for run_id in range(runs):
+        lists = {}
+        for term in range(1, 6):
+            pl = PostingsList()
+            pl.add_posting(run_id * 100 + term, term)
+            pl.add_posting(run_id * 100 + term + 10, 1)
+            lists[term] = pl
+        mapping.add(writer.write_run(run_id, lists))
+    mapping.save(out_dir)
+
+
+class TestMerge:
+    def test_single_monolithic_run(self, tmp_path):
+        src, dst = str(tmp_path / "src"), str(tmp_path / "dst")
+        _build_multi_run(src)
+        stats = merge_index(src, dst)
+        assert stats["input_runs"] == 4
+        assert stats["terms"] == 5
+        merged = PostingsReader(dst)
+        assert merged.run_count() == 1
+
+    def test_postings_identical_after_merge(self, tmp_path):
+        src, dst = str(tmp_path / "src"), str(tmp_path / "dst")
+        _build_multi_run(src)
+        merge_index(src, dst)
+        before, after = PostingsReader(src), PostingsReader(dst)
+        for term in range(1, 6):
+            assert before.postings(term) == after.postings(term)
+
+    def test_merge_with_different_codec(self, tmp_path):
+        src, dst = str(tmp_path / "src"), str(tmp_path / "dst")
+        _build_multi_run(src)
+        merge_index(src, dst, codec=GolombCodec())
+        assert PostingsReader(dst).postings(3) == PostingsReader(src).postings(3)
+
+    def test_dictionary_copied(self, tmp_path):
+        from repro.dictionary.dictionary import Dictionary
+        from repro.dictionary.serialize import save_dictionary
+
+        src, dst = str(tmp_path / "src"), str(tmp_path / "dst")
+        _build_multi_run(src)
+        d = Dictionary()
+        d.add_term("alpha")
+        save_dictionary(d, f"{src}/dictionary.bin")
+        merge_index(src, dst)
+        assert (tmp_path / "dst" / "dictionary.bin").exists()

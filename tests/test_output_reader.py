@@ -1,0 +1,162 @@
+"""Run files, the docID-range map, and the retrieval path (§III.F)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.postings.compression import EliasGammaCodec
+from repro.postings.lists import PostingsList
+from repro.postings.output import DocRangeMap, RunWriter, read_run_header, run_filename
+from repro.postings.reader import PostingsReader
+
+
+def _plist(pairs):
+    pl = PostingsList()
+    for d, tf in pairs:
+        pl.add_posting(d, tf)
+    return pl
+
+
+def _write_three_runs(out_dir: str) -> DocRangeMap:
+    """Three runs covering doc ranges [0,9], [10,19], [20,29]."""
+    writer = RunWriter(out_dir)
+    mapping = DocRangeMap()
+    for run_id in range(3):
+        base = run_id * 10
+        lists = {
+            1: _plist([(base + 1, 2), (base + 5, 1)]),
+            2: _plist([(base + 3, 4)]),
+        }
+        if run_id == 1:
+            lists[3] = _plist([(base + 7, 1)])  # term only in run 1
+        mapping.add(writer.write_run(run_id, lists))
+    mapping.save(out_dir)
+    return mapping
+
+
+class TestRunWriter:
+    def test_header_round_trip(self, tmp_path):
+        writer = RunWriter(str(tmp_path))
+        run = writer.write_run(7, {42: _plist([(3, 1), (9, 2)])})
+        assert run.filename == run_filename(7) == "run_00007.post"
+        with open(run.path, "rb") as fh:
+            data = fh.read()
+        run_id, codec, min_doc, max_doc, table, _ = read_run_header(data)
+        assert (run_id, codec, min_doc, max_doc) == (7, "varbyte", 3, 9)
+        offset, length = table[42]
+        from repro.postings.compression import VarByteCodec
+
+        assert VarByteCodec().decode(data[offset : offset + length]) == [(3, 1), (9, 2)]
+
+    def test_empty_run(self, tmp_path):
+        run = RunWriter(str(tmp_path)).write_run(0, {})
+        assert run.min_doc is None and run.max_doc is None
+        assert run.entry_count == 0
+
+    def test_alternate_codec_recorded(self, tmp_path):
+        writer = RunWriter(str(tmp_path), codec=EliasGammaCodec())
+        run = writer.write_run(0, {1: _plist([(2, 1)])})
+        with open(run.path, "rb") as fh:
+            _, codec_name, *_ = read_run_header(fh.read())
+        assert codec_name == "gamma"
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            read_run_header(b"GARBAGE!")
+
+
+class TestDocRangeMap:
+    def test_overlap_queries(self, tmp_path):
+        mapping = _write_three_runs(str(tmp_path))
+        assert [r.run_id for r in mapping.runs_overlapping(0, 9)] == [0]
+        assert [r.run_id for r in mapping.runs_overlapping(5, 15)] == [0, 1]
+        assert [r.run_id for r in mapping.runs_overlapping(25, 99)] == [2]
+        assert mapping.runs_overlapping(100, 200) == []
+
+    def test_save_load_round_trip(self, tmp_path):
+        saved = _write_three_runs(str(tmp_path))
+        loaded = DocRangeMap.load(str(tmp_path))
+        assert [(r.run_id, r.min_doc, r.max_doc) for r in loaded.runs] == [
+            (r.run_id, r.min_doc, r.max_doc) for r in saved.runs
+        ]
+
+
+class TestPostingsReader:
+    def test_splices_runs_in_order(self, tmp_path):
+        _write_three_runs(str(tmp_path))
+        reader = PostingsReader(str(tmp_path))
+        assert reader.postings(1) == [
+            (1, 2), (5, 1), (11, 2), (15, 1), (21, 2), (25, 1),
+        ]
+        assert reader.postings(3) == [(17, 1)]
+        assert reader.postings(99) == []
+        assert reader.run_count() == 3
+
+    def test_range_narrowing_touches_fewer_runs(self, tmp_path):
+        _write_three_runs(str(tmp_path))
+        reader = PostingsReader(str(tmp_path))
+        out = reader.postings_in_range(1, 10, 19)
+        assert out == [(11, 2), (15, 1)]
+        assert reader.partial_fetches == 1  # only run 1 touched
+
+    def test_document_frequency(self, tmp_path):
+        _write_three_runs(str(tmp_path))
+        reader = PostingsReader(str(tmp_path))
+        assert reader.document_frequency(1) == 6
+        assert reader.document_frequency(3) == 1
+
+    def test_term_strings_require_dictionary(self, tmp_path):
+        _write_three_runs(str(tmp_path))
+        reader = PostingsReader(str(tmp_path))
+        with pytest.raises(RuntimeError):
+            reader.term_id("anything")
+
+    def test_term_strings_with_dictionary(self, tmp_path):
+        from repro.dictionary.dictionary import Dictionary
+        from repro.dictionary.serialize import save_dictionary
+
+        d = Dictionary()
+        tid, _ = d.add_term("parallel")
+        writer = RunWriter(str(tmp_path))
+        mapping = DocRangeMap()
+        mapping.add(writer.write_run(0, {tid: _plist([(4, 2)])}))
+        mapping.save(str(tmp_path))
+        save_dictionary(d, str(tmp_path / "dictionary.bin"))
+        reader = PostingsReader(str(tmp_path))
+        assert reader.postings("parallel") == [(4, 2)]
+        assert reader.postings("absent") == []
+        assert reader.vocabulary() == {"parallel": tid}
+
+
+class TestMmapReader:
+    def test_mmap_mode_identical_results(self, tmp_path):
+        _write_three_runs(str(tmp_path))
+        plain = PostingsReader(str(tmp_path))
+        with PostingsReader(str(tmp_path), use_mmap=True) as mapped:
+            for term in (1, 2, 3, 99):
+                assert mapped.postings(term) == plain.postings(term)
+            assert mapped.postings_in_range(1, 5, 15) == plain.postings_in_range(1, 5, 15)
+
+    def test_close_releases_handles(self, tmp_path):
+        _write_three_runs(str(tmp_path))
+        reader = PostingsReader(str(tmp_path), use_mmap=True)
+        reader.postings(1)
+        assert reader._open_runs
+        reader.close()
+        assert not reader._open_runs
+        # Reader remains usable: files reopen on demand.
+        assert reader.postings(2)
+
+    def test_mmap_with_engine_output(self, tiny_collection, tmp_path):
+        from repro.core.config import PlatformConfig
+        from repro.core.engine import IndexingEngine
+
+        out = str(tmp_path / "idx")
+        IndexingEngine(
+            PlatformConfig(num_parsers=2, num_cpu_indexers=1, num_gpus=0,
+                           sample_fraction=0.3)
+        ).build(tiny_collection, out)
+        with PostingsReader(out, use_mmap=True) as reader:
+            vocab = reader.vocabulary()
+            term = next(iter(vocab))
+            assert reader.postings(term)

@@ -1,0 +1,91 @@
+"""The full parser pipeline (Steps 1–5, Fig 3)."""
+
+from __future__ import annotations
+
+from repro.parsing.parser import Parser
+
+
+class TestParseTexts:
+    def test_basic_metrics(self):
+        parser = Parser(strip_html=False)
+        batch, metrics = parser.parse_texts(["the parallel indexers run quickly"])
+        assert metrics.num_docs == 1
+        assert metrics.tokens_raw == 5
+        # "the" is a stop word; the rest survive.
+        assert metrics.tokens_stopped >= 1
+        assert metrics.tokens_emitted + metrics.tokens_stopped == metrics.tokens_raw
+        assert batch.total_tokens == metrics.tokens_emitted
+
+    def test_stemming_applied_before_split(self):
+        parser = Parser(strip_html=False)
+        batch, _ = parser.parse_texts(["parallelization parallelism"])
+        # Both stem to "parallel" → same trie collection, same suffix.
+        trie = parser.trie
+        split = trie.split("parallel")
+        assert batch.collections[split.index][0][1] == [split.suffix.encode()] * 2
+
+    def test_trie_split_uses_stemmed_head(self):
+        # "ties" stems to "ti" (2 letters): collection changes from the
+        # raw token's full-prefix bucket to the short bucket.
+        parser = Parser(strip_html=False)
+        batch, _ = parser.parse_texts(["ties"])
+        trie = parser.trie
+        assert list(batch.collections) == [trie.trie_index("ti")]
+
+    def test_regroup_disabled_keeps_document_order(self):
+        parser = Parser(strip_html=False, regroup=False)
+        batch, _ = parser.parse_texts(["zebra apple zebra"])
+        assert batch.ungrouped is not None
+        suffixes = [s for _, toks in batch.ungrouped for _, s in toks]
+        trie = parser.trie
+        z = trie.split("zebra").suffix.encode()
+        a = trie.split("appl").suffix.encode()  # apple stems to appl
+        assert suffixes == [z, a, z]
+
+    def test_regroup_toggle_same_multiset(self):
+        text = ["the quick brown foxes jumped over lazy dogs repeatedly"] * 3
+        on, _ = Parser(strip_html=False, regroup=True).parse_texts(text)
+        off, _ = Parser(strip_html=False, regroup=False).parse_texts(text)
+        grouped = sorted(
+            (c, d, s)
+            for c, streams in on.collections.items()
+            for d, sufs in streams
+            for s in sufs
+        )
+        ungrouped = sorted(
+            (c, d, s) for d, toks in off.ungrouped for c, s in toks
+        )
+        assert grouped == ungrouped
+        assert on.tokens_per_collection == off.tokens_per_collection
+
+    def test_stem_cache_misses_decline(self):
+        parser = Parser(strip_html=False)
+        _, m1 = parser.parse_texts(["reusing vocabulary words repeatedly"])
+        _, m2 = parser.parse_texts(["reusing vocabulary words repeatedly"])
+        assert m2.stem_cache_misses == 0
+        assert m1.stem_cache_misses > 0
+
+
+class TestParseFile:
+    def test_file_metrics(self, tiny_collection):
+        parser = Parser()
+        parsed = parser.parse_file(tiny_collection.files[0], sequence=0)
+        m = parsed.metrics
+        assert m.compressed_bytes > 0
+        assert m.uncompressed_bytes > m.compressed_bytes / 20
+        assert m.num_docs == 10
+        assert len(parsed.doc_table) == 10
+        assert parsed.batch.source_file == tiny_collection.files[0]
+
+    def test_doc_table_has_locations(self, tiny_collection):
+        parsed = Parser().parse_file(tiny_collection.files[0])
+        offsets = [e.offset for e in parsed.doc_table]
+        assert offsets == sorted(offsets)
+        assert all(e.source_file for e in parsed.doc_table)
+        assert [e.local_doc_id for e in parsed.doc_table] == list(range(10))
+
+    def test_deterministic(self, tiny_collection):
+        b1, _ = Parser().parse_texts(["alpha beta"]), None
+        a = Parser().parse_file(tiny_collection.files[0]).batch
+        b = Parser().parse_file(tiny_collection.files[0]).batch
+        assert a.tokens_per_collection == b.tokens_per_collection

@@ -1,0 +1,142 @@
+"""The Porter stemmer: published vectors and structural properties."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parsing.porter import PorterStemmer, stem
+
+
+class TestPaperExample:
+    def test_parallel_family(self):
+        """Section II: parallelize, parallelization, parallelism are all
+        based on parallel."""
+        for word in ["parallelize", "parallelization", "parallelism", "parallel"]:
+            assert stem(word) == "parallel", word
+
+
+class TestClassicVectors:
+    """Canonical examples from Porter's 1980 paper and test suites."""
+
+    VECTORS = {
+        # step 1a
+        "caresses": "caress",
+        "ponies": "poni",
+        "ties": "ti",
+        "caress": "caress",
+        "cats": "cat",
+        # step 1b
+        "feed": "feed",
+        "agreed": "agre",
+        "plastered": "plaster",
+        "bled": "bled",
+        "motoring": "motor",
+        "sing": "sing",
+        "conflated": "conflat",
+        "troubled": "troubl",
+        "sized": "size",
+        "hopping": "hop",
+        "tanned": "tan",
+        "falling": "fall",
+        "hissing": "hiss",
+        "fizzed": "fizz",
+        "failing": "fail",
+        "filing": "file",
+        # step 1c
+        "happy": "happi",
+        "sky": "sky",
+        # step 2
+        "relational": "relat",
+        "conditional": "condit",
+        "rational": "ration",
+        "valenci": "valenc",
+        "hesitanci": "hesit",
+        "digitizer": "digit",
+        "conformabli": "conform",
+        "radicalli": "radic",
+        "differentli": "differ",
+        "vileli": "vile",
+        "analogousli": "analog",
+        "vietnamization": "vietnam",
+        "predication": "predic",
+        "operator": "oper",
+        "feudalism": "feudal",
+        "decisiveness": "decis",
+        "hopefulness": "hope",
+        "callousness": "callous",
+        "formaliti": "formal",
+        "sensitiviti": "sensit",
+        "sensibiliti": "sensibl",
+        # step 3
+        "triplicate": "triplic",
+        "formative": "form",
+        "formalize": "formal",
+        "electriciti": "electr",
+        "electrical": "electr",
+        "hopeful": "hope",
+        "goodness": "good",
+        # step 4
+        "revival": "reviv",
+        "allowance": "allow",
+        "inference": "infer",
+        "airliner": "airlin",
+        "gyroscopic": "gyroscop",
+        "adjustable": "adjust",
+        "defensible": "defens",
+        "irritant": "irrit",
+        "replacement": "replac",
+        "adjustment": "adjust",
+        "dependent": "depend",
+        "adoption": "adopt",
+        "homologou": "homolog",
+        "communism": "commun",
+        "activate": "activ",
+        "angulariti": "angular",
+        "homologous": "homolog",
+        "effective": "effect",
+        "bowdlerize": "bowdler",
+        # step 5
+        "probate": "probat",
+        "rate": "rate",
+        "cease": "ceas",
+        "controll": "control",
+        "roll": "roll",
+    }
+
+    def test_all_vectors(self):
+        failures = {
+            w: (stem(w), want)
+            for w, want in self.VECTORS.items()
+            if stem(w) != want
+        }
+        assert not failures, failures
+
+
+class TestStructure:
+    def test_short_words_untouched(self):
+        assert stem("a") == "a"
+        assert stem("at") == "at"
+
+    def test_cache_counts_misses_once(self):
+        s = PorterStemmer()
+        s.stem("running")
+        before = s.misses
+        s.stem("running")
+        assert s.misses == before
+
+    def test_instances_independent(self):
+        a, b = PorterStemmer(), PorterStemmer()
+        a.stem("running")
+        assert b.misses == 0
+
+    @given(st.text(alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz"), max_size=20))
+    def test_never_crashes_never_grows(self, word):
+        out = stem(word)
+        assert len(out) <= len(word) + 1  # only at/bl/iz add an 'e'
+        assert out == out.lower()
+
+    @given(st.text(alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz"), min_size=1, max_size=20))
+    def test_cached_equals_uncached(self, word):
+        s = PorterStemmer()
+        assert s.stem(word) == s.stem(word) == stem(word)

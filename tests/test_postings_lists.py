@@ -1,0 +1,73 @@
+"""In-memory postings accumulation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.postings.lists import PostingsAccumulator, PostingsList
+
+
+class TestPostingsList:
+    def test_occurrences_fold_into_tf(self):
+        pl = PostingsList()
+        for doc in [1, 1, 1, 5, 9, 9]:
+            pl.add_occurrence(doc)
+        assert pl.postings() == [(1, 3), (5, 1), (9, 2)]
+        assert pl.document_frequency == 3
+        assert pl.collection_frequency == 6
+
+    def test_out_of_order_rejected(self):
+        pl = PostingsList()
+        pl.add_occurrence(5)
+        with pytest.raises(ValueError):
+            pl.add_occurrence(3)
+
+    def test_add_posting_strictly_increasing(self):
+        pl = PostingsList()
+        pl.add_posting(1, 2)
+        with pytest.raises(ValueError):
+            pl.add_posting(1, 1)
+        with pytest.raises(ValueError):
+            pl.add_posting(2, 0)
+
+    def test_iteration(self):
+        pl = PostingsList()
+        pl.add_posting(1, 2)
+        pl.add_posting(4, 1)
+        assert list(pl) == [(1, 2), (4, 1)]
+        assert len(pl) == 2
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=100))
+    def test_tf_equals_occurrence_count(self, docs):
+        docs = sorted(docs)
+        pl = PostingsList()
+        for d in docs:
+            pl.add_occurrence(d)
+        assert pl.collection_frequency == len(docs)
+        assert pl.doc_ids == sorted(set(docs))
+        for doc, tf in pl:
+            assert tf == docs.count(doc)
+
+
+class TestAccumulator:
+    def test_routes_by_term(self):
+        acc = PostingsAccumulator()
+        acc.add_occurrence(10, 0)
+        acc.add_occurrence(20, 0)
+        acc.add_occurrence(10, 1)
+        assert acc.term_count == 2
+        assert acc.posting_count == 3
+        assert acc.token_count == 3
+        assert acc.lists[10].postings() == [(0, 1), (1, 1)]
+
+    def test_drain_resets(self):
+        acc = PostingsAccumulator()
+        acc.add_occurrence(1, 0)
+        drained = acc.drain()
+        assert 1 in drained
+        assert len(acc) == 0
+        assert acc.token_count == 0
+        acc.add_occurrence(1, 5)  # reusable after drain
+        assert acc.lists[1].postings() == [(5, 1)]

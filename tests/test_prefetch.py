@@ -1,0 +1,53 @@
+"""Threaded parse prefetching: real pipeline overlap, identical output."""
+
+from __future__ import annotations
+
+import filecmp
+import os
+
+import pytest
+
+from repro.core.config import PlatformConfig
+from repro.core.engine import IndexingEngine
+
+
+def _cfg(**overrides) -> PlatformConfig:
+    defaults = dict(num_parsers=3, num_cpu_indexers=2, num_gpus=1, sample_fraction=0.3)
+    defaults.update(overrides)
+    return PlatformConfig(**defaults)
+
+
+class TestPrefetch:
+    @pytest.mark.parametrize("prefetch", [1, 2, 4])
+    def test_prefetched_build_byte_identical(self, prefetch, tiny_collection, tmp_path):
+        serial_dir = str(tmp_path / "serial")
+        threaded_dir = str(tmp_path / "threaded")
+        IndexingEngine(_cfg(parse_prefetch=0)).build(tiny_collection, serial_dir)
+        result = IndexingEngine(_cfg(parse_prefetch=prefetch)).build(
+            tiny_collection, threaded_dir
+        )
+        assert result.document_count == tiny_collection.num_docs
+        names = sorted(os.listdir(serial_dir))
+        assert names == sorted(os.listdir(threaded_dir))
+        for name in names:
+            assert filecmp.cmp(
+                os.path.join(serial_dir, name),
+                os.path.join(threaded_dir, name),
+                shallow=False,
+            ), name
+
+    def test_prefetch_with_positions_and_grouped_runs(self, tiny_collection, tmp_path):
+        out = str(tmp_path / "combo")
+        result = IndexingEngine(
+            _cfg(parse_prefetch=3, positional=True, files_per_run=2)
+        ).build(tiny_collection, out)
+        assert result.run_count == -(-tiny_collection.num_files // 2)
+        from repro.postings.reader import PostingsReader
+
+        reader = PostingsReader(out)
+        assert reader.is_positional
+        assert reader.vocabulary()
+
+    def test_invalid_prefetch(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(parse_prefetch=-1)

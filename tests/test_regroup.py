@@ -1,0 +1,110 @@
+"""Step-5 regrouping: the paper's cache-locality transform."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parsing.regroup import ParsedBatch, regroup
+
+doc_streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=50),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.binary(min_size=1, max_size=6),
+            ),
+            max_size=20,
+        ),
+    ),
+    max_size=15,
+).map(lambda docs: [(i, toks) for i, (_, toks) in enumerate(docs)])
+
+
+class TestRegroup:
+    def test_paper_output_shape(self):
+        """Trie collection i: (Doc_ID1, term1, term2, ...), (Doc_ID2, ...)"""
+        docs = [
+            (0, [(5, b"x"), (7, b"y"), (5, b"z")]),
+            (1, [(5, b"w")]),
+        ]
+        collections, tokens, chars, _ = regroup(docs)
+        assert collections[5] == [(0, [b"x", b"z"]), (1, [b"w"])]
+        assert collections[7] == [(0, [b"y"])]
+        assert tokens == {5: 3, 7: 1}
+        assert chars == {5: 3, 7: 1}
+
+    def test_document_order_preserved_within_collection(self):
+        docs = [(i, [(3, f"t{i}".encode())]) for i in range(10)]
+        collections, _, _, _ = regroup(docs)
+        assert [doc for doc, _ in collections[3]] == list(range(10))
+
+    def test_empty_documents_skipped(self):
+        collections, tokens, chars, _ = regroup([(0, []), (1, [(2, b"a")])])
+        assert 0 not in {doc for streams in collections.values() for doc, _ in streams}
+        assert tokens == {2: 1}
+
+    @given(doc_streams)
+    def test_token_conservation(self, docs):
+        """Every (doc, suffix) occurrence survives regrouping exactly once."""
+        collections, tokens, chars, _ = regroup(docs)
+        original: list[tuple[int, int, bytes]] = []
+        for doc_id, toks in docs:
+            for cidx, suffix in toks:
+                original.append((cidx, doc_id, suffix))
+        regrouped: list[tuple[int, int, bytes]] = []
+        for cidx, streams in collections.items():
+            for doc_id, suffixes in streams:
+                for suffix in suffixes:
+                    regrouped.append((cidx, doc_id, suffix))
+        assert sorted(original) == sorted(regrouped)
+        assert sum(tokens.values()) == len(original)
+        assert sum(chars.values()) == sum(len(s) for _, _, s in original)
+
+    def test_positions_track_token_ordinals(self):
+        docs = [
+            (0, [(5, b"x"), (7, b"y"), (5, b"z")]),
+            (1, [(7, b"w"), (7, b"v")]),
+        ]
+        collections, _, _, positions = regroup(docs, with_positions=True)
+        assert positions[5] == [[0, 2]]
+        assert positions[7] == [[1], [0, 1]]
+        # positions[cidx] is parallel to collections[cidx].
+        for cidx in collections:
+            assert len(positions[cidx]) == len(collections[cidx])
+            for (d, sufs), pos in zip(collections[cidx], positions[cidx]):
+                assert len(sufs) == len(pos)
+                assert pos == sorted(pos)
+
+    def test_positions_none_by_default(self):
+        _, _, _, positions = regroup([(0, [(1, b"a")])])
+        assert positions is None
+
+    @given(doc_streams)
+    def test_within_doc_order_preserved(self, docs):
+        collections, _, _, _ = regroup(docs)
+        for cidx, streams in collections.items():
+            for doc_id, suffixes in streams:
+                expected = [s for c, s in dict(docs)[doc_id] if c == cidx]
+                assert suffixes == expected
+
+
+class TestParsedBatch:
+    def test_totals(self):
+        batch = ParsedBatch(parser_id=0, sequence=0, source_file="f")
+        (
+            batch.collections,
+            batch.tokens_per_collection,
+            batch.chars_per_collection,
+            _,
+        ) = regroup([(0, [(1, b"ab"), (2, b"c")])])
+        assert batch.total_tokens == 2
+        assert batch.total_chars == 3
+        assert batch.regrouped
+
+    def test_ungrouped_totals(self):
+        batch = ParsedBatch(parser_id=0, sequence=0, source_file="f")
+        batch.ungrouped = [(0, [(1, b"ab")]), (1, [(1, b"c"), (2, b"d")])]
+        assert batch.total_tokens == 3
+        assert not batch.regrouped

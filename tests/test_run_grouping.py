@@ -1,0 +1,49 @@
+"""Run grouping: multiple collection files per run (Fig 8 batch sizing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PlatformConfig
+from repro.core.engine import IndexingEngine
+from repro.postings.reader import PostingsReader
+
+
+@pytest.mark.parametrize("files_per_run", [1, 2, 4, 100])
+def test_grouped_runs_same_index(
+    files_per_run, tiny_collection, reference_index, tmp_path
+):
+    out = str(tmp_path / f"idx{files_per_run}")
+    result = IndexingEngine(
+        PlatformConfig(
+            num_parsers=2, num_cpu_indexers=1, num_gpus=1,
+            sample_fraction=0.3, files_per_run=files_per_run,
+        )
+    ).build(tiny_collection, out)
+    expected_runs = -(-tiny_collection.num_files // files_per_run)
+    assert result.run_count == expected_runs
+    reader = PostingsReader(out)
+    assert reader.run_count() == expected_runs
+    # Postings are identical regardless of run batching.
+    for term, expected in reference_index.items():
+        assert reader.postings(term) == expected, term
+
+
+def test_grouped_runs_preserve_range_narrowing(tiny_collection, tmp_path):
+    out = str(tmp_path / "grouped")
+    result = IndexingEngine(
+        PlatformConfig(num_parsers=2, num_cpu_indexers=1, num_gpus=0,
+                       sample_fraction=0.3, files_per_run=2)
+    ).build(tiny_collection, out)
+    reader = PostingsReader(out)
+    term = next(iter(reader.vocabulary()))
+    full = reader.postings(term)
+    lo, hi = 0, result.document_count // 2
+    assert reader.postings_in_range(term, lo, hi) == [
+        p for p in full if lo <= p[0] <= hi
+    ]
+
+
+def test_invalid_files_per_run():
+    with pytest.raises(ValueError):
+        PlatformConfig(files_per_run=0)

@@ -1,0 +1,45 @@
+"""Stop-word removal (Step 4 of Fig 3)."""
+
+from __future__ import annotations
+
+from repro.parsing.porter import stem
+from repro.parsing.stopwords import STOP_WORDS, StopWordFilter
+
+
+class TestStopWordFilter:
+    def setup_method(self):
+        self.filter = StopWordFilter()
+
+    def test_plain_stop_words(self):
+        for word in ["the", "to", "and", "of", "in"]:
+            assert self.filter.is_stop(word), word
+
+    def test_stemmed_forms_caught(self):
+        # The paper stems before removal, so the filter must match the
+        # stemmed shape: Porter turns "this" into "thi".
+        assert self.filter.is_stop(stem("this"))
+        assert self.filter.is_stop(stem("having"))
+        assert self.filter.is_stop(stem("ourselves"))
+
+    def test_contraction_fragments(self):
+        # Tokenizer splits "aren't" into "aren" + "t".
+        assert self.filter.is_stop("aren")
+        assert self.filter.is_stop("t")
+
+    def test_content_words_pass(self):
+        for word in ["parallel", "index", "gpu", "comput"]:
+            assert not self.filter.is_stop(word), word
+
+    def test_contains_protocol(self):
+        assert "the" in self.filter
+        assert "parallel" not in self.filter
+
+    def test_list_is_reasonably_sized(self):
+        assert len(STOP_WORDS) > 100
+        # Contraction fragments merge, stemmed variants add: same ballpark.
+        assert len(self.filter) > 100
+
+    def test_custom_word_set(self):
+        f = StopWordFilter(frozenset({"foo"}))
+        assert f.is_stop("foo")
+        assert not f.is_stop("the")

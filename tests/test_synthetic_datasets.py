@@ -1,0 +1,97 @@
+"""Synthetic collection generation and the dataset presets."""
+
+from __future__ import annotations
+
+import os
+
+from repro.corpus.collection import Collection, collection_statistics
+from repro.corpus.datasets import PAPER_COLLECTION_STATS, clueweb09_mini
+from repro.corpus.synthetic import CollectionSpec, SegmentSpec, generate_collection
+from repro.corpus.warc import read_packed_file
+
+
+def _spec(name: str, html: bool = True) -> CollectionSpec:
+    return CollectionSpec(
+        name=name,
+        seed=3,
+        segments=(
+            SegmentSpec(
+                name="s0", num_files=2, docs_per_file=5,
+                tokens_per_doc_mean=40, vocab_size=500, html=html,
+            ),
+        ),
+    )
+
+
+class TestGeneration:
+    def test_files_and_manifest(self, tmp_path):
+        coll = generate_collection(_spec("g1"), str(tmp_path))
+        assert coll.num_files == 2
+        assert coll.num_docs == 10
+        assert all(os.path.exists(f) for f in coll.files)
+        assert os.path.exists(os.path.join(coll.directory, "manifest.tsv"))
+
+    def test_idempotent_reload(self, tmp_path):
+        c1 = generate_collection(_spec("g2"), str(tmp_path))
+        mtime = os.path.getmtime(c1.files[0])
+        c2 = generate_collection(_spec("g2"), str(tmp_path))  # loads manifest
+        assert os.path.getmtime(c2.files[0]) == mtime
+        assert c2.compressed_bytes == c1.compressed_bytes
+        assert c2.files == c1.files
+
+    def test_force_regenerates(self, tmp_path):
+        c1 = generate_collection(_spec("g3"), str(tmp_path))
+        c2 = generate_collection(_spec("g3"), str(tmp_path), force=True)
+        assert c2.num_docs == c1.num_docs
+
+    def test_deterministic_content(self, tmp_path):
+        c1 = generate_collection(_spec("g4"), str(tmp_path / "a"))
+        c2 = generate_collection(_spec("g4"), str(tmp_path / "b"))
+        d1 = read_packed_file(c1.files[0])
+        d2 = read_packed_file(c2.files[0])
+        assert [d.text for d in d1] == [d.text for d in d2]
+
+    def test_html_profile_contains_markup(self, tmp_path):
+        coll = generate_collection(_spec("g5", html=True), str(tmp_path))
+        text = read_packed_file(coll.files[0])[0].text
+        assert "<html>" in text and "</body>" in text
+
+    def test_text_profile_is_plain(self, tmp_path):
+        coll = generate_collection(_spec("g6", html=False), str(tmp_path))
+        text = read_packed_file(coll.files[0])[0].text
+        assert "<" not in text
+
+    def test_manifest_round_trip(self, tmp_path):
+        c1 = generate_collection(_spec("g7"), str(tmp_path))
+        c2 = Collection.load("g7", c1.directory)
+        assert c2.files == c1.files
+        assert c2.file_segments == c1.file_segments
+        assert c2.seed == c1.seed
+
+
+class TestPresets:
+    def test_clueweb_mini_segments(self, tmp_path):
+        coll = clueweb09_mini(str(tmp_path), scale=0.15)
+        segs = set(coll.file_segments)
+        assert segs == {"web", "wikipedia.org"}
+        # Wikipedia files are the trailing ones (the Fig 11 layout).
+        boundary = coll.file_segments.index("wikipedia.org")
+        assert all(s == "web" for s in coll.file_segments[:boundary])
+        assert all(s == "wikipedia.org" for s in coll.file_segments[boundary:])
+
+    def test_paper_stats_table(self):
+        cw = PAPER_COLLECTION_STATS["clueweb09"]
+        assert cw.num_docs == 50_220_423
+        assert cw.num_terms == 84_799_475
+        assert cw.num_tokens == 32_644_508_255
+        assert len(PAPER_COLLECTION_STATS) == 3
+
+
+class TestStatistics:
+    def test_collection_statistics(self, tiny_collection):
+        stats = collection_statistics(tiny_collection)
+        assert stats.num_docs == tiny_collection.num_docs
+        assert stats.num_tokens > 0
+        assert 0 < stats.num_terms <= stats.num_tokens
+        assert stats.tokens_per_doc > 0
+        assert stats.compression_ratio > 1.0

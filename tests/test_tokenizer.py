@@ -1,0 +1,92 @@
+"""Tokenization and markup stripping (Step 2 of Fig 3)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dictionary.trie import TrieTable
+from repro.parsing.tokenizer import Tokenizer, strip_markup
+
+
+class TestStripMarkup:
+    def test_tags_removed(self):
+        assert strip_markup("<p>hello</p>").strip() == "hello"
+
+    def test_attributes_removed(self):
+        out = strip_markup('<a href="http://x.com" class="y">link</a>')
+        assert "href" not in out and "link" in out
+
+    def test_script_and_style_blocks_dropped_entirely(self):
+        text = "<script>var x = 1;</script>body<style>.c{color:red}</style>"
+        out = strip_markup(text)
+        assert "var" not in out and "color" not in out and "body" in out
+
+    def test_entities_removed(self):
+        out = strip_markup("fish &amp; chips &nbsp;done")
+        assert "&" not in out and "amp" not in out
+        assert "fish" in out and "chips" in out
+
+    def test_plain_text_untouched(self):
+        assert strip_markup("no tags here") == "no tags here"
+
+
+class TestTokenizer:
+    def test_lowercases(self):
+        t = Tokenizer(strip_html=False)
+        assert list(t.tokens("Hello WORLD")) == ["hello", "world"]
+
+    def test_splits_on_punctuation(self):
+        t = Tokenizer(strip_html=False)
+        assert list(t.tokens("a,b;c.d-e_f")) == ["a", "b", "c", "d", "e", "f"]
+
+    def test_numbers_kept(self):
+        t = Tokenizer(strip_html=False)
+        assert list(t.tokens("in 1999 the 3d")) == ["in", "1999", "the", "3d"]
+
+    def test_unicode_letters_kept(self):
+        t = Tokenizer(strip_html=False)
+        assert list(t.tokens("café zoé")) == ["café", "zoé"]
+
+    def test_html_stripped_when_enabled(self):
+        on = Tokenizer(strip_html=True)
+        off = Tokenizer(strip_html=False)
+        text = "<div class='x'>word</div>"
+        assert list(on.tokens(text)) == ["word"]
+        assert "div" in list(off.tokens(text))
+
+    def test_overlong_tokens_dropped(self):
+        t = Tokenizer(strip_html=False, max_token_bytes=8)
+        assert list(t.tokens("short verylongtokenhere ok")) == ["short", "ok"]
+
+    def test_max_token_capped_at_255(self):
+        t = Tokenizer(strip_html=False, max_token_bytes=10_000)
+        assert t.max_token_bytes == 255
+
+    def test_counters(self):
+        t = Tokenizer(strip_html=False)
+        list(t.tokens("one two three"))
+        assert t.tokens_emitted == 3
+        assert t.chars_scanned == len("one two three")
+
+    def test_trie_index_byproduct(self):
+        t = Tokenizer(strip_html=False)
+        trie = TrieTable()
+        pairs = list(t.tokens_with_index("Application 954 the"))
+        assert pairs == [
+            ("application", trie.trie_index("application")),
+            ("954", trie.trie_index("954")),
+            ("the", trie.trie_index("the")),
+        ]
+
+    @given(st.text(max_size=300))
+    def test_never_crashes(self, text):
+        t = Tokenizer(strip_html=True)
+        for token, idx in t.tokens_with_index(text):
+            assert token == token.lower()
+            assert 0 <= idx < t.trie.num_collections
+
+    @given(st.lists(st.text(alphabet="abcdefg", min_size=1, max_size=8), max_size=30))
+    def test_whitespace_joining_preserves_tokens(self, words):
+        t = Tokenizer(strip_html=False)
+        assert list(t.tokens(" ".join(words))) == words

@@ -1,0 +1,97 @@
+"""Zipf vocabulary/sampler and Heaps' law."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.zipf import ZipfSampler, ZipfVocabulary, heaps_vocabulary_size
+
+
+class TestVocabulary:
+    def test_size_and_uniqueness(self):
+        v = ZipfVocabulary(size=2000, seed=1)
+        assert len(v) == 2000
+        assert len(set(v.terms)) == 2000
+
+    def test_deterministic(self):
+        assert ZipfVocabulary(500, seed=5).terms == ZipfVocabulary(500, seed=5).terms
+
+    def test_different_seeds_differ(self):
+        assert ZipfVocabulary(500, seed=5).terms != ZipfVocabulary(500, seed=6).terms
+
+    def test_mean_length_near_target(self):
+        v = ZipfVocabulary(size=5000, seed=2, mean_length=7.2)
+        mean = np.mean([len(t) for t in v.terms])
+        assert 5.5 < mean < 9.0
+
+    def test_category_mix(self):
+        v = ZipfVocabulary(size=5000, seed=3, number_fraction=0.02, special_fraction=0.01)
+        numbers = sum(t[0].isdigit() for t in v.terms)
+        specials = sum(any(not ("a" <= c <= "z") for c in t) and not t[0].isdigit() for t in v.terms)
+        assert 30 < numbers < 300
+        assert 10 < specials < 200
+
+    def test_first_letter_skew(self):
+        v = ZipfVocabulary(size=10000, seed=4)
+        t_count = sum(t.startswith("t") for t in v.terms)
+        z_count = sum(t.startswith("z") for t in v.terms)
+        assert t_count > 5 * max(1, z_count)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ZipfVocabulary(0)
+
+
+class TestSampler:
+    def test_zipf_skew(self):
+        v = ZipfVocabulary(size=1000, seed=1)
+        s = ZipfSampler(v, s=1.0, seed=2)
+        ranks = s.sample_ranks(50_000)
+        top10 = np.sum(ranks < 10) / len(ranks)
+        assert top10 > 0.25  # the head dominates
+
+    def test_exponent_zero_is_uniform(self):
+        v = ZipfVocabulary(size=100, seed=1)
+        s = ZipfSampler(v, s=0.0, seed=2)
+        ranks = s.sample_ranks(50_000)
+        head = np.sum(ranks < 10) / len(ranks)
+        assert 0.05 < head < 0.15
+
+    def test_terms_come_from_vocabulary(self):
+        v = ZipfVocabulary(size=50, seed=1)
+        s = ZipfSampler(v, seed=3)
+        assert set(s.sample_terms(500)) <= set(v.terms)
+
+    def test_expected_frequency_sums_to_one(self):
+        v = ZipfVocabulary(size=200, seed=1)
+        s = ZipfSampler(v, seed=1)
+        total = sum(s.expected_frequency(r) for r in range(200))
+        assert total == pytest.approx(1.0)
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(ZipfVocabulary(10, seed=1), s=-1.0)
+
+    def test_deterministic_stream(self):
+        v = ZipfVocabulary(size=100, seed=1)
+        a = ZipfSampler(v, seed=9).sample_ranks(100)
+        b = ZipfSampler(v, seed=9).sample_ranks(100)
+        assert np.array_equal(a, b)
+
+
+class TestHeaps:
+    def test_monotone_and_sublinear(self):
+        v1 = heaps_vocabulary_size(1e6)
+        v2 = heaps_vocabulary_size(1e8)
+        assert v2 > v1
+        assert v2 / v1 < 100  # sublinear growth
+
+    def test_paper_scale_fit(self):
+        # k/β chosen so ClueWeb09's 32.6G tokens ↔ tens of millions of terms.
+        v = heaps_vocabulary_size(32_644_508_255)
+        assert 3e7 < v < 3e8
+
+    def test_edge_cases(self):
+        assert heaps_vocabulary_size(0) == 0
+        assert heaps_vocabulary_size(1) >= 1
