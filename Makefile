@@ -1,6 +1,6 @@
 # Canonical workflows for the reproduction.
 
-.PHONY: install test test-fast bench report examples clean
+.PHONY: install test test-fast chaos bench report examples clean
 
 install:
 	python setup.py develop
@@ -10,6 +10,9 @@ test:
 
 test-fast:
 	pytest tests/ -m "not slow"
+
+chaos:
+	pytest tests/ -m chaos -v
 
 bench:
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

@@ -5,7 +5,11 @@ Commands mirror the library's workflow:
 - ``generate`` — materialize a synthetic mini collection (ClueWeb /
   Wikipedia / Congress profile);
 - ``stats`` — parse a collection and print its Table III row;
-- ``build`` — run the heterogeneous engine over a collection directory;
+- ``build`` — run the heterogeneous engine over a collection directory
+  (``--resume`` continues an interrupted build, ``--on-error`` picks the
+  skip / quarantine policy for corrupt containers);
+- ``verify`` — check an index directory's checksums and cross-file
+  invariants; exits non-zero on the first inconsistency;
 - ``query`` — Boolean / ranked / phrase retrieval over an index;
 - ``merge`` — consolidate a multi-run index into one monolithic run;
 - ``report`` — regenerate the full reproduction report (scorecard +
@@ -45,6 +49,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--name", default="ingested")
     ingest.add_argument("--docs-per-file", type=int, default=256)
     ingest.add_argument("--text-field", default="text", help="JSONL body field")
+    ingest.add_argument("--on-error", choices=["strict", "skip"], default="strict",
+                        help="skip: drop undecodable documents instead of aborting")
 
     stats = sub.add_parser("stats", help="Table III statistics of a collection")
     stats.add_argument("collection", help="collection directory (with manifest.tsv)")
@@ -61,6 +67,23 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        help="store token positions (enables phrase queries)")
     build.add_argument("--sample-fraction", type=float, default=0.01)
     build.add_argument("--no-html", action="store_true")
+    build.add_argument("--resume", action="store_true",
+                       help="continue an interrupted build from its last "
+                            "durable run (checkpoint.bin + build.manifest)")
+    build.add_argument("--on-error", choices=["strict", "skip", "quarantine"],
+                       default="strict",
+                       help="policy for permanently unreadable container files")
+    build.add_argument("--quarantine-dir", default=None,
+                       help="where quarantined containers go (default: "
+                            "quarantine/ inside the collection)")
+
+    verify = sub.add_parser(
+        "verify", help="check an index's checksums and cross-file invariants"
+    )
+    verify.add_argument("index", help="index directory")
+    verify.add_argument("--keep-going", action="store_true",
+                        help="report every inconsistency instead of "
+                             "stopping at the first")
 
     query = sub.add_parser("query", help="search an index directory")
     query.add_argument("index", help="index directory")
@@ -127,14 +150,19 @@ def _cmd_ingest(args) -> int:
         coll = ingest_jsonl(
             args.source, args.output, name=args.name,
             text_field=args.text_field, docs_per_file=args.docs_per_file,
+            on_error=args.on_error,
         )
     else:
         coll = ingest_directory(
             args.source, args.output, name=args.name,
-            docs_per_file=args.docs_per_file,
+            docs_per_file=args.docs_per_file, on_error=args.on_error,
         )
     print(f"{coll.name}: {coll.num_docs} documents in {coll.num_files} container "
           f"files at {coll.directory}")
+    if coll.ingest_skipped:
+        print(f"skipped {len(coll.ingest_skipped)} undecodable document(s):")
+        for reason in coll.ingest_skipped[:20]:
+            print(f"  {reason}")
     return 0
 
 
@@ -166,14 +194,43 @@ def _cmd_build(args) -> int:
         positional=args.positional,
         sample_fraction=args.sample_fraction,
         strip_html=not args.no_html,
+        on_error=args.on_error,
+        quarantine_dir=args.quarantine_dir,
     )
-    result = IndexingEngine(config).build(_load_collection(args.collection), args.output)
+    result = IndexingEngine(config).build(
+        _load_collection(args.collection), args.output, resume=args.resume
+    )
     print(f"indexed {result.token_count:,} tokens, {result.term_count:,} terms, "
           f"{result.document_count:,} docs into {result.run_count} runs")
     print(f"wall time: {result.wall_seconds:.1f}s; simulated on the paper's node: "
           f"{result.report.total_s:.2f}s = {result.report.throughput_mbps:.1f} MB/s")
     print(f"CPU/GPU token split: {result.split.cpu_tokens:,} / {result.split.gpu_tokens:,}")
+    rb = result.robustness
+    if rb.resumed_runs:
+        print(f"resumed: {rb.resumed_runs} run(s) recovered from the manifest")
+    if rb.retries:
+        print(f"retries: {rb.retries} (backoff {rb.retry_backoff_s:.2f}s)")
+    for skipped in rb.skipped:
+        where = f" → {skipped.quarantined_to}" if skipped.quarantined_to else ""
+        print(f"{skipped.action}: {skipped.path}{where} ({skipped.reason})")
+    for failover in rb.gpu_failovers:
+        print(failover.describe())
     return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.robustness.verify import verify_index
+
+    result = verify_index(args.index, keep_going=args.keep_going)
+    for issue in result.issues:
+        print(str(issue), file=sys.stderr)
+    if result.ok:
+        print(f"ok: {result.runs_checked} run(s), {result.docs_checked} doc(s), "
+              f"{result.terms_checked} term(s) verified")
+        return 0
+    print(f"{len(result.issues)} inconsistenc"
+          f"{'y' if len(result.issues) == 1 else 'ies'} found", file=sys.stderr)
+    return 1
 
 
 def _cmd_query(args) -> int:
@@ -250,6 +307,7 @@ def main(argv: list[str] | None = None) -> int:
         "ingest": _cmd_ingest,
         "stats": _cmd_stats,
         "build": _cmd_build,
+        "verify": _cmd_verify,
         "query": _cmd_query,
         "merge": _cmd_merge,
         "report": _cmd_report,

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field, replace
 
 from repro.gpusim.costmodel import GPUSpec, TESLA_C1060
 from repro.indexers.assignment import PopularityPolicy
+from repro.robustness.policy import ON_ERROR_POLICIES
+from repro.robustness.retry import RetryPolicy
 
 __all__ = ["PlatformConfig"]
 
@@ -71,6 +73,18 @@ class PlatformConfig:
     #: positional codec automatically when left on "varbyte".
     positional: bool = False
 
+    # --- robustness (docs/ROBUSTNESS.md) -------------------------------- #
+    #: What to do with a permanently unreadable container file:
+    #: ``"strict"`` aborts the build, ``"skip"`` records and continues,
+    #: ``"quarantine"`` additionally moves the file aside for triage.
+    on_error: str = "strict"
+    #: Backoff schedule applied to every container read (sampling and
+    #: build); only transient errors are retried.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Where quarantined containers land (default: ``quarantine/`` inside
+    #: the collection directory).
+    quarantine_dir: str | None = None
+
     def __post_init__(self) -> None:
         if self.positional:
             if self.codec == "varbyte":
@@ -95,6 +109,10 @@ class PlatformConfig:
             raise ValueError(
                 "need at least one indexer (CPU or GPU); use the pipeline "
                 "simulator's parse_only mode for the Fig 10 parse-only series"
+            )
+        if self.on_error not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_POLICIES}, got {self.on_error!r}"
             )
         if self.num_parsers + self.num_cpu_indexers > self.total_cores:
             raise ValueError(

@@ -26,6 +26,7 @@ through the dictionary and splices partial postings across runs.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 from dataclasses import dataclass, field
@@ -35,6 +36,7 @@ from repro.core.costs import CostConstants, StageCosts
 from repro.core.pipeline import BuildReport, simulate_full_build
 from repro.core.workload import FileWork, GroupWork
 from repro.corpus.collection import Collection
+from repro.corpus.warc import CorruptContainerError
 from repro.dictionary.dictionary import Dictionary, DictionaryShard
 from repro.dictionary.serialize import save_dictionary
 from repro.dictionary.trie import TrieTable
@@ -49,9 +51,26 @@ from repro.postings.compression import get_codec
 from repro.postings.lists import PostingsList
 from repro.postings.doctable import DocTable
 from repro.postings.output import DocRangeMap, RunWriter
+from repro.robustness import faults
+from repro.robustness.checkpoint import (
+    BuildManifest,
+    RunRecord,
+    clear_checkpoint,
+    crc32_of_file,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.robustness.errors import RetryExhausted
+from repro.robustness.policy import GpuFailover, RobustnessReport, SkippedFile
+from repro.robustness.retry import RetryOutcome, retry_call
 from repro.util.timing import Stopwatch
 
 __all__ = ["IndexingEngine", "EngineResult", "WorkSplit"]
+
+#: Errors that mark a container permanently unreadable — the retry layer
+#: has already given up (or declined to try) by the time these surface, so
+#: they go straight to the ``on_error`` policy.
+_PERMANENT_READ_ERRORS = (CorruptContainerError, RetryExhausted, OSError)
 
 
 @dataclass
@@ -84,6 +103,9 @@ class EngineResult:
     wall_seconds: float = 0.0
     stopwatch: Stopwatch = field(default_factory=Stopwatch)
     indexer_reports: dict[str, IndexerReport] = field(default_factory=dict)
+    #: Fault handling summary: retries, skipped/quarantined files, GPU
+    #: failovers, and how many runs a resume recovered from the manifest.
+    robustness: RobustnessReport = field(default_factory=RobustnessReport)
 
     @property
     def simulated_total_seconds(self) -> float:
@@ -112,101 +134,214 @@ class IndexingEngine:
 
     # ------------------------------------------------------------------ #
 
-    def build(self, collection: Collection, output_dir: str) -> EngineResult:
-        """Build inverted files for ``collection`` into ``output_dir``."""
+    def build(
+        self, collection: Collection, output_dir: str, resume: bool = False
+    ) -> EngineResult:
+        """Build inverted files for ``collection`` into ``output_dir``.
+
+        ``resume=True`` restarts an interrupted build from its last
+        durable run boundary (``checkpoint.bin`` + ``build.manifest``);
+        the resumed build allocates the same term ids and produces output
+        byte-identical to an uninterrupted one.  With no checkpoint on
+        disk, ``resume=True`` silently falls back to a fresh build.
+        """
         cfg = self.config
         watch = Stopwatch()
         t_start = time.perf_counter()
         os.makedirs(output_dir, exist_ok=True)
 
-        trie = TrieTable(height=cfg.trie_height)
+        injector = faults.active()
+        manifest = BuildManifest(output_dir)
+        fingerprint = self._fingerprint(collection)
 
-        # ---- 1. sampling + assignment (Section III.E) ----------------- #
-        with watch.measure("sampling"):
-            sampled = sample_collection(
-                collection,
-                sample_fraction=cfg.sample_fraction,
-                strip_html=cfg.strip_html,
+        state = load_checkpoint(output_dir) if resume else None
+        if state is not None and state.get("fingerprint") != fingerprint:
+            raise ValueError(
+                f"checkpoint in {output_dir} was written for a different "
+                "configuration or collection; delete checkpoint.bin or "
+                "rebuild from scratch"
             )
-            assignment = build_assignment(
-                sampled, cfg.num_cpu_indexers, cfg.num_gpus, cfg.popularity
-            )
+
+        if state is not None:
+            # ---- resume: restore the run-boundary state graph --------- #
+            trie = state["trie"]
+            assignment = state["assignment"]
+            cpu_indexers = state["cpu_indexers"]
+            gpu_indexers = state["gpu_indexers"]
+            doc_table = state["doc_table"]
+            file_works = state["file_works"]
+            range_map = state["range_map"]
+            robustness = state["robustness"]
+            doc_offset = state["doc_offset"]
+            token_count = state["token_count"]
+            posting_count = state["posting_count"]
+            run_count = state["run_count"]
+            start_file = state["next_file_index"]
+            robustness.resumed_runs = run_count
+            # A crash between manifest append and checkpoint replace
+            # leaves one orphan record; drop it and re-index that run.
+            manifest.truncate_runs(run_count)
+        else:
+            trie = TrieTable(height=cfg.trie_height)
+            robustness = RobustnessReport(on_error=cfg.on_error)
+
+            # ---- 1. sampling + assignment (Section III.E) ------------- #
+            with watch.measure("sampling"):
+                faults.set_stage("sampling")
+                try:
+                    sampled = sample_collection(
+                        collection,
+                        sample_fraction=cfg.sample_fraction,
+                        strip_html=cfg.strip_html,
+                        retry=cfg.retry,
+                        on_error=cfg.on_error,
+                        report=robustness,
+                    )
+                finally:
+                    faults.set_stage("build")
+                assignment = build_assignment(
+                    sampled, cfg.num_cpu_indexers, cfg.num_gpus, cfg.popularity
+                )
+
+            # ---- 2. indexers ------------------------------------------ #
+            cpu_indexers = [
+                CPUIndexer(
+                    i,
+                    DictionaryShard(
+                        trie, shard_id=i, degree=cfg.btree_degree,
+                        use_string_cache=cfg.use_string_cache,
+                    ),
+                )
+                for i in range(cfg.num_cpu_indexers)
+            ]
+            gpu_indexers: list = [
+                GPUIndexer(
+                    100 + j,
+                    DictionaryShard(
+                        trie, shard_id=100 + j, degree=cfg.btree_degree,
+                        use_string_cache=cfg.use_string_cache,
+                    ),
+                    device=Device(device_id=j, spec=cfg.gpu_spec),
+                    num_blocks=cfg.thread_blocks_per_gpu,
+                    schedule=cfg.gpu_schedule,
+                    fidelity=cfg.gpu_fidelity,
+                )
+                for j in range(cfg.num_gpus)
+            ]
+            doc_table = DocTable()
+            range_map = DocRangeMap()
+            file_works = []
+            doc_offset = 0
+            token_count = 0
+            posting_count = 0
+            run_count = 0
+            start_file = 0
+            manifest.start(fingerprint, collection.name, len(collection.files))
+
         popular_set = set(assignment.popular)
-
-        # ---- 2. indexers ---------------------------------------------- #
-        cpu_indexers = [
-            CPUIndexer(
-                i,
-                DictionaryShard(
-                    trie, shard_id=i, degree=cfg.btree_degree,
-                    use_string_cache=cfg.use_string_cache,
-                ),
-            )
-            for i in range(cfg.num_cpu_indexers)
-        ]
-        gpu_indexers = [
-            GPUIndexer(
-                100 + j,
-                DictionaryShard(
-                    trie, shard_id=100 + j, degree=cfg.btree_degree,
-                    use_string_cache=cfg.use_string_cache,
-                ),
-                device=Device(device_id=j, spec=cfg.gpu_spec),
-                num_blocks=cfg.thread_blocks_per_gpu,
-                schedule=cfg.gpu_schedule,
-                fidelity=cfg.gpu_fidelity,
-            )
-            for j in range(cfg.num_gpus)
-        ]
+        split = WorkSplit()
 
         # ---- 3. parse + index + write runs (Fig 8) -------------------- #
         writer = RunWriter(output_dir, codec=get_codec(cfg.codec), num_stripes=cfg.output_stripes)
-        range_map = DocRangeMap()
-        doc_table = DocTable()
-        file_works: list[FileWork] = []
-        split = WorkSplit()
-        doc_offset = 0
-        token_count = 0
-        posting_count = 0
-        run_count = 0
+        run_file_indices: list[int] = []
+        run_first_doc = doc_offset
+        run_docs = 0
 
-        parsed_stream = self._parsed_files(collection, trie, watch)
-        for k, parsed in enumerate(parsed_stream):
-            batch = parsed.batch
+        parsed_stream = self._parsed_files(
+            collection, trie, watch, start=start_file, robustness=robustness
+        )
+        for k, parsed, error, outcome in parsed_stream:
+            if injector is not None:
+                for ordinal in injector.gpu_failures(k):
+                    self._fail_gpu(ordinal, k, gpu_indexers, assignment, robustness)
 
-            with watch.measure("index"):
-                pop_work, unpop_work = self._index_batch(
-                    batch, doc_offset, assignment, popular_set, cpu_indexers, gpu_indexers
+            if error is not None:
+                self._handle_read_failure(collection, k, error, robustness)
+            else:
+                batch = parsed.batch
+                with watch.measure("index"):
+                    pop_work, unpop_work = self._index_batch(
+                        batch, doc_offset, assignment, popular_set,
+                        cpu_indexers, gpu_indexers,
+                    )
+                file_works.append(
+                    FileWork(
+                        file_index=k,
+                        compressed_bytes=parsed.metrics.compressed_bytes,
+                        uncompressed_bytes=parsed.metrics.uncompressed_bytes,
+                        num_docs=batch.num_docs,
+                        raw_tokens=parsed.metrics.tokens_raw,
+                        popular=pop_work,
+                        unpopular=unpop_work,
+                        segment=collection.segment_of(k),
+                        fault_delay_s=outcome.backoff_s if outcome else 0.0,
+                    )
                 )
+                for entry in parsed.doc_table:
+                    doc_table.add(entry.source_file, entry.uri, entry.offset)
+                token_count += batch.total_tokens
+                doc_offset += batch.num_docs
+                run_docs += batch.num_docs
+                run_file_indices.append(k)
 
             # A run closes after `files_per_run` files (the paper's
-            # fixed-total-size batches) or at the end of the collection.
+            # fixed-total-size batches) or at the end of the collection —
+            # on file *position*, so run numbering survives skipped files.
             if (k + 1) % cfg.files_per_run == 0 or k == len(collection.files) - 1:
                 with watch.measure("write_runs"):
                     run_lists: dict[int, PostingsList] = {}
                     for indexer in [*cpu_indexers, *gpu_indexers]:
                         run_lists.update(indexer.drain_postings())
-                    posting_count += sum(len(p) for p in run_lists.values())
+                    run_postings = sum(len(p) for p in run_lists.values())
+                    posting_count += run_postings
                     run_id = k // cfg.files_per_run
-                    range_map.add(writer.write_run(run_id, run_lists))
+                    run_file = writer.write_run(run_id, run_lists)
+                    range_map.add(run_file)
                     run_count += 1
-
-            file_works.append(
-                FileWork(
-                    file_index=k,
-                    compressed_bytes=parsed.metrics.compressed_bytes,
-                    uncompressed_bytes=parsed.metrics.uncompressed_bytes,
-                    num_docs=batch.num_docs,
-                    raw_tokens=parsed.metrics.tokens_raw,
-                    popular=pop_work,
-                    unpopular=unpop_work,
-                    segment=collection.segment_of(k),
+                # Durability order: run file → manifest append →
+                # checkpoint replace.  A crash at any point leaves a
+                # resumable directory (see repro.robustness.checkpoint).
+                manifest.append_run(
+                    RunRecord(
+                        run_id=run_id,
+                        path=os.path.relpath(run_file.path, output_dir),
+                        crc32=crc32_of_file(run_file.path),
+                        min_doc=run_file.min_doc,
+                        max_doc=run_file.max_doc,
+                        entry_count=run_file.entry_count,
+                        byte_size=run_file.byte_size,
+                        first_doc=run_first_doc,
+                        docs=run_docs,
+                        postings=run_postings,
+                        file_indices=tuple(run_file_indices),
+                        files=tuple(
+                            os.path.basename(collection.files[i])
+                            for i in run_file_indices
+                        ),
+                    )
                 )
-            )
-            for entry in parsed.doc_table:
-                doc_table.add(entry.source_file, entry.uri, entry.offset)
-            token_count += batch.total_tokens
-            doc_offset += batch.num_docs
+                save_checkpoint(
+                    output_dir,
+                    {
+                        "fingerprint": fingerprint,
+                        "trie": trie,
+                        "assignment": assignment,
+                        "cpu_indexers": cpu_indexers,
+                        "gpu_indexers": gpu_indexers,
+                        "doc_table": doc_table,
+                        "file_works": file_works,
+                        "range_map": range_map,
+                        "robustness": robustness,
+                        "doc_offset": doc_offset,
+                        "token_count": token_count,
+                        "posting_count": posting_count,
+                        "run_count": run_count,
+                        "next_file_index": k + 1,
+                    },
+                )
+                run_file_indices = []
+                run_first_doc = doc_offset
+                run_docs = 0
 
         # ---- 4. dictionary epilogue (Table VI) ------------------------ #
         with watch.measure("dict_combine"):
@@ -217,16 +352,22 @@ class IndexingEngine:
             save_dictionary(dictionary, os.path.join(output_dir, "dictionary.bin"))
             range_map.save(output_dir)
             doc_table.save(output_dir)
+        clear_checkpoint(output_dir)  # the build is durable without it now
 
         # ---- 5. Table V split + simulated timing ----------------------- #
-        for ix in cpu_indexers:
-            split.cpu_tokens += ix.total.tokens
-            split.cpu_terms += ix.total.new_terms
-            split.cpu_characters += ix.shard.string_bytes() - ix.total.new_terms
-        for ix in gpu_indexers:
-            split.gpu_tokens += ix.total.tokens
-            split.gpu_terms += ix.total.new_terms
-            split.gpu_characters += ix.shard.string_bytes() - ix.total.new_terms
+        # Bucket by the indexer's *kind*: after a GPU failover, the slot in
+        # gpu_indexers holds a CPU fallback whose work (including what the
+        # dead GPU indexed first — see GpuFailover.tokens_before_failure)
+        # counts on the CPU side.
+        for ix in [*cpu_indexers, *gpu_indexers]:
+            if ix.kind == "cpu":
+                split.cpu_tokens += ix.total.tokens
+                split.cpu_terms += ix.total.new_terms
+                split.cpu_characters += ix.shard.string_bytes() - ix.total.new_terms
+            else:
+                split.gpu_tokens += ix.total.tokens
+                split.gpu_terms += ix.total.new_terms
+                split.gpu_characters += ix.shard.string_bytes() - ix.total.new_terms
 
         report = simulate_full_build(file_works, cfg, self.costs)
 
@@ -248,13 +389,105 @@ class IndexingEngine:
                 f"{ix.kind}{ix.indexer_id}": ix.total
                 for ix in [*cpu_indexers, *gpu_indexers]
             },
+            robustness=robustness,
         )
         return result
 
     # ------------------------------------------------------------------ #
+    # Robustness plumbing
+    # ------------------------------------------------------------------ #
 
-    def _parsed_files(self, collection: Collection, trie: TrieTable, watch: Stopwatch):
-        """Yield parsed files in collection order.
+    def _fingerprint(self, collection: Collection) -> str:
+        """Identity of (config, collection) a checkpoint must match."""
+        basis = (
+            f"{self.config!r}|{collection.name}|{collection.num_files}|"
+            f"{collection.seed}"
+        )
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+    def _handle_read_failure(
+        self,
+        collection: Collection,
+        file_index: int,
+        error: Exception,
+        robustness: RobustnessReport,
+    ) -> None:
+        """Apply the ``on_error`` policy to a permanently unreadable file."""
+        cfg = self.config
+        if cfg.on_error == "strict":
+            raise error
+        path = collection.files[file_index]
+        reason = f"{type(error).__name__}: {error}"
+        if cfg.on_error == "quarantine":
+            dest = collection.quarantine_file(
+                file_index, reason, quarantine_dir=cfg.quarantine_dir
+            )
+            robustness.skipped.append(
+                SkippedFile(
+                    file_index=file_index,
+                    path=path,
+                    reason=reason,
+                    action="quarantine",
+                    quarantined_to=dest,
+                )
+            )
+        else:
+            robustness.skipped.append(
+                SkippedFile(file_index=file_index, path=path, reason=reason)
+            )
+
+    def _fail_gpu(
+        self,
+        ordinal: int,
+        file_index: int,
+        gpu_indexers: list,
+        assignment: WorkAssignment,
+        robustness: RobustnessReport,
+    ) -> None:
+        """Replace a dead GPU indexer with a CPU fallback, mid-build.
+
+        The fallback adopts the failed indexer's dictionary shard and
+        postings accumulator *objects*, so term ids, accumulated postings
+        and run output are exactly what the GPU would have produced — the
+        index stays correct; only the (simulated) speed degrades.
+        """
+        if not 0 <= ordinal < len(gpu_indexers):
+            return
+        failed = gpu_indexers[ordinal]
+        if failed.kind != "gpu":
+            return  # this ordinal already failed over
+        replacement = CPUIndexer(failed.indexer_id, failed.shard)
+        replacement.accumulator = failed.accumulator
+        replacement.total = failed.total
+        gpu_indexers[ordinal] = replacement
+        assignment.mark_gpu_failed(ordinal)
+        robustness.gpu_failovers.append(
+            GpuFailover(
+                gpu_ordinal=ordinal,
+                indexer_id=failed.indexer_id,
+                file_index=file_index,
+                collections=len(assignment.gpu_sets[ordinal]),
+                tokens_before_failure=failed.total.tokens,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _parsed_files(
+        self,
+        collection: Collection,
+        trie: TrieTable,
+        watch: Stopwatch,
+        start: int = 0,
+        robustness: RobustnessReport | None = None,
+    ):
+        """Yield ``(file_index, parsed, error, retry_outcome)`` in order.
+
+        Every container read runs under the config's retry policy; a file
+        that stays unreadable yields ``parsed=None`` with the permanent
+        ``error`` for the caller's ``on_error`` policy (a fatal injected
+        fault propagates — that *is* the crash).  ``start`` skips files a
+        resumed build already indexed.
 
         With ``parse_prefetch > 0`` a thread pool reads, decompresses and
         parses up to that many files ahead — gzip inflation and the regex
@@ -274,12 +507,32 @@ class IndexingEngine:
                 positional=cfg.positional,
             )
 
+        def attempt(parser: Parser, k: int, path: str):
+            """Parse under retry; classify the outcome for the caller."""
+            def call():
+                parser.parser_id = k % cfg.num_parsers
+                return parser.parse_file(path, sequence=k)
+
+            try:
+                parsed, outcome = retry_call(call, cfg.retry, path)
+                return parsed, None, outcome
+            except _PERMANENT_READ_ERRORS as exc:
+                return None, exc, None
+
+        def merge(outcome: RetryOutcome | None) -> None:
+            if outcome is not None and robustness is not None:
+                robustness.merge_outcome(outcome.retries, outcome.backoff_s)
+
+        indices = range(start, len(collection.files))
+
         if cfg.parse_prefetch <= 0:
             parser = make_parser()
-            for k, path in enumerate(collection.files):
+            for k in indices:
+                path = collection.files[k]
                 with watch.measure("parse"):
-                    parser.parser_id = k % cfg.num_parsers
-                    yield parser.parse_file(path, sequence=k)
+                    parsed, error, outcome = attempt(parser, k, path)
+                merge(outcome)
+                yield k, parsed, error, outcome
             return
 
         import itertools
@@ -289,29 +542,28 @@ class IndexingEngine:
 
         local = threading.local()
 
-        def parse_one(args: tuple[int, str]):
-            k, path = args
+        def parse_one(k: int):
             parser = getattr(local, "parser", None)
             if parser is None:
                 parser = make_parser()
                 local.parser = parser
-            parser.parser_id = k % cfg.num_parsers
-            return parser.parse_file(path, sequence=k)
+            return attempt(parser, k, collection.files[k])
 
         window = cfg.parse_prefetch
         with ThreadPoolExecutor(max_workers=window) as pool:
             pending = deque()
-            files = iter(enumerate(collection.files))
-            for args in itertools.islice(files, window):
-                pending.append(pool.submit(parse_one, args))
+            files = iter(indices)
+            for k in itertools.islice(files, window):
+                pending.append((k, pool.submit(parse_one, k)))
             while pending:
-                future = pending.popleft()
+                k, future = pending.popleft()
                 with watch.measure("parse"):
-                    parsed = future.result()
+                    parsed, error, outcome = future.result()
+                merge(outcome)
                 nxt = next(files, None)
                 if nxt is not None:
-                    pending.append(pool.submit(parse_one, nxt))
-                yield parsed
+                    pending.append((nxt, pool.submit(parse_one, nxt)))
+                yield k, parsed, error, outcome
 
     def _index_batch(
         self,
@@ -371,10 +623,10 @@ class IndexingEngine:
             subs.items(), key=lambda kv: (kv[0][0], kv[0][1], kv[0][2])
         ):
             indexer = cpu_indexers[idx] if kind == "cpu" else gpu_indexers[idx]
-            if kind == "cpu":
-                rep = indexer.index_batch(sub, doc_offset)
-            else:
-                rep = indexer.index_batch(sub, doc_offset).report
+            # A GPU slot can hold a CPU fallback after a failover, so
+            # normalize on the report attribute GPU batches carry.
+            res = indexer.index_batch(sub, doc_offset)
+            rep = getattr(res, "report", res)
             g = groups[is_popular]
             g.tokens += rep.tokens
             g.new_terms += rep.new_terms

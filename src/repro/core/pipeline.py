@@ -49,6 +49,8 @@ class PipelineReport:
     post_total_s: float = 0.0
     indexer_wait_s: float = 0.0
     disk_busy_s: float = 0.0
+    #: Total parser-stage seconds lost to faults and retry backoff.
+    fault_delay_s: float = 0.0
     per_file_indexing_s: list[float] = field(default_factory=list)
     per_file_segment: list[str] = field(default_factory=list)
 
@@ -138,6 +140,12 @@ def simulate_pipeline(
             work = works[k]
             yield Request(disk)
             yield Timeout(costs.read_seconds(work))
+            if work.fault_delay_s:
+                # Retried reads hold the disk token while backing off —
+                # a sick file delays every parser behind it, exactly the
+                # degradation a shared-disk pipeline exhibits.
+                yield Timeout(work.fault_delay_s)
+                report.fault_delay_s += work.fault_delay_s
             disk.release()
             yield Timeout(costs.decompress_seconds(work))
             yield Timeout(costs.parse_seconds(work, regroup=config.regroup))

@@ -78,6 +78,9 @@ class FileWork:
     popular: GroupWork = field(default_factory=GroupWork)
     unpopular: GroupWork = field(default_factory=GroupWork)
     segment: str = ""
+    #: Wall seconds lost to injected faults and retry backoff while reading
+    #: this file — charged to the parser stage by the pipeline simulator.
+    fault_delay_s: float = 0.0
 
     @property
     def tokens(self) -> int:

@@ -10,11 +10,20 @@ stop-word removal, matching how the paper's numbers are defined.
 from __future__ import annotations
 
 import os
+import shutil
 from dataclasses import dataclass, field
 
-__all__ = ["Collection", "CollectionStats", "collection_statistics"]
+__all__ = [
+    "Collection",
+    "CollectionStats",
+    "collection_statistics",
+    "QUARANTINE_DIRNAME",
+    "QUARANTINE_LOG",
+]
 
 _MANIFEST = "manifest.tsv"
+QUARANTINE_DIRNAME = "quarantine"
+QUARANTINE_LOG = "quarantine.log"
 
 
 @dataclass
@@ -29,6 +38,8 @@ class Collection:
     uncompressed_bytes: int = 0
     num_docs: int = 0
     seed: int = 0
+    #: Documents dropped by an ``on_error="skip"`` ingest (reasons).
+    ingest_skipped: list[str] = field(default_factory=list)
 
     @property
     def num_files(self) -> int:
@@ -39,6 +50,33 @@ class Collection:
         if file_index < len(self.file_segments):
             return self.file_segments[file_index]
         return ""
+
+    # ------------------------------------------------------------------ #
+    # Quarantine (the ``on_error=quarantine`` build policy)
+    # ------------------------------------------------------------------ #
+
+    def quarantine_file(
+        self, file_index: int, reason: str, quarantine_dir: str | None = None
+    ) -> str:
+        """Move a corrupt container aside and log why.
+
+        The file lands in ``<quarantine_dir>/<basename>`` (default:
+        ``quarantine/`` inside the collection directory) and a line is
+        appended to ``quarantine.log`` there — enough for an operator to
+        triage bad inputs without re-reading the collection.  The
+        in-memory file list keeps its slot (file indices must stay stable
+        for the build's run accounting); the path simply no longer exists
+        for future loads.  Returns the destination path.
+        """
+        src = self.files[file_index]
+        dest_dir = quarantine_dir or os.path.join(self.directory, QUARANTINE_DIRNAME)
+        os.makedirs(dest_dir, exist_ok=True)
+        dest = os.path.join(dest_dir, os.path.basename(src))
+        if os.path.exists(src):
+            shutil.move(src, dest)
+        with open(os.path.join(dest_dir, QUARANTINE_LOG), "a", encoding="utf-8") as fh:
+            fh.write(f"{os.path.basename(src)}\t{reason}\n")
+        return dest
 
     # ------------------------------------------------------------------ #
     # Manifest persistence

@@ -13,6 +13,11 @@ arbitrary documents into the engine's container format:
 All three produce a normal :class:`~repro.corpus.collection.Collection`
 (packed, optionally gzip-compressed container files + manifest) that
 :class:`~repro.core.engine.IndexingEngine` consumes unchanged.
+
+Real user data is dirty.  Errors always name the offending line number or
+file path, and ``on_error="skip"`` (mirroring the build-side policy of
+:mod:`repro.robustness.policy`) drops undecodable documents instead of
+aborting — every drop is recorded on ``Collection.ingest_skipped``.
 """
 
 from __future__ import annotations
@@ -95,14 +100,31 @@ def ingest_documents(
     return collection
 
 
-def _walk_documents(src_dir: str, suffixes: tuple[str, ...]) -> Iterator[tuple[str, str]]:
+def _check_on_error(on_error: str) -> None:
+    if on_error not in ("strict", "skip"):
+        raise ValueError(f"on_error must be 'strict' or 'skip', got {on_error!r}")
+
+
+def _walk_documents(
+    src_dir: str,
+    suffixes: tuple[str, ...],
+    on_error: str,
+    encoding_errors: str,
+    skipped: list[str],
+) -> Iterator[tuple[str, str]]:
     for root, _dirs, names in sorted(os.walk(src_dir)):
         for fname in sorted(names):
             if not fname.lower().endswith(suffixes):
                 continue
             path = os.path.join(root, fname)
-            with open(path, "r", encoding="utf-8", errors="replace") as fh:
-                text = fh.read()
+            try:
+                with open(path, "r", encoding="utf-8", errors=encoding_errors) as fh:
+                    text = fh.read()
+            except (OSError, UnicodeDecodeError) as exc:
+                if on_error == "skip":
+                    skipped.append(f"{path}: {exc}")
+                    continue
+                raise ValueError(f"cannot read document {path}: {exc}") from exc
             yield f"file://{os.path.relpath(path, src_dir)}", text
 
 
@@ -113,17 +135,29 @@ def ingest_directory(
     docs_per_file: int = 256,
     compress: bool = True,
     suffixes: tuple[str, ...] = _TEXT_SUFFIXES,
+    on_error: str = "strict",
+    encoding_errors: str = "replace",
 ) -> Collection:
-    """One document per text/HTML file under ``src_dir`` (recursive)."""
+    """One document per text/HTML file under ``src_dir`` (recursive).
+
+    ``on_error="skip"`` drops unreadable/undecodable files (recorded on
+    the returned collection's ``ingest_skipped``); ``encoding_errors``
+    forwards to :func:`open` — pass ``"strict"`` to treat mojibake as an
+    error instead of silently replacing it.
+    """
     if not os.path.isdir(src_dir):
         raise NotADirectoryError(src_dir)
-    return ingest_documents(
-        _walk_documents(src_dir, suffixes),
+    _check_on_error(on_error)
+    skipped: list[str] = []
+    collection = ingest_documents(
+        _walk_documents(src_dir, suffixes, on_error, encoding_errors, skipped),
         output_dir,
         name=name,
         docs_per_file=docs_per_file,
         compress=compress,
     )
+    collection.ingest_skipped = skipped
+    return collection
 
 
 def ingest_jsonl(
@@ -134,8 +168,16 @@ def ingest_jsonl(
     id_field: str = "id",
     docs_per_file: int = 256,
     compress: bool = True,
+    on_error: str = "strict",
 ) -> Collection:
-    """One document per JSON line; ``text_field`` holds the body."""
+    """One document per JSON line; ``text_field`` holds the body.
+
+    Malformed JSON and records missing ``text_field`` raise with the
+    exact ``file:line`` location; ``on_error="skip"`` records and drops
+    them instead.
+    """
+    _check_on_error(on_error)
+    skipped: list[str] = []
 
     def docs() -> Iterator[tuple[str, str]]:
         with open(jsonl_path, "r", encoding="utf-8") as fh:
@@ -143,14 +185,24 @@ def ingest_jsonl(
                 line = line.strip()
                 if not line:
                     continue
-                obj = json.loads(line)
-                if text_field not in obj:
-                    raise KeyError(
-                        f"line {line_no + 1} of {jsonl_path} has no {text_field!r} field"
-                    )
+                where = f"{jsonl_path}:{line_no + 1}"
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    if on_error == "skip":
+                        skipped.append(f"{where}: invalid JSON ({exc})")
+                        continue
+                    raise ValueError(f"{where}: invalid JSON: {exc}") from exc
+                if not isinstance(obj, dict) or text_field not in obj:
+                    if on_error == "skip":
+                        skipped.append(f"{where}: no {text_field!r} field")
+                        continue
+                    raise KeyError(f"{where}: record has no {text_field!r} field")
                 uri = str(obj.get(id_field, f"jsonl://{line_no}"))
                 yield uri, str(obj[text_field])
 
-    return ingest_documents(
+    collection = ingest_documents(
         docs(), output_dir, name=name, docs_per_file=docs_per_file, compress=compress
     )
+    collection.ingest_skipped = skipped
+    return collection

@@ -16,18 +16,52 @@ Container layout (uncompressed)::
 
 The per-document byte offsets returned by :func:`read_packed_file` feed the
 parser's ``<document ID, document location>`` table (Step 1 of Fig 3).
+
+Every corruption the read path can encounter — truncated gzip member,
+flipped bytes, a header that does not parse, payload that is not UTF-8 —
+surfaces as one exception type, :class:`CorruptContainerError`, carrying
+the file path and (where known) the byte offset of the damage, instead of
+leaking raw stdlib exceptions with no filename.  The read path also
+consults the fault-injection layer (:mod:`repro.robustness.faults`) so
+chaos tests can exercise these failure modes on demand.
 """
 
 from __future__ import annotations
 
 import gzip
 import os
+import zlib
 from dataclasses import dataclass
 from typing import Iterable
 
-__all__ = ["PackedDocument", "write_packed_file", "read_packed_file", "MAGIC"]
+from repro.robustness import faults
+
+__all__ = [
+    "PackedDocument",
+    "CorruptContainerError",
+    "write_packed_file",
+    "read_packed_file",
+    "MAGIC",
+]
 
 MAGIC = b"REPROWARC/1\n"
+
+
+class CorruptContainerError(ValueError):
+    """A container file's bytes cannot be decoded into documents.
+
+    Permanent by definition: re-reading returns the same bytes, so the
+    retry layer never retries it — the ``on_error`` policy decides.
+    ``offset`` is the byte position of the damage in the *uncompressed*
+    stream when known, else ``None`` (e.g. a gzip member that fails CRC).
+    """
+
+    def __init__(self, path: str, detail: str, offset: int | None = None) -> None:
+        at = f" at byte {offset}" if offset is not None else ""
+        super().__init__(f"corrupt container {path}{at}: {detail}")
+        self.path = path
+        self.offset = offset
+        self.detail = detail
 
 
 @dataclass(frozen=True)
@@ -72,13 +106,30 @@ def write_packed_file(
 
 
 def _inflate(path: str) -> bytes:
-    """Read a container file, transparently gunzipping."""
+    """Read a container file, transparently gunzipping.
+
+    Transient I/O faults (real or injected) propagate as ``OSError`` for
+    the retry layer; undecodable gzip streams become
+    :class:`CorruptContainerError` so no raw ``zlib.error`` ever escapes
+    without a filename.
+    """
+    injector = faults.active()
+    if injector is not None:
+        injector.before_read(path)
     with open(path, "rb") as fh:
         head = fh.read(2)
         fh.seek(0)
         data = fh.read()
+    if injector is not None:
+        data = injector.corrupt_raw(path, data)
+        head = data[:2]
     if head == b"\x1f\x8b":
-        data = gzip.decompress(data)
+        try:
+            data = gzip.decompress(data)
+        except (gzip.BadGzipFile, EOFError, zlib.error) as exc:
+            raise CorruptContainerError(path, f"bad gzip stream ({exc})") from exc
+    if injector is not None:
+        data = injector.corrupt_inflated(path, data)
     return data
 
 
@@ -86,20 +137,30 @@ def read_packed_file(path: str) -> list[PackedDocument]:
     """Read and parse a container file into documents."""
     data = _inflate(path)
     if not data.startswith(MAGIC):
-        raise ValueError(f"{path} is not a REPROWARC container")
+        raise CorruptContainerError(path, "not a REPROWARC container", offset=0)
     docs: list[PackedDocument] = []
     pos = len(MAGIC)
     total = len(data)
     while pos < total:
-        nl = data.index(b"\n", pos)
-        header = data[pos:nl].decode("ascii")
-        tag, uri, length_s = header.split(" ")
-        if tag != "DOC":
-            raise ValueError(f"corrupt container {path}: bad header {header!r}")
-        length = int(length_s)
-        payload_start = nl + 1
-        payload = data[payload_start : payload_start + length]
-        docs.append(PackedDocument(uri=uri, text=payload.decode("utf-8"), offset=pos))
+        try:
+            nl = data.index(b"\n", pos)
+            header = data[pos:nl].decode("ascii")
+            tag, uri, length_s = header.split(" ")
+            if tag != "DOC":
+                raise ValueError(f"bad header {header!r}")
+            length = int(length_s)
+            payload_start = nl + 1
+            payload = data[payload_start : payload_start + length]
+            if len(payload) != length:
+                raise ValueError(
+                    f"payload truncated ({len(payload)} of {length} bytes)"
+                )
+            text = payload.decode("utf-8")
+        except CorruptContainerError:
+            raise
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise CorruptContainerError(path, str(exc), offset=pos) from exc
+        docs.append(PackedDocument(uri=uri, text=text, offset=pos))
         pos = payload_start + length + 1  # skip trailing newline
     return docs
 

@@ -17,21 +17,28 @@ On-disk format::
         uvarint n_terms
         per term (sorted): uvarint lcp, uvarint tail_len, tail bytes,
                            uvarint term_id
+    footer: CRC32 of everything above, 4 bytes little-endian
 
-Loading returns a plain ``{term: postings pointer}`` map — enough for the
-query path (:class:`repro.postings.reader.PostingsReader`) without
-rebuilding B-trees.
+Loading verifies the footer first (raising
+:class:`~repro.robustness.errors.ChecksumError` on mismatch), then returns
+a plain ``{term: postings pointer}`` map — enough for the query path
+(:class:`repro.postings.reader.PostingsReader`) without rebuilding B-trees.
 """
 
 from __future__ import annotations
 
+import zlib
+
 from repro.dictionary.dictionary import DictionaryShard
 from repro.dictionary.trie import TrieTable
 from repro.postings.compression import decode_uvarint, encode_uvarint
+from repro.robustness.errors import ChecksumError
 
-__all__ = ["save_dictionary", "load_dictionary", "DICT_MAGIC"]
+__all__ = ["save_dictionary", "load_dictionary", "DICT_MAGIC", "DICT_CRC_BYTES"]
 
 DICT_MAGIC = b"RPRODIC1"
+#: Width of the little-endian CRC32 footer trailing the dictionary blob.
+DICT_CRC_BYTES = 4
 
 
 def _common_prefix_len(a: bytes, b: bytes) -> int:
@@ -61,15 +68,24 @@ def save_dictionary(dictionary: DictionaryShard, path: str) -> int:
             out.extend(tail)
             encode_uvarint(term_id, out)
             prev = suffix
+    crc = zlib.crc32(out) & 0xFFFFFFFF
     with open(path, "wb") as fh:
         fh.write(out)
-    return len(out)
+        fh.write(crc.to_bytes(DICT_CRC_BYTES, "little"))
+    return len(out) + DICT_CRC_BYTES
 
 
 def load_dictionary(path: str) -> dict[str, int]:
     """Load a serialized dictionary into a ``{term: term_id}`` map."""
     with open(path, "rb") as fh:
         data = fh.read()
+    if len(data) < len(DICT_MAGIC) + DICT_CRC_BYTES:
+        raise ValueError(f"{path} is too short to be a dictionary ({len(data)} bytes)")
+    stored = int.from_bytes(data[-DICT_CRC_BYTES:], "little")
+    data = data[:-DICT_CRC_BYTES]
+    actual = zlib.crc32(data) & 0xFFFFFFFF
+    if stored != actual:
+        raise ChecksumError(path, stored, actual)
     if data[: len(DICT_MAGIC)] != DICT_MAGIC:
         raise ValueError(f"{path} is not a serialized dictionary (bad magic)")
     pos = len(DICT_MAGIC)

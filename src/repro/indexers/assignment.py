@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 
 from repro.corpus.collection import Collection
 from repro.parsing.parser import Parser
+from repro.robustness.policy import RobustnessReport
+from repro.robustness.retry import RetryPolicy, retry_call
 
 __all__ = [
     "sample_collection",
@@ -43,12 +45,21 @@ def sample_collection(
     min_docs_per_file: int = 1,
     strip_html: bool = True,
     max_files: int | None = None,
+    retry: RetryPolicy | None = None,
+    on_error: str = "strict",
+    report: RobustnessReport | None = None,
 ) -> dict[int, int]:
     """Parse a small sample and return tokens per trie collection.
 
     The paper samples ~1MB per 1GB (fraction 0.001).  We take the leading
     ``fraction`` of documents from each file — cheap, deterministic, and
     stratified across the collection like the paper's per-GB scheme.
+
+    ``retry`` wraps each container read in the backoff policy; with
+    ``on_error != "strict"``, a permanently unreadable file simply does
+    not contribute to the sample (the build loop applies the full skip /
+    quarantine policy when it reaches the file).  Retry counts land on
+    ``report`` when one is supplied.
     """
     if not 0 < sample_fraction <= 1:
         raise ValueError(f"sample fraction must be in (0, 1], got {sample_fraction}")
@@ -58,7 +69,21 @@ def sample_collection(
     for path in files:
         from repro.parsing.docio import load_collection_file
 
-        loaded = load_collection_file(path)
+        try:
+            if retry is not None:
+                loaded, outcome = retry_call(
+                    lambda p=path: load_collection_file(p), retry, path
+                )
+                if report is not None:
+                    report.merge_outcome(outcome.retries, outcome.backoff_s)
+            else:
+                loaded = load_collection_file(path)
+        except (ValueError, OSError, RuntimeError) as exc:
+            from repro.robustness.errors import FatalFault
+
+            if isinstance(exc, FatalFault) or on_error == "strict":
+                raise
+            continue  # skipped from the sample only; the build decides later
         n = max(min_docs_per_file, int(len(loaded.texts) * sample_fraction))
         batch, _ = parser.parse_texts(loaded.texts[:n], source_file=path)
         for cidx, tok in batch.tokens_per_collection.items():
@@ -106,6 +131,9 @@ class WorkAssignment:
     popular: list[int] = field(default_factory=list)
     unpopular: list[int] = field(default_factory=list)
     sampled_tokens: dict[int, int] = field(default_factory=dict)
+    #: GPU ordinals that died mid-build (their slot now holds a CPU
+    #: fallback indexer); unseen collections route around them.
+    failed_gpus: set[int] = field(default_factory=set)
 
     @property
     def num_cpu(self) -> int:
@@ -129,6 +157,13 @@ class WorkAssignment:
             if cidx in s:
                 return ("gpu", j)
         if self.gpu_sets:
+            alive = [
+                j for j in range(len(self.gpu_sets)) if j not in self.failed_gpus
+            ]
+            if alive:
+                return ("gpu", alive[cidx % len(alive)])
+            # Every GPU failed over: the slots all hold CPU fallbacks, so
+            # the original routing rule is safe again.
             return ("gpu", cidx % len(self.gpu_sets))
         if self.cpu_sets:
             return ("cpu", cidx % len(self.cpu_sets))
@@ -139,6 +174,17 @@ class WorkAssignment:
         kind, idx = self.owner_of(cidx)
         (self.cpu_sets if kind == "cpu" else self.gpu_sets)[idx].add(cidx)
         return kind, idx
+
+    def mark_gpu_failed(self, ordinal: int) -> None:
+        """Stop routing *unseen* collections to a dead GPU.
+
+        Collections already bound to the GPU keep their ``("gpu", j)``
+        owner — the engine replaces that slot with a CPU fallback indexer
+        adopting the same dictionary shard, so term ids stay identical.
+        """
+        if not 0 <= ordinal < len(self.gpu_sets):
+            raise IndexError(f"no GPU ordinal {ordinal} (have {len(self.gpu_sets)})")
+        self.failed_gpus.add(ordinal)
 
 
 def _split_balanced(collections: list[int], weights: dict[int, int], n_sets: int) -> list[set[int]]:

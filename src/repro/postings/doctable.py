@@ -8,13 +8,20 @@ that metadata: for every global document ID, the source collection file,
 the document's URI, and its byte offset inside the (uncompressed)
 container — enough to fetch the original document for result display.
 
-On disk: ``doctable.tsv``, one row per document in global-ID order.
+On disk: ``doctable.tsv``, one row per document in global-ID order,
+ending with a ``#crc`` comment line whose CRC32 covers the preceding
+body — :meth:`DocTable.load` raises
+:class:`~repro.robustness.errors.ChecksumError` when the table was
+damaged on disk.
 """
 
 from __future__ import annotations
 
 import os
+import zlib
 from dataclasses import dataclass
+
+from repro.robustness.errors import ChecksumError
 
 __all__ = ["DocTable", "DocTableRow", "DOCTABLE_FILENAME"]
 
@@ -58,25 +65,42 @@ class DocTable:
     # ------------------------------------------------------------------ #
 
     def save(self, output_dir: str) -> str:
-        """Write ``doctable.tsv`` into the index directory."""
+        """Write ``doctable.tsv`` (body + ``#crc`` line) into the index."""
         path = os.path.join(output_dir, DOCTABLE_FILENAME)
+        body = "".join(
+            f"{row.doc_id}\t{row.source_file}\t{row.uri}\t{row.offset}\n"
+            for row in self.rows
+        )
+        crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
         with open(path, "w", encoding="utf-8") as fh:
-            for row in self.rows:
-                fh.write(f"{row.doc_id}\t{row.source_file}\t{row.uri}\t{row.offset}\n")
+            fh.write(body)
+            fh.write(f"#crc\t{crc:08x}\n")
         return path
 
     @classmethod
     def load(cls, output_dir: str) -> "DocTable":
-        """Read ``doctable.tsv`` back into memory."""
+        """Read ``doctable.tsv`` back, verifying its ``#crc`` line."""
         path = os.path.join(output_dir, DOCTABLE_FILENAME)
         table = cls()
         with open(path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                doc_id_s, source_file, uri, offset_s = line.rstrip("\n").split("\t")
-                row = DocTableRow(int(doc_id_s), source_file, uri, int(offset_s))
-                if row.doc_id != len(table.rows):
-                    raise ValueError(f"doctable corrupt: expected id {len(table.rows)}")
-                table.rows.append(row)
+            lines = fh.readlines()
+        body: list[str] = []
+        stored_crc: int | None = None
+        for line in lines:
+            if line.startswith("#crc"):
+                stored_crc = int(line.rstrip("\n").split("\t")[1], 16)
+            elif not line.startswith("#"):
+                body.append(line)
+        if stored_crc is not None:
+            actual = zlib.crc32("".join(body).encode("utf-8")) & 0xFFFFFFFF
+            if actual != stored_crc:
+                raise ChecksumError(path, stored_crc, actual)
+        for line in body:
+            doc_id_s, source_file, uri, offset_s = line.rstrip("\n").split("\t")
+            row = DocTableRow(int(doc_id_s), source_file, uri, int(offset_s))
+            if row.doc_id != len(table.rows):
+                raise ValueError(f"doctable corrupt: expected id {len(table.rows)}")
+            table.rows.append(row)
         return table
 
     @classmethod

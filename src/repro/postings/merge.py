@@ -15,7 +15,12 @@ import os
 
 from repro.postings.compression import PostingsCodec, VarByteCodec, get_codec
 from repro.postings.lists import PostingsList
-from repro.postings.output import DocRangeMap, RunWriter, read_run_header
+from repro.postings.output import (
+    DocRangeMap,
+    RunWriter,
+    read_run_header,
+    verify_run_bytes,
+)
 
 __all__ = ["merge_index"]
 
@@ -39,6 +44,7 @@ def merge_index(
         with open(run.path, "rb") as fh:
             data = fh.read()
         input_bytes += len(data)
+        verify_run_bytes(run.path, data)  # never splice a damaged run
         _, codec_name, _, _, table, _ = read_run_header(data)
         run_codec = get_codec(codec_name)
         if codec is None and run_codec.positional:

@@ -14,17 +14,24 @@ On-disk format of one run file::
     uvarint n_entries
     n_entries × (uvarint term_id, uvarint offset, uvarint length)
     payload: concatenated codec-encoded postings lists
+    footer: CRC32 of everything above, 4 bytes little-endian
 
 Offsets are relative to the payload start so the header can be built after
-the payload without back-patching.  The auxiliary docID→file map the paper
-describes ("an auxiliary file containing the mapping of document IDs to
-output file names") is :class:`DocRangeMap`, stored as ``runs.map`` —
-one line per run: ``run_id  min_doc  max_doc  filename``.
+the payload without back-patching.  The trailing CRC32 covers header and
+payload; :class:`~repro.postings.reader.PostingsReader` refuses to serve a
+run whose checksum does not match, so a flipped byte anywhere in the file
+surfaces as a :class:`~repro.robustness.errors.ChecksumError`, never as
+silently wrong postings.  The auxiliary docID→file map the paper describes
+("an auxiliary file containing the mapping of document IDs to output file
+names") is :class:`DocRangeMap`, stored as ``runs.map`` — one line per
+run: ``run_id  min_doc  max_doc  filename``, ending with a ``#crc``
+comment line checksumming the map itself.
 """
 
 from __future__ import annotations
 
 import os
+import zlib
 from dataclasses import dataclass
 
 from repro.postings.compression import (
@@ -34,11 +41,22 @@ from repro.postings.compression import (
     encode_uvarint,
 )
 from repro.postings.lists import PostingsList
+from repro.robustness.errors import ChecksumError
 
-__all__ = ["RunWriter", "RunFile", "DocRangeMap", "RUN_MAGIC", "run_filename"]
+__all__ = [
+    "RunWriter",
+    "RunFile",
+    "DocRangeMap",
+    "RUN_MAGIC",
+    "RUN_CRC_BYTES",
+    "run_filename",
+    "verify_run_bytes",
+]
 
 RUN_MAGIC = b"RPRORUN1"
 MAP_FILENAME = "runs.map"
+#: Width of the little-endian CRC32 footer at the end of every run file.
+RUN_CRC_BYTES = 4
 
 
 def run_filename(run_id: int) -> str:
@@ -124,17 +142,33 @@ class RunWriter:
 
         filename = run_filename(run_id)
         path = os.path.join(self.stripe_dir(run_id), filename)
+        crc = zlib.crc32(payload, zlib.crc32(header)) & 0xFFFFFFFF
         with open(path, "wb") as fh:
             fh.write(header)
             fh.write(payload)
+            fh.write(crc.to_bytes(RUN_CRC_BYTES, "little"))
         return RunFile(
             path=path,
             run_id=run_id,
             min_doc=min_doc,
             max_doc=max_doc,
             entry_count=len(entries),
-            byte_size=len(header) + len(payload),
+            byte_size=len(header) + len(payload) + RUN_CRC_BYTES,
         )
+
+
+def verify_run_bytes(path: str, data: bytes) -> None:
+    """Check a run file's trailing CRC32 over its full bytes.
+
+    Raises :class:`ChecksumError` on mismatch and ``ValueError`` when the
+    file is too short to even carry a footer.
+    """
+    if len(data) < len(RUN_MAGIC) + RUN_CRC_BYTES:
+        raise ValueError(f"{path} is too short to be a run file ({len(data)} bytes)")
+    stored = int.from_bytes(data[-RUN_CRC_BYTES:], "little")
+    actual = zlib.crc32(data[:-RUN_CRC_BYTES]) & 0xFFFFFFFF
+    if stored != actual:
+        raise ChecksumError(path, stored, actual)
 
 
 @dataclass
@@ -180,33 +214,54 @@ class DocRangeMap:
         parallel-reading benefit) round-trip transparently.
         """
         path = os.path.join(output_dir, MAP_FILENAME)
+        body = []
+        for run in sorted(self.runs, key=lambda r: r.run_id):
+            lo = -1 if run.min_doc is None else run.min_doc
+            hi = -1 if run.max_doc is None else run.max_doc
+            rel = os.path.relpath(run.path, output_dir)
+            body.append(f"{run.run_id}\t{lo}\t{hi}\t{rel}\n")
+        text = "".join(body)
+        crc = zlib.crc32(text.encode("ascii")) & 0xFFFFFFFF
         with open(path, "w", encoding="ascii") as fh:
-            for run in sorted(self.runs, key=lambda r: r.run_id):
-                lo = -1 if run.min_doc is None else run.min_doc
-                hi = -1 if run.max_doc is None else run.max_doc
-                rel = os.path.relpath(run.path, output_dir)
-                fh.write(f"{run.run_id}\t{lo}\t{hi}\t{rel}\n")
+            fh.write(text)
+            fh.write(f"#crc\t{crc:08x}\n")
         return path
 
     @classmethod
     def load(cls, output_dir: str) -> "DocRangeMap":
-        """Read ``runs.map`` back; sizes/entry counts are read lazily."""
+        """Read ``runs.map`` back; sizes/entry counts are read lazily.
+
+        The trailing ``#crc`` line (when present) is verified over the
+        preceding body, so a damaged map never silently drops a run.
+        """
         path = os.path.join(output_dir, MAP_FILENAME)
         mapping = cls()
         with open(path, "r", encoding="ascii") as fh:
-            for line in fh:
-                run_id_s, lo_s, hi_s, filename = line.rstrip("\n").split("\t")
-                lo, hi = int(lo_s), int(hi_s)
-                mapping.add(
-                    RunFile(
-                        path=os.path.join(output_dir, filename),
-                        run_id=int(run_id_s),
-                        min_doc=None if lo < 0 else lo,
-                        max_doc=None if hi < 0 else hi,
-                        entry_count=-1,
-                        byte_size=os.path.getsize(os.path.join(output_dir, filename)),
-                    )
+            lines = fh.readlines()
+        body: list[str] = []
+        stored_crc: int | None = None
+        for line in lines:
+            if line.startswith("#crc"):
+                stored_crc = int(line.rstrip("\n").split("\t")[1], 16)
+            elif not line.startswith("#"):
+                body.append(line)
+        if stored_crc is not None:
+            actual = zlib.crc32("".join(body).encode("ascii")) & 0xFFFFFFFF
+            if actual != stored_crc:
+                raise ChecksumError(path, stored_crc, actual)
+        for line in body:
+            run_id_s, lo_s, hi_s, filename = line.rstrip("\n").split("\t")
+            lo, hi = int(lo_s), int(hi_s)
+            mapping.add(
+                RunFile(
+                    path=os.path.join(output_dir, filename),
+                    run_id=int(run_id_s),
+                    min_doc=None if lo < 0 else lo,
+                    max_doc=None if hi < 0 else hi,
+                    entry_count=-1,
+                    byte_size=os.path.getsize(os.path.join(output_dir, filename)),
                 )
+            )
         mapping.runs.sort(key=lambda r: r.run_id)
         return mapping
 

@@ -14,7 +14,12 @@ from __future__ import annotations
 import os
 
 from repro.postings.compression import get_codec
-from repro.postings.output import DocRangeMap, RunFile, read_run_header
+from repro.postings.output import (
+    DocRangeMap,
+    RunFile,
+    read_run_header,
+    verify_run_bytes,
+)
 
 __all__ = ["PostingsReader"]
 
@@ -25,11 +30,16 @@ class _OpenRun:
     With ``use_mmap`` the payload stays file-backed and pages in on
     demand — the right mode for large indexes where a query touches a
     handful of partial lists out of gigabytes of runs.
+
+    Opening verifies the file's trailing CRC32 (unless the reader was
+    constructed with ``verify_checksums=False``): a flipped byte anywhere
+    in the run raises :class:`~repro.robustness.errors.ChecksumError`
+    before a single posting is decoded.
     """
 
     __slots__ = ("run", "codec", "table", "data", "_mm", "_fh")
 
-    def __init__(self, run: RunFile, use_mmap: bool = False) -> None:
+    def __init__(self, run: RunFile, use_mmap: bool = False, verify: bool = True) -> None:
         self._mm = None
         self._fh = None
         if use_mmap:
@@ -41,6 +51,8 @@ class _OpenRun:
         else:
             with open(run.path, "rb") as fh:
                 self.data = fh.read()
+        if verify:
+            verify_run_bytes(run.path, bytes(self.data))
         header = bytes(self.data[:4096]) if use_mmap else self.data
         # Headers of big runs can exceed 4 KiB; fall back to the full map.
         try:

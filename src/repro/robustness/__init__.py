@@ -1,0 +1,38 @@
+"""Fault tolerance for long builds over dirty data.
+
+Submodules (see docs/ROBUSTNESS.md for the full failure model):
+
+- :mod:`~repro.robustness.errors` — the exception taxonomy (transient /
+  permanent / fatal);
+- :mod:`~repro.robustness.faults` — deterministic, seedable fault
+  injection hooked into the container read path;
+- :mod:`~repro.robustness.retry` — exponential backoff with jitter, cap
+  and per-file deadline;
+- :mod:`~repro.robustness.policy` — the ``on_error`` policy records
+  (skip / quarantine / GPU failover);
+- :mod:`~repro.robustness.checkpoint` — the durable build manifest and
+  the run-boundary resume snapshot;
+- :mod:`~repro.robustness.verify` — offline index verification
+  (checksums + cross-file invariants), imported lazily because it pulls
+  in the reader stack.
+"""
+
+from repro.robustness.errors import (
+    ChecksumError,
+    FatalFault,
+    RetryExhausted,
+    TransientReadError,
+)
+from repro.robustness.policy import GpuFailover, RobustnessReport, SkippedFile
+from repro.robustness.retry import RetryPolicy
+
+__all__ = [
+    "ChecksumError",
+    "FatalFault",
+    "RetryExhausted",
+    "TransientReadError",
+    "GpuFailover",
+    "RobustnessReport",
+    "SkippedFile",
+    "RetryPolicy",
+]

@@ -1,0 +1,220 @@
+"""Run-level checkpointing: the build manifest and the resume snapshot.
+
+A run file is only useful after a crash if three things survived
+together: the run's bytes, the metadata locating it, and the in-memory
+indexing state needed to continue *exactly* where the run ended.  Two
+artifacts provide that, both written at every run boundary (Fig 8's
+natural barrier — all accumulators are drained, so the only live state is
+the dictionary forest, the doc table, and a handful of counters):
+
+- ``build.manifest`` — append-only JSON lines, human-readable provenance:
+  a header (collection + config fingerprint) followed by one record per
+  completed run carrying the file list it covered, the document-ID range,
+  and the run file's CRC32.  Appends are flushed and fsynced, so the
+  manifest never claims a run the disk does not hold.
+- ``checkpoint.bin`` — an atomically-replaced pickle of the engine state
+  (trie, dictionary shards, doc table, assignment, counters).  Pickling
+  one object graph preserves the shared-trie aliasing, which is why a
+  resumed build allocates the same term ids and produces byte-identical
+  output.
+
+Write order per run: run file → manifest append → checkpoint replace.  A
+crash between the last two leaves an extra manifest record; resume
+truncates the manifest back to the checkpoint's run count and re-indexes
+that run deterministically.  ``checkpoint.bin`` is deleted when a build
+completes — it is crash-recovery state, not part of the index.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import zlib
+from dataclasses import asdict, dataclass, field
+
+from repro.robustness.errors import ChecksumError
+
+__all__ = [
+    "MANIFEST_FILENAME",
+    "CHECKPOINT_FILENAME",
+    "RunRecord",
+    "BuildManifest",
+    "save_checkpoint",
+    "load_checkpoint",
+    "clear_checkpoint",
+    "crc32_of_file",
+    "verify_run_record",
+]
+
+MANIFEST_FILENAME = "build.manifest"
+CHECKPOINT_FILENAME = "checkpoint.bin"
+_MANIFEST_VERSION = 1
+
+
+def crc32_of_file(path: str) -> int:
+    """CRC32 of a file's full contents (streamed)."""
+    crc = 0
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            crc = zlib.crc32(chunk, crc)
+    return crc & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One completed run, as recorded durably in the manifest."""
+
+    run_id: int
+    path: str  # relative to the index directory
+    crc32: int
+    min_doc: int | None
+    max_doc: int | None
+    entry_count: int
+    byte_size: int
+    first_doc: int  # doc-ID offset at the start of the run
+    docs: int       # documents consumed by the run
+    postings: int   # postings written by the run
+    file_indices: tuple[int, ...] = field(default_factory=tuple)
+    files: tuple[str, ...] = field(default_factory=tuple)  # basenames
+
+    def to_json(self) -> str:
+        payload = asdict(self)
+        payload["type"] = "run"
+        payload["file_indices"] = list(self.file_indices)
+        payload["files"] = list(self.files)
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "RunRecord":
+        return cls(
+            run_id=obj["run_id"],
+            path=obj["path"],
+            crc32=obj["crc32"],
+            min_doc=obj["min_doc"],
+            max_doc=obj["max_doc"],
+            entry_count=obj["entry_count"],
+            byte_size=obj["byte_size"],
+            first_doc=obj["first_doc"],
+            docs=obj["docs"],
+            postings=obj["postings"],
+            file_indices=tuple(obj.get("file_indices", ())),
+            files=tuple(obj.get("files", ())),
+        )
+
+
+def verify_run_record(output_dir: str, record: RunRecord) -> None:
+    """Check that a recorded run is still durable on disk."""
+    path = os.path.join(output_dir, record.path)
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"manifest records run {record.run_id} at {path}, "
+                                "but the file is gone")
+    actual = crc32_of_file(path)
+    if actual != record.crc32:
+        raise ChecksumError(path, record.crc32, actual)
+
+
+class BuildManifest:
+    """The append-only run ledger of one index directory."""
+
+    def __init__(self, output_dir: str) -> None:
+        self.output_dir = output_dir
+        self.path = os.path.join(output_dir, MANIFEST_FILENAME)
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+
+    def start(self, fingerprint: int, collection_name: str, num_files: int) -> None:
+        """Begin a fresh manifest (truncates any previous build's)."""
+        header = json.dumps(
+            {
+                "type": "header",
+                "version": _MANIFEST_VERSION,
+                "fingerprint": fingerprint,
+                "collection": collection_name,
+                "num_files": num_files,
+            },
+            sort_keys=True,
+        )
+        self._write_lines([header])
+
+    def append_run(self, record: RunRecord) -> None:
+        """Durably append one completed run."""
+        with open(self.path, "a", encoding="ascii") as fh:
+            fh.write(record.to_json() + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def truncate_runs(self, keep: int) -> None:
+        """Drop run records beyond the first ``keep`` (crash cleanup)."""
+        header, runs = self.load()
+        lines = [json.dumps({**header, "type": "header"}, sort_keys=True)]
+        lines.extend(r.to_json() for r in runs[:keep])
+        self._write_lines(lines)
+
+    def _write_lines(self, lines: list[str]) -> None:
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="ascii") as fh:
+            fh.write("\n".join(lines) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def load(self) -> tuple[dict, list[RunRecord]]:
+        """Parse the manifest into ``(header, run records)``."""
+        with open(self.path, "r", encoding="ascii") as fh:
+            lines = [ln for ln in (l.strip() for l in fh) if ln]
+        if not lines:
+            raise ValueError(f"{self.path} is empty")
+        header = json.loads(lines[0])
+        if header.get("type") != "header":
+            raise ValueError(f"{self.path} does not start with a header record")
+        runs = []
+        for ln in lines[1:]:
+            obj = json.loads(ln)
+            if obj.get("type") != "run":
+                raise ValueError(f"{self.path}: unexpected record type {obj.get('type')!r}")
+            runs.append(RunRecord.from_json(obj))
+        runs.sort(key=lambda r: r.run_id)
+        return header, runs
+
+
+# ---------------------------------------------------------------------- #
+# The resume snapshot
+# ---------------------------------------------------------------------- #
+
+
+def save_checkpoint(output_dir: str, payload: dict) -> str:
+    """Atomically replace ``checkpoint.bin`` with a pickled payload."""
+    path = os.path.join(output_dir, CHECKPOINT_FILENAME)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def load_checkpoint(output_dir: str) -> dict | None:
+    """The last durable checkpoint, or ``None`` when there is none."""
+    path = os.path.join(output_dir, CHECKPOINT_FILENAME)
+    if not os.path.exists(path):
+        return None
+    with open(path, "rb") as fh:
+        return pickle.load(fh)
+
+
+def clear_checkpoint(output_dir: str) -> None:
+    """Remove the crash-recovery snapshot after a successful build."""
+    path = os.path.join(output_dir, CHECKPOINT_FILENAME)
+    if os.path.exists(path):
+        os.remove(path)

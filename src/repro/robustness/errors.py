@@ -1,0 +1,71 @@
+"""Exception taxonomy of the fault-tolerance subsystem.
+
+The build path distinguishes three failure classes, because each calls
+for a different response (docs/ROBUSTNESS.md):
+
+- **transient** (:class:`TransientReadError` and other ``OSError``\\ s) —
+  worth retrying with backoff; the storage layer may recover;
+- **permanent** (:class:`~repro.corpus.warc.CorruptContainerError`,
+  :class:`ChecksumError`, :class:`RetryExhausted`) — retrying cannot
+  help; the ``on_error`` policy decides between aborting, skipping, and
+  quarantining;
+- **fatal** (:class:`FatalFault`) — models a process crash in chaos
+  tests; never caught by any policy, so the build dies exactly as a real
+  ``kill -9`` would, leaving only the durable manifest behind.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ChecksumError",
+    "TransientReadError",
+    "RetryExhausted",
+    "FatalFault",
+]
+
+
+class ChecksumError(ValueError):
+    """An artifact's embedded CRC32 does not match its content."""
+
+    def __init__(self, path: str, expected: int, actual: int) -> None:
+        super().__init__(
+            f"checksum mismatch in {path}: stored {expected:#010x}, "
+            f"computed {actual:#010x} — file is corrupt or truncated"
+        )
+        self.path = path
+        self.expected = expected
+        self.actual = actual
+
+
+class TransientReadError(OSError):
+    """An injected (or real) transient I/O failure; retrying may succeed."""
+
+    def __init__(self, path: str, message: str = "transient read error") -> None:
+        super().__init__(f"{message}: {path}")
+        self.path = path
+
+
+class RetryExhausted(RuntimeError):
+    """All retry attempts (or the per-file deadline) were consumed.
+
+    The original error is chained as ``__cause__``; the ``on_error``
+    policy treats this as a permanent failure.
+    """
+
+    def __init__(self, path: str, attempts: int, elapsed_s: float, last_error: BaseException) -> None:
+        super().__init__(
+            f"giving up on {path} after {attempts} attempt(s) in "
+            f"{elapsed_s:.3f}s: {last_error!r}"
+        )
+        self.path = path
+        self.attempts = attempts
+        self.elapsed_s = elapsed_s
+        self.last_error = last_error
+
+
+class FatalFault(RuntimeError):
+    """An injected crash: bypasses retry and every ``on_error`` policy."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__(f"injected fatal fault while reading {path}")
+        self.path = path

@@ -1,0 +1,81 @@
+"""The ``on_error`` policy: what a build does with a permanently bad file.
+
+Three policies, configured on :class:`~repro.core.config.PlatformConfig`
+(and ``repro build --on-error``):
+
+- ``strict`` (default) — abort the build; the error propagates with the
+  offending path attached.  Right for reproduction runs where a corrupt
+  input means the experiment is invalid.
+- ``skip`` — record the file and its reason, index nothing from it, and
+  keep going.  Right for dirty web crawls where losing one container out
+  of 1,492 beats losing the build.
+- ``quarantine`` — like ``skip``, but additionally move the container
+  into a ``quarantine/`` directory next to the collection (with a logged
+  reason), so operators can triage bad inputs without re-scanning a
+  terabyte.
+
+Whatever the policy, nothing is ever *silently* dropped: every decision
+lands in :class:`SkippedFile` records surfaced on ``EngineResult``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ON_ERROR_POLICIES", "SkippedFile", "GpuFailover", "RobustnessReport"]
+
+ON_ERROR_POLICIES = ("strict", "skip", "quarantine")
+
+
+@dataclass(frozen=True)
+class SkippedFile:
+    """One container file excluded from the build, and why."""
+
+    file_index: int
+    path: str
+    reason: str
+    action: str = "skip"  # "skip" | "quarantine" | "sampling-skip"
+    quarantined_to: str | None = None
+
+
+@dataclass(frozen=True)
+class GpuFailover:
+    """A GPU indexer that died mid-build and fell back to the CPU."""
+
+    gpu_ordinal: int
+    indexer_id: int
+    file_index: int
+    collections: int        # trie collections reassigned
+    tokens_before_failure: int
+
+    def describe(self) -> str:
+        return (
+            f"GPU {self.gpu_ordinal} (indexer {self.indexer_id}) failed before "
+            f"file {self.file_index}; {self.collections} trie collections "
+            f"reassigned to a CPU fallback indexer "
+            f"({self.tokens_before_failure:,} tokens already indexed)"
+        )
+
+
+@dataclass
+class RobustnessReport:
+    """Fault-handling summary of one build, surfaced on ``EngineResult``."""
+
+    on_error: str = "strict"
+    retries: int = 0
+    retry_backoff_s: float = 0.0
+    skipped: list[SkippedFile] = field(default_factory=list)
+    gpu_failovers: list[GpuFailover] = field(default_factory=list)
+    resumed_runs: int = 0  # runs recovered from the manifest, not rebuilt
+
+    @property
+    def skipped_count(self) -> int:
+        return len(self.skipped)
+
+    @property
+    def quarantined_count(self) -> int:
+        return sum(1 for s in self.skipped if s.action == "quarantine")
+
+    def merge_outcome(self, retries: int, backoff_s: float) -> None:
+        self.retries += retries
+        self.retry_backoff_s += backoff_s

@@ -1,0 +1,128 @@
+"""Retry with exponential backoff for transient container-read failures.
+
+Applied around every container read in the build path (the engine's
+parsed-file stream and the sampling pre-pass).  The policy is the classic
+production shape: exponential backoff with deterministic jitter, a delay
+cap, a bounded attempt count, and a per-file deadline so one sick file
+cannot stall a terabyte build indefinitely.
+
+Only *transient* errors are retried: ``OSError`` family except the
+clearly-permanent members (missing file, is-a-directory, permission).
+:class:`~repro.corpus.warc.CorruptContainerError` is permanent by
+definition — re-reading flipped bytes yields the same flipped bytes — and
+goes straight to the ``on_error`` policy.
+
+Jitter is seeded from the file path, never from wall-clock entropy, so a
+rerun of the same build against the same fault plan sleeps the same
+schedule — determinism is load-bearing for the chaos tests and for
+byte-identical resume verification.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import zlib
+from dataclasses import dataclass
+
+from repro.robustness.errors import FatalFault, RetryExhausted, TransientReadError
+
+__all__ = ["RetryPolicy", "RetryOutcome", "retry_call", "is_transient"]
+
+#: OSError subclasses retrying cannot fix.
+_PERMANENT_OS_ERRORS = (
+    FileNotFoundError,
+    IsADirectoryError,
+    NotADirectoryError,
+    PermissionError,
+)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether ``exc`` is worth retrying."""
+    if isinstance(exc, FatalFault):
+        return False
+    if isinstance(exc, TransientReadError):
+        return True
+    return isinstance(exc, OSError) and not isinstance(exc, _PERMANENT_OS_ERRORS)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule: ``base · multiplier^attempt`` jittered and capped."""
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    #: Fraction of the delay randomized away (0.25 → delay × U[0.75, 1.0]).
+    jitter: float = 0.25
+    #: Wall-clock budget per file across all attempts and backoffs.
+    per_file_deadline_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.per_file_deadline_s <= 0:
+            raise ValueError("per_file_deadline_s must be positive")
+
+    def delay_for(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        raw = min(self.base_delay_s * (self.multiplier ** (attempt - 1)), self.max_delay_s)
+        if self.jitter:
+            raw *= 1.0 - self.jitter * rng.random()
+        return raw
+
+
+@dataclass
+class RetryOutcome:
+    """What one retried call actually did (fed into the fault timeline)."""
+
+    attempts: int = 1
+    backoff_s: float = 0.0
+
+    @property
+    def retries(self) -> int:
+        return self.attempts - 1
+
+
+def retry_call(
+    fn,
+    policy: RetryPolicy,
+    path: str,
+    sleep=time.sleep,
+    clock=time.monotonic,
+):
+    """Call ``fn()`` under ``policy``; returns ``(result, RetryOutcome)``.
+
+    Raises :class:`RetryExhausted` (with the last error chained) once the
+    attempt budget or the per-file deadline is spent; non-transient errors
+    propagate immediately.
+    """
+    rng = random.Random(zlib.crc32(path.encode("utf-8")))
+    outcome = RetryOutcome(attempts=0)
+    started = clock()
+    last: BaseException | None = None
+    for attempt in range(1, policy.max_attempts + 1):
+        outcome.attempts = attempt
+        try:
+            return fn(), outcome
+        except BaseException as exc:  # noqa: BLE001 - classified below
+            if not is_transient(exc):
+                raise
+            last = exc
+        elapsed = clock() - started
+        if attempt >= policy.max_attempts or elapsed >= policy.per_file_deadline_s:
+            break
+        delay = policy.delay_for(attempt, rng)
+        if elapsed + delay > policy.per_file_deadline_s:
+            delay = max(0.0, policy.per_file_deadline_s - elapsed)
+        if delay:
+            sleep(delay)
+            outcome.backoff_s += delay
+    assert last is not None
+    raise RetryExhausted(path, outcome.attempts, clock() - started, last) from last

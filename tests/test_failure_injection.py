@@ -7,14 +7,17 @@ must surface as clear errors, never as silently wrong postings.
 from __future__ import annotations
 
 import os
+import zlib
 
 import pytest
 
 from repro.dictionary.dictionary import Dictionary
 from repro.dictionary.serialize import save_dictionary, load_dictionary
+from repro.postings.doctable import DocTable
 from repro.postings.lists import PostingsList
-from repro.postings.output import DocRangeMap, RunWriter, read_run_header
+from repro.postings.output import DocRangeMap, RUN_CRC_BYTES, RunWriter, read_run_header
 from repro.postings.reader import PostingsReader
+from repro.robustness.errors import ChecksumError
 
 
 def _plist(pairs):
@@ -22,6 +25,13 @@ def _plist(pairs):
     for d, tf in pairs:
         pl.add_posting(d, tf)
     return pl
+
+
+def _refresh_crc(data: bytearray) -> bytes:
+    """Recompute a run file's trailing CRC after deliberate tampering."""
+    body = bytes(data[:-RUN_CRC_BYTES])
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return body + crc.to_bytes(RUN_CRC_BYTES, "little")
 
 
 def _write_index(out_dir: str) -> None:
@@ -41,7 +51,9 @@ class TestCorruptRunFiles:
         data = path.read_bytes()
         path.write_bytes(data[:-2])  # chop the payload tail
         reader = PostingsReader(str(tmp_path))
-        with pytest.raises(EOFError):
+        # The trailing CRC32 no longer matches, so the checksum check
+        # fires before any decode is attempted.
+        with pytest.raises(ChecksumError):
             reader.postings(1)
 
     def test_zeroed_header_raises(self, tmp_path):
@@ -60,7 +72,9 @@ class TestCorruptRunFiles:
         # name length) to an unregistered name of the same length.
         idx = data.find(b"varbyte")
         data[idx : idx + 7] = b"zzzbyte"
-        path.write_bytes(bytes(data))
+        # Refresh the CRC so the *codec* check is what fires, not the
+        # checksum (an attacker-grade consistency failure, not bit rot).
+        path.write_bytes(_refresh_crc(data))
         reader = PostingsReader(str(tmp_path))
         with pytest.raises(KeyError):
             reader.postings(1)
@@ -106,7 +120,20 @@ class TestCorruptDictionary:
         data = open(path, "rb").read()
         with open(path, "wb") as fh:
             fh.write(data[: len(data) // 2])
-        with pytest.raises((EOFError, IndexError, UnicodeDecodeError)):
+        with pytest.raises(ChecksumError):
+            load_dictionary(path)
+
+    def test_flipped_dictionary_byte_raises(self, tmp_path):
+        d = Dictionary()
+        for t in ["alpha", "beta", "gamma"]:
+            d.add_term(t)
+        path = str(tmp_path / "dictionary.bin")
+        save_dictionary(d, path)
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 2] ^= 0x40  # one bit, mid-body
+        with open(path, "wb") as fh:
+            fh.write(bytes(data))
+        with pytest.raises(ChecksumError):
             load_dictionary(path)
 
     def test_reader_surfaces_dictionary_corruption(self, tmp_path):
@@ -115,6 +142,50 @@ class TestCorruptDictionary:
             fh.write(b"JUNKJUNKJUNK")
         with pytest.raises(ValueError):
             PostingsReader(str(tmp_path))
+
+
+class TestCorruptDocTable:
+    def _table(self, tmp_path) -> str:
+        table = DocTable()
+        for i in range(5):
+            table.add(f"file_{i % 2}.warc.gz", f"doc://{i}", i * 100)
+        return table.save(str(tmp_path))
+
+    def test_flipped_doctable_byte_raises(self, tmp_path):
+        path = self._table(tmp_path)
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 3] ^= 0x01
+        with open(path, "wb") as fh:
+            fh.write(bytes(data))
+        with pytest.raises(ChecksumError):
+            DocTable.load(str(tmp_path))
+
+    def test_dropped_doctable_row_raises(self, tmp_path):
+        path = self._table(tmp_path)
+        lines = open(path, "r").readlines()
+        with open(path, "w") as fh:
+            fh.writelines(lines[:2] + lines[3:])  # silently lose doc 2
+        with pytest.raises(ValueError):
+            DocTable.load(str(tmp_path))
+
+    def test_doctable_round_trips(self, tmp_path):
+        self._table(tmp_path)
+        table = DocTable.load(str(tmp_path))
+        assert len(table) == 5
+        assert table.lookup(3).uri == "doc://3"
+
+
+class TestCorruptRunsMap:
+    def test_flipped_map_byte_raises(self, tmp_path):
+        _write_index(str(tmp_path))
+        path = tmp_path / "runs.map"
+        data = bytearray(path.read_bytes())
+        # Flip a digit inside the body (not in the #crc line).
+        idx = data.index(b"\t")
+        data[idx + 1] ^= 0x01
+        path.write_bytes(bytes(data))
+        with pytest.raises(ChecksumError):
+            DocRangeMap.load(str(tmp_path))
 
 
 class TestHeaderParser:
