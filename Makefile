@@ -1,6 +1,6 @@
 # Canonical workflows for the reproduction.
 
-.PHONY: install test test-fast chaos bench report examples clean
+.PHONY: install test test-fast chaos lint bench report examples clean
 
 install:
 	python setup.py develop
@@ -13,6 +13,11 @@ test-fast:
 
 chaos:
 	pytest tests/ -m chaos -v
+
+# Paper-invariant lint pack + race analyzer + typing gate
+# (docs/STATIC_ANALYSIS.md).  mypy runs when installed (dev extra).
+lint:
+	python -m repro lint src
 
 bench:
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

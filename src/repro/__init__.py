@@ -25,22 +25,58 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
-from repro.core.config import PlatformConfig
-from repro.core.engine import EngineResult, IndexingEngine
-from repro.core.pipeline import simulate_full_build, simulate_pipeline
-from repro.core.workload import WorkloadModel
-from repro.corpus.collection import Collection, collection_statistics
-from repro.corpus.datasets import clueweb09_mini, congress_mini, wikipedia_mini
-from repro.corpus.synthetic import CollectionSpec, SegmentSpec, generate_collection
-from repro.dictionary.btree import BTree
-from repro.dictionary.dictionary import Dictionary, DictionaryShard
-from repro.dictionary.trie import TrieTable
-from repro.postings.doctable import DocTable
-from repro.postings.merge import merge_index
-from repro.postings.reader import PostingsReader
-from repro.search.query import SearchEngine
+from importlib import import_module
+from typing import Any
 
 __version__ = "1.0.0"
+
+# PEP 562 lazy exports: ``import repro`` must stay cheap and side-effect
+# free so tooling that lives inside the package (``repro.lint`` — which
+# must never import the engine) and ``python -m repro --help`` do not
+# drag in numpy and the whole engine.  ``from repro import X`` still
+# works for every name below; the submodule is imported on first access.
+_LAZY_EXPORTS = {
+    "PlatformConfig": "repro.core.config",
+    "EngineResult": "repro.core.engine",
+    "IndexingEngine": "repro.core.engine",
+    "simulate_full_build": "repro.core.pipeline",
+    "simulate_pipeline": "repro.core.pipeline",
+    "WorkloadModel": "repro.core.workload",
+    "Collection": "repro.corpus.collection",
+    "collection_statistics": "repro.corpus.collection",
+    "clueweb09_mini": "repro.corpus.datasets",
+    "congress_mini": "repro.corpus.datasets",
+    "wikipedia_mini": "repro.corpus.datasets",
+    "CollectionSpec": "repro.corpus.synthetic",
+    "SegmentSpec": "repro.corpus.synthetic",
+    "generate_collection": "repro.corpus.synthetic",
+    "BTree": "repro.dictionary.btree",
+    "Dictionary": "repro.dictionary.dictionary",
+    "DictionaryShard": "repro.dictionary.dictionary",
+    "TrieTable": "repro.dictionary.trie",
+    "DocTable": "repro.postings.doctable",
+    "merge_index": "repro.postings.merge",
+    "PostingsReader": "repro.postings.reader",
+    "SearchEngine": "repro.search.query",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is not None:
+        value = getattr(import_module(module_name), name)
+        globals()[name] = value  # cache: __getattr__ runs once per name
+        return value
+    try:
+        # ``repro.corpus``-style submodule access after a bare
+        # ``import repro`` (the eager imports used to provide this).
+        return import_module(f"repro.{name}")
+    except ImportError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
 
 __all__ = [
     "IndexingEngine",

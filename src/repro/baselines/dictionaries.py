@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.dictionary.btree import BTree
+from repro.dictionary.layout import DEFAULT_DEGREE
 from repro.dictionary.string_store import StringStore
 
 __all__ = ["HashDictionary", "GlobalBTreeDictionary"]
@@ -126,7 +127,7 @@ class GlobalBTreeDictionary:
     time.
     """
 
-    def __init__(self, degree: int = 16, writer_threads: int = 1) -> None:
+    def __init__(self, degree: int = DEFAULT_DEGREE, writer_threads: int = 1) -> None:
         if writer_threads < 1:
             raise ValueError("need at least one writer thread")
         self.tree = BTree(store=StringStore(), degree=degree)

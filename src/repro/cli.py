@@ -15,7 +15,9 @@ Commands mirror the library's workflow:
 - ``report`` — regenerate the full reproduction report (scorecard +
   every simulated table/figure) as Markdown;
 - ``simulate`` — the paper-scale pipeline simulation (Tables IV/VI
-  numbers without touching a terabyte).
+  numbers without touching a terabyte);
+- ``lint`` — the paper-invariant static-analysis pack
+  (docs/STATIC_ANALYSIS.md): AST rules, race analyzer, typing gate.
 """
 
 from __future__ import annotations
@@ -109,6 +111,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--parsers", type=int, default=6)
     simulate.add_argument("--cpu-indexers", type=int, default=2)
     simulate.add_argument("--gpus", type=int, default=2)
+
+    lint = sub.add_parser(
+        "lint", help="paper-invariant lint pack + race analyzer + typing gate"
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
     return parser
 
 
@@ -299,6 +308,12 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import run
+
+    return run(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code (2 on usage errors)."""
     args = build_arg_parser().parse_args(argv)
@@ -312,6 +327,7 @@ def main(argv: list[str] | None = None) -> int:
         "merge": _cmd_merge,
         "report": _cmd_report,
         "simulate": _cmd_simulate,
+        "lint": _cmd_lint,
     }[args.command]
     try:
         return handler(args)

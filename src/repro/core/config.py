@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.dictionary.layout import DEFAULT_DEGREE
+
 from repro.gpusim.costmodel import GPUSpec, TESLA_C1060
 from repro.indexers.assignment import PopularityPolicy
 from repro.robustness.policy import ON_ERROR_POLICIES
@@ -38,7 +40,7 @@ class PlatformConfig:
 
     # --- dictionary (Section III.B) ------------------------------------ #
     trie_height: int = 3
-    btree_degree: int = 16
+    btree_degree: int = DEFAULT_DEGREE
     use_string_cache: bool = True
 
     # --- parsing (Section III.C) --------------------------------------- #
@@ -123,7 +125,7 @@ class PlatformConfig:
 
     # ------------------------------------------------------------------ #
 
-    def with_(self, **changes) -> "PlatformConfig":
+    def with_(self, **changes: object) -> "PlatformConfig":
         """Functional update, for experiment sweeps."""
         return replace(self, **changes)
 

@@ -30,6 +30,7 @@ import hashlib
 import os
 import time
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.core.config import PlatformConfig
 from repro.core.costs import CostConstants, StageCosts
@@ -45,7 +46,7 @@ from repro.indexers.assignment import WorkAssignment, build_assignment, sample_c
 from repro.indexers.base import IndexerReport
 from repro.indexers.cpu import CPUIndexer
 from repro.indexers.gpu import GPUIndexer
-from repro.parsing.parser import Parser
+from repro.parsing.parser import ParsedFile, Parser
 from repro.parsing.regroup import ParsedBatch
 from repro.postings.compression import get_codec
 from repro.postings.lists import PostingsList
@@ -480,7 +481,7 @@ class IndexingEngine:
         watch: Stopwatch,
         start: int = 0,
         robustness: RobustnessReport | None = None,
-    ):
+    ) -> Iterator[tuple[int, ParsedFile | None, Exception | None, RetryOutcome | None]]:
         """Yield ``(file_index, parsed, error, retry_outcome)`` in order.
 
         Every container read runs under the config's retry policy; a file
@@ -507,9 +508,11 @@ class IndexingEngine:
                 positional=cfg.positional,
             )
 
-        def attempt(parser: Parser, k: int, path: str):
+        def attempt(
+            parser: Parser, k: int, path: str
+        ) -> tuple[ParsedFile | None, Exception | None, RetryOutcome | None]:
             """Parse under retry; classify the outcome for the caller."""
-            def call():
+            def call() -> ParsedFile:
                 parser.parser_id = k % cfg.num_parsers
                 return parser.parse_file(path, sequence=k)
 
@@ -542,7 +545,9 @@ class IndexingEngine:
 
         local = threading.local()
 
-        def parse_one(k: int):
+        def parse_one(
+            k: int,
+        ) -> tuple[ParsedFile | None, Exception | None, RetryOutcome | None]:
             parser = getattr(local, "parser", None)
             if parser is None:
                 parser = make_parser()

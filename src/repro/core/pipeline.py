@@ -23,6 +23,7 @@ parsers".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Generator
 
 from repro.core.config import PlatformConfig
 from repro.core.costs import StageCosts
@@ -135,7 +136,7 @@ def simulate_pipeline(
         uncompressed_bytes=sum(w.uncompressed_bytes for w in works),
     )
 
-    def parser_proc(parser_id: int):
+    def parser_proc(parser_id: int) -> Generator[object, Any, None]:
         for k in range(parser_id, len(works), m):
             work = works[k]
             yield Request(disk)
@@ -151,7 +152,7 @@ def simulate_pipeline(
             yield Timeout(costs.parse_seconds(work, regroup=config.regroup))
             yield Put(buffers[parser_id], (k, work))
 
-    def indexer_stage():
+    def indexer_stage() -> Generator[object, Any, None]:
         for k in range(len(works)):
             arrived = yield Get(buffers[k % m])
             file_index, work = arrived

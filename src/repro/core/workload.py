@@ -28,6 +28,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.dictionary.layout import DEFAULT_DEGREE
+
 __all__ = ["GroupWork", "FileWork", "WorkloadModel", "SegmentStats"]
 
 
@@ -154,7 +156,7 @@ class WorkloadModel:
     def __init__(
         self,
         segments: list[SegmentStats],
-        degree: int = 16,
+        degree: int = DEFAULT_DEGREE,
         popular_token_share: float = 0.443,
         popular_term_share: float = 0.286,
         num_popular_collections: int = 128,
@@ -295,7 +297,7 @@ class WorkloadModel:
     # ------------------------------------------------------------------ #
 
     @classmethod
-    def paper_scale(cls, dataset: str = "clueweb09", degree: int = 16) -> "WorkloadModel":
+    def paper_scale(cls, dataset: str = "clueweb09", degree: int = DEFAULT_DEGREE) -> "WorkloadModel":
         """Workload for one of the paper's three collections (Table III)."""
         GB = 1024**3
         if dataset == "clueweb09":

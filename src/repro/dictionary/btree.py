@@ -38,39 +38,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
+from repro.dictionary.layout import (
+    DEFAULT_DEGREE,
+    NODE_SIZE_BYTES,
+    STRING_CACHE_BYTES as _CACHE_BYTES,
+    node_layout,
+)
 from repro.dictionary.string_store import StringStore
 
-__all__ = ["BTree", "BTreeNode", "BTreeStats", "NODE_SIZE_BYTES", "node_layout"]
-
-#: Paper values: degree 16 → 31 keys/node → 512-byte nodes.
-DEFAULT_DEGREE = 16
-NODE_SIZE_BYTES = 512
-
-_POINTER_BYTES = 4
-_CACHE_BYTES = 4
-_ALIGN = 64  # one coalesced 16-word line
-
-
-def node_layout(degree: int = DEFAULT_DEGREE) -> dict[str, int]:
-    """Byte sizes of every Table II field for a given B-tree degree.
-
-    For the paper's degree of 16 the totals reproduce Table II exactly,
-    including the 4 padding bytes that round the node to 512 bytes (eight
-    coalesced 64-byte lines).
-    """
-    max_keys = 2 * degree - 1
-    fields = {
-        "valid_term_number": _POINTER_BYTES,
-        "term_string_pointers": max_keys * _POINTER_BYTES,
-        "leaf_indicator": _POINTER_BYTES,
-        "postings_pointers": max_keys * _POINTER_BYTES,
-        "child_pointers": (max_keys + 1) * _POINTER_BYTES,
-        "string_caches": max_keys * _CACHE_BYTES,
-    }
-    raw = sum(fields.values())
-    fields["padding"] = (-raw) % _ALIGN
-    fields["total"] = raw + fields["padding"]
-    return fields
+__all__ = [
+    "BTree",
+    "BTreeNode",
+    "BTreeStats",
+    "DEFAULT_DEGREE",
+    "NODE_SIZE_BYTES",
+    "node_layout",
+]
 
 
 @dataclass

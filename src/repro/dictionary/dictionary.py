@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from repro.dictionary.btree import BTree, BTreeStats
+from repro.dictionary.layout import DEFAULT_DEGREE
 from repro.dictionary.string_store import StringStore
 from repro.dictionary.trie import TrieTable
 
@@ -49,7 +50,7 @@ class DictionaryShard:
         trie: TrieTable | None = None,
         shard_id: int = 0,
         owned_collections: Iterable[int] | None = None,
-        degree: int = 16,
+        degree: int = DEFAULT_DEGREE,
         use_string_cache: bool = True,
     ) -> None:
         self.trie = trie if trie is not None else TrieTable()
@@ -163,7 +164,7 @@ class Dictionary(DictionaryShard):
     def __init__(
         self,
         trie: TrieTable | None = None,
-        degree: int = 16,
+        degree: int = DEFAULT_DEGREE,
         use_string_cache: bool = True,
     ) -> None:
         super().__init__(

@@ -29,7 +29,8 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
-from repro.dictionary.btree import BTree, BTreeNode, node_layout
+from repro.dictionary.btree import BTree, BTreeNode
+from repro.dictionary.layout import DEFAULT_DEGREE, node_layout
 from repro.gpusim.memory import SharedMemory
 from repro.gpusim.reduction import warp_find_slot
 
@@ -70,7 +71,7 @@ def _check_u32(value: int, what: str) -> int:
 def pack_node(
     node: BTreeNode,
     child_ids: list[int],
-    degree: int = 16,
+    degree: int = DEFAULT_DEGREE,
 ) -> bytes:
     """Serialize one node to its exact on-device bytes.
 
@@ -117,7 +118,7 @@ class UnpackedNode:
     caches: list[bytes]
 
 
-def unpack_node(data: bytes, degree: int = 16) -> UnpackedNode:
+def unpack_node(data: bytes, degree: int = DEFAULT_DEGREE) -> UnpackedNode:
     """Inverse of :func:`pack_node`."""
     off = _offsets(degree)
     if len(data) != off["total"]:

@@ -30,6 +30,7 @@ from __future__ import annotations
 import zlib
 
 from repro.dictionary.dictionary import DictionaryShard
+from repro.dictionary.layout import MAX_TERM_BYTES
 from repro.dictionary.trie import TrieTable
 from repro.postings.compression import decode_uvarint, encode_uvarint
 from repro.robustness.errors import ChecksumError
@@ -101,6 +102,11 @@ def load_dictionary(path: str) -> dict[str, int]:
         for _ in range(n_terms):
             lcp, pos = decode_uvarint(data, pos)
             tail_len, pos = decode_uvarint(data, pos)
+            if lcp + tail_len > MAX_TERM_BYTES:
+                raise ValueError(
+                    f"{path}: suffix of {lcp + tail_len} bytes exceeds the "
+                    f"{MAX_TERM_BYTES}-byte Fig 6 term limit (corrupt record?)"
+                )
             tail = data[pos : pos + tail_len]
             pos += tail_len
             term_id, pos = decode_uvarint(data, pos)

@@ -17,10 +17,11 @@ device-memory representation the CUDA kernels use.
 
 from __future__ import annotations
 
-__all__ = ["StringStore", "MAX_TERM_BYTES"]
+from typing import Iterator
 
-#: Paper assumption: one length byte suffices.
-MAX_TERM_BYTES = 255
+from repro.dictionary.layout import DEVICE_CHUNK_BYTES, MAX_TERM_BYTES
+
+__all__ = ["StringStore", "MAX_TERM_BYTES"]
 
 
 class StringStore:
@@ -66,7 +67,7 @@ class StringStore:
         """Length byte at ``ptr`` without copying the payload."""
         return self._heap[ptr]
 
-    def chunks(self, chunk_bytes: int = 512):
+    def chunks(self, chunk_bytes: int = DEVICE_CHUNK_BYTES) -> Iterator[bytes]:
         """Yield the heap in contiguous chunks (the GPU staging pattern).
 
         The CUDA indexer reads term strings from device memory in 512-byte

@@ -35,13 +35,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from repro.dictionary.layout import NUM_TRIE_COLLECTIONS, TRIE_HEIGHT, TRIE_TAIL_BASE
+
 __all__ = ["TrieTable", "TrieCategory", "NUM_TRIE_COLLECTIONS"]
 
 _LOWER = "abcdefghijklmnopqrstuvwxyz"
 _DIGITS = "0123456789"
-
-#: Number of collections for the paper's default height of 3.
-NUM_TRIE_COLLECTIONS = 1 + 10 + 26 + 26**3
 
 
 class TrieCategory(Enum):
@@ -80,11 +79,11 @@ class TrieTable:
         has ``26**h`` entries and strips ``h`` characters.
     """
 
-    def __init__(self, height: int = 3) -> None:
+    def __init__(self, height: int = TRIE_HEIGHT) -> None:
         if height < 1:
             raise ValueError(f"trie height must be >= 1, got {height}")
         self.height = height
-        self._tail_base = 1 + 10 + 26
+        self._tail_base = TRIE_TAIL_BASE
         self._tail_count = 26**height
         self.num_collections = self._tail_base + self._tail_count
 

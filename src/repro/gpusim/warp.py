@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.dictionary.layout import DEVICE_CHUNK_BYTES, NODE_SIZE_BYTES
 from repro.gpusim.costmodel import GPUSpec, TESLA_C1060
 from repro.gpusim.memory import coalesced_transactions
 from repro.gpusim.reduction import REDUCTION_STEPS
@@ -84,17 +85,17 @@ class WarpExecutor:
         self.counters.memory_stall_cycles += stall * count
         self.counters.bus_cycles += bus * count
 
-    def load_node(self, node_bytes: int = 512, count: int = 1) -> None:
+    def load_node(self, node_bytes: int = NODE_SIZE_BYTES, count: int = 1) -> None:
         """Move B-tree node(s) into shared memory (coalesced)."""
         self.counters.node_loads += count
         self._charge_stream(node_bytes, count)
 
-    def writeback_node(self, node_bytes: int = 512, count: int = 1) -> None:
+    def writeback_node(self, node_bytes: int = NODE_SIZE_BYTES, count: int = 1) -> None:
         """Write modified node(s) back to device memory (coalesced)."""
         self.counters.node_writebacks += count
         self._charge_stream(node_bytes, count)
 
-    def load_string_chunk(self, chunk_bytes: int = 512, count: int = 1) -> None:
+    def load_string_chunk(self, chunk_bytes: int = DEVICE_CHUNK_BYTES, count: int = 1) -> None:
         """Stage 512B term-string chunk(s) into shared memory."""
         self.counters.string_chunk_loads += count
         self._charge_stream(chunk_bytes, count)
@@ -138,7 +139,7 @@ class WarpExecutor:
         self.counters.splits += count
         # Copy half the node out and update the parent: two coalesced
         # writes plus a few SIMD steps of bookkeeping.
-        self._charge_stream(512, 2 * count)
+        self._charge_stream(NODE_SIZE_BYTES, 2 * count)
         self.counters.compute_cycles += CYCLES_PER_WARP_STEP * 8 * count
 
     def diverge(self) -> None:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.dictionary.btree import NODE_SIZE_BYTES
+from repro.dictionary.layout import NODE_SIZE_BYTES
 from repro.indexers.base import BaseIndexer, IndexerReport
 from repro.parsing.regroup import ParsedBatch
 

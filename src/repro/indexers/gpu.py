@@ -41,6 +41,7 @@ from repro.gpusim.device import Device
 from repro.gpusim.kernel import KernelResult, WorkItem
 from repro.gpusim.reduction import warp_find_slot
 from repro.gpusim.warp import WarpCounters, WarpExecutor
+from repro.dictionary.layout import DEVICE_CHUNK_BYTES
 from repro.indexers.base import BaseIndexer, IndexerReport
 from repro.parsing.regroup import ParsedBatch
 
@@ -195,7 +196,7 @@ class GPUIndexer(BaseIndexer):
         # 512B coalesced chunks.
         stream_bytes = characters + tokens  # + length prefixes
         if stream_bytes:
-            warp.load_string_chunk(count=-(-stream_bytes // 512))
+            warp.load_string_chunk(count=-(-stream_bytes // DEVICE_CHUNK_BYTES))
         # Per node visit: coalesced node load + one SIMD compare step
         # against the 4-byte caches + the Fig 7 reduction.
         if delta.node_visits:

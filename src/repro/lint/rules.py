@@ -1,0 +1,370 @@
+"""Paper-invariant lint rules (RPR001–RPR007).
+
+Each rule documents the invariant it protects and the paper section the
+invariant comes from.  Rules are pure AST checks over one
+:class:`~repro.lint.framework.SourceFile`; suppressions and allowlists
+are handled by the framework.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import Finding, SourceFile, rule
+
+__all__ = ["LAYOUT_LITERALS", "GATED_PACKAGES"]
+
+#: Table I/II values that must never be re-typed outside
+#: ``repro/dictionary/layout.py``: the 512-byte node (Table II), the
+#: 17,613-entry trie table and its 26³ = 17,576 tail (Table I).
+LAYOUT_LITERALS = {512, 17613, 17576}  # repro-lint: disable=RPR001 - the rule's own definition
+
+#: Packages under the RPR007 annotation-completeness gate (mirrors the
+#: per-package mypy strictness overrides in pyproject.toml).
+GATED_PACKAGES = ("core", "dictionary", "postings", "robustness")
+
+#: ``random``-module calls that touch the unseeded global generator.
+_GLOBAL_RANDOM_FNS = {
+    "random", "randint", "randrange", "getrandbits", "choice", "choices",
+    "shuffle", "sample", "uniform", "seed", "gauss", "normalvariate",
+    "expovariate", "betavariate", "triangular", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "lognormvariate", "randbytes",
+}
+
+
+def _iter_functions(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _arg_defaults(node: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[tuple[ast.arg, ast.expr]]:
+    """(argument, default) pairs, positional and keyword-only alike."""
+    args = node.args
+    positional = args.posonlyargs + args.args
+    for arg, default in zip(positional[len(positional) - len(args.defaults):], args.defaults):
+        yield arg, default
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            yield arg, default
+
+
+# ---------------------------------------------------------------------- #
+# RPR001 — layout constants come from repro.dictionary.layout
+# ---------------------------------------------------------------------- #
+
+
+@rule("RPR001", "layout-literal")
+def check_layout_literals(sf: SourceFile) -> Iterator[Finding]:
+    """Table I/II layout values must come from ``repro.dictionary.layout``.
+
+    Re-typing 512 / 17613 / 17576 (or defaulting a ``degree`` parameter
+    to a literal 16) re-derives the paper's node and trie geometry in a
+    second place; the two copies then drift independently.
+    """
+    if sf.parts and sf.parts[-1] == "layout.py":
+        return
+    defaulted_degrees: set[tuple[int, int]] = set()
+    for fn in _iter_functions(sf.tree):
+        for arg, default in _arg_defaults(fn):
+            if (
+                arg.arg == "degree"
+                and isinstance(default, ast.Constant)
+                and default.value == 16
+            ):
+                defaulted_degrees.add((default.lineno, default.col_offset))
+                yield sf.finding(
+                    "RPR001",
+                    default,
+                    "parameter 'degree' defaults to literal 16; "
+                    "use repro.dictionary.layout.DEFAULT_DEGREE",
+                )
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.keyword) and node.arg == "degree":
+            value = node.value
+            if isinstance(value, ast.Constant) and value.value == 16:
+                yield sf.finding(
+                    "RPR001",
+                    value,
+                    "call passes degree=16 as a literal; "
+                    "use repro.dictionary.layout.DEFAULT_DEGREE",
+                )
+                defaulted_degrees.add((value.lineno, value.col_offset))
+        if (
+            isinstance(node, ast.Constant)
+            and type(node.value) is int
+            and node.value in LAYOUT_LITERALS
+        ):
+            yield sf.finding(
+                "RPR001",
+                node,
+                f"layout literal {node.value} duplicates a Table I/II value; "
+                "import it from repro.dictionary.layout",
+            )
+
+
+# ---------------------------------------------------------------------- #
+# RPR002 — randomness flows through repro.util.rng
+# ---------------------------------------------------------------------- #
+
+
+@rule("RPR002", "unseeded-random")
+def check_unseeded_random(sf: SourceFile) -> Iterator[Finding]:
+    """No unseeded ``random`` / ``numpy.random`` outside ``util/rng.py``.
+
+    Every stochastic choice in the reproduction must derive from an
+    explicit seed (the paper's experiments are re-runnable); the global
+    generators make runs unrepeatable.
+    """
+    if sf.path.endswith("util/rng.py"):
+        return
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            bad = sorted(
+                alias.name for alias in node.names if alias.name in _GLOBAL_RANDOM_FNS
+            )
+            if bad:
+                yield sf.finding(
+                    "RPR002",
+                    node,
+                    f"imports global-state random function(s) {', '.join(bad)}; "
+                    "use repro.util.rng.make_rng",
+                )
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base = func.value.id
+            if base == "random" and func.attr in _GLOBAL_RANDOM_FNS:
+                yield sf.finding(
+                    "RPR002",
+                    node,
+                    f"random.{func.attr}() uses the unseeded global generator; "
+                    "use repro.util.rng.make_rng",
+                )
+            elif base == "random" and func.attr == "Random" and not (node.args or node.keywords):
+                yield sf.finding(
+                    "RPR002",
+                    node,
+                    "random.Random() without a seed is not reproducible; "
+                    "pass an explicit seed or use repro.util.rng.make_rng",
+                )
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "random"
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in ("np", "numpy")
+        ):
+            yield sf.finding(
+                "RPR002",
+                node,
+                f"numpy.random.{func.attr}() bypasses the seeded generator "
+                "discipline; use repro.util.rng.make_rng",
+            )
+
+
+# ---------------------------------------------------------------------- #
+# RPR003 — encode paths are float-free
+# ---------------------------------------------------------------------- #
+
+
+def _encode_scope(name: str) -> bool:
+    return "encode" in name or name.startswith(("write", "_write"))
+
+
+@rule("RPR003", "float-in-encode")
+def check_float_in_encode(sf: SourceFile) -> Iterator[Finding]:
+    """No float arithmetic in ``postings/`` and ``util/bitio.py`` encode paths.
+
+    Compressed output must be bit-identical across platforms and Python
+    builds; floats (true division, float literals, ``math.*``) introduce
+    rounding that can silently change an emitted code.
+    """
+    if not (sf.in_part("postings") or sf.path.endswith("util/bitio.py")):
+        return
+    for fn in _iter_functions(sf.tree):
+        if not _encode_scope(fn.name):
+            continue
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Constant) and type(node.value) is float:
+                yield sf.finding(
+                    "RPR003",
+                    node,
+                    f"float literal {node.value!r} inside encode path "
+                    f"'{fn.name}'; use exact integer arithmetic",
+                )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                yield sf.finding(
+                    "RPR003",
+                    node,
+                    f"true division inside encode path '{fn.name}' produces a "
+                    "float; use // with explicit rounding",
+                )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name) and func.id == "float":
+                    yield sf.finding(
+                        "RPR003", node, f"float() call inside encode path '{fn.name}'"
+                    )
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "math"
+                ):
+                    yield sf.finding(
+                        "RPR003",
+                        node,
+                        f"math.{func.attr}() inside encode path '{fn.name}' "
+                        "routes through floats; use integer arithmetic",
+                    )
+
+
+# ---------------------------------------------------------------------- #
+# RPR004 — fsync before atomic rename
+# ---------------------------------------------------------------------- #
+
+
+@rule("RPR004", "rename-without-fsync")
+def check_fsync_before_rename(sf: SourceFile) -> Iterator[Finding]:
+    """``os.replace``/``os.rename`` must be preceded by ``os.fsync``.
+
+    The crash-durability argument of the checkpoint layer (write temp →
+    fsync → rename) only holds when the data hits the platter before the
+    rename makes it visible; a rename without fsync can surface an empty
+    file after power loss.
+    """
+    for fn in _iter_functions(sf.tree):
+        fsync_lines = [
+            node.lineno
+            for node in ast.walk(fn)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "fsync"
+        ]
+        for node in ast.walk(fn):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("replace", "rename")
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "os"
+            ):
+                continue
+            if not any(line < node.lineno for line in fsync_lines):
+                yield sf.finding(
+                    "RPR004",
+                    node,
+                    f"os.{node.func.attr}() in '{fn.name}' without a preceding "
+                    "os.fsync(); the rename is not crash-durable",
+                )
+
+
+# ---------------------------------------------------------------------- #
+# RPR005 — no broad excepts outside robustness/
+# ---------------------------------------------------------------------- #
+
+
+def _is_broad(expr: ast.expr | None) -> bool:
+    if expr is None:
+        return True
+    if isinstance(expr, ast.Name) and expr.id in ("Exception", "BaseException"):
+        return True
+    if isinstance(expr, ast.Tuple):
+        return any(_is_broad(elt) for elt in expr.elts)
+    return False
+
+
+@rule("RPR005", "broad-except")
+def check_broad_except(sf: SourceFile) -> Iterator[Finding]:
+    """No bare/broad ``except`` outside ``robustness/``.
+
+    Only the fault-handling layer is allowed to catch everything (it
+    classifies and re-routes); anywhere else a broad except hides
+    corruption the robustness tests are designed to surface.
+    """
+    if sf.in_part("robustness"):
+        return
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _is_broad(node.type):
+            continue
+        # A handler that re-raises unconditionally is logging, not hiding.
+        if any(isinstance(stmt, ast.Raise) and stmt.exc is None for stmt in node.body):
+            continue
+        what = "bare except" if node.type is None else "broad except"
+        yield sf.finding(
+            "RPR005",
+            node,
+            f"{what} swallows errors the robustness layer should classify; "
+            "catch specific exceptions (broad catches live in robustness/)",
+        )
+
+
+# ---------------------------------------------------------------------- #
+# RPR006 — no mutable default arguments
+# ---------------------------------------------------------------------- #
+
+
+@rule("RPR006", "mutable-default")
+def check_mutable_defaults(sf: SourceFile) -> Iterator[Finding]:
+    """No mutable default arguments anywhere under ``src/``.
+
+    A shared default list/dict/set aliases state across calls — in the
+    engine that means across *builds*, breaking run-to-run determinism.
+    """
+    for fn in _iter_functions(sf.tree):
+        for arg, default in _arg_defaults(fn):
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set", "bytearray")
+            )
+            if mutable:
+                yield sf.finding(
+                    "RPR006",
+                    default,
+                    f"mutable default for parameter '{arg.arg}' of '{fn.name}' "
+                    "is shared across calls; default to None instead",
+                )
+
+
+# ---------------------------------------------------------------------- #
+# RPR007 — annotation completeness in the gated packages
+# ---------------------------------------------------------------------- #
+
+
+@rule("RPR007", "missing-annotation")
+def check_annotations(sf: SourceFile) -> Iterator[Finding]:
+    """Full signature annotations in core/, dictionary/, postings/, robustness/.
+
+    The offline half of the typing gate: the same packages mypy checks
+    with ``disallow_untyped_defs`` in CI must carry complete signatures,
+    so the gate holds even where mypy is not installed.
+    """
+    if not sf.in_part(*GATED_PACKAGES):
+        return
+    for fn in _iter_functions(sf.tree):
+        missing: list[str] = []
+        args = fn.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append("*" + args.vararg.arg)
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append("**" + args.kwarg.arg)
+        if missing:
+            yield sf.finding(
+                "RPR007",
+                fn,
+                f"'{fn.name}' has unannotated parameter(s): {', '.join(missing)}",
+            )
+        if fn.returns is None:
+            yield sf.finding(
+                "RPR007", fn, f"'{fn.name}' is missing a return annotation"
+            )

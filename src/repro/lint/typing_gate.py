@@ -1,0 +1,70 @@
+"""Typing gate: run mypy when installed, degrade gracefully offline.
+
+The gate has two halves:
+
+- **RPR007** (:mod:`repro.lint.rules`) — a dependency-free
+  annotation-completeness check over the gated packages; always runs.
+- **mypy** — full type *consistency* at the strictness pinned in
+  ``pyproject.toml`` (``[tool.mypy]`` plus per-package
+  ``disallow_untyped_defs`` overrides).  mypy is a dev extra installed in
+  CI; on machines without it :func:`run_mypy` reports "unavailable"
+  instead of failing, so ``repro lint`` stays usable everywhere.
+
+mypy diagnostics are mapped to lint findings under code ``RPR201`` so
+both halves flow through the same output formats and exit-code logic.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.lint.framework import Finding
+
+__all__ = ["mypy_available", "run_mypy", "MYPY_CODE"]
+
+MYPY_CODE = "RPR201"
+
+_LINE_RE = re.compile(
+    r"^(?P<path>[^:\n]+):(?P<line>\d+)(?::(?P<col>\d+))?:\s*"
+    r"(?P<severity>error|note|warning):\s*(?P<message>.*)$"
+)
+
+
+def mypy_available() -> bool:
+    """Is the mypy API importable in this environment?"""
+    try:
+        import mypy.api  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def run_mypy(paths: Iterable[str]) -> tuple[list[Finding], bool]:
+    """Run mypy over ``paths``; returns ``(findings, available)``.
+
+    ``available=False`` means mypy is not installed here (the offline
+    case) — callers should say so rather than treat it as a pass.
+    Configuration comes from ``pyproject.toml`` in the working directory,
+    the same file CI uses, so local and CI runs agree.
+    """
+    try:
+        from mypy import api
+    except ImportError:
+        return [], False
+    stdout, _stderr, _status = api.run([*paths, "--no-error-summary"])
+    findings: list[Finding] = []
+    for line in stdout.splitlines():
+        m = _LINE_RE.match(line)
+        if m is None or m.group("severity") == "note":
+            continue
+        findings.append(
+            Finding(
+                code=MYPY_CODE,
+                path=m.group("path").replace("\\", "/"),
+                line=int(m.group("line")),
+                col=int(m.group("col") or 1),
+                message=f"mypy: {m.group('message')}",
+            )
+        )
+    return findings, True

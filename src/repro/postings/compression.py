@@ -34,6 +34,8 @@ __all__ = [
 ]
 
 Posting = tuple[int, int]
+#: ``(doc_id, tf, positions)`` — the positional codec's entry shape.
+PositionalPosting = tuple[int, int, tuple[int, ...]]
 
 
 # ---------------------------------------------------------------------- #
@@ -254,7 +256,10 @@ class GolombCodec(PostingsCodec):
         if self.fixed_b is not None:
             b = self.fixed_b
         elif gaps:
-            b = self.optimal_b(sum(gaps) / len(gaps))
+            # ceil(0.69 · mean gap) in exact integer arithmetic: the float
+            # round trip of optimal_b() could pick a different b on another
+            # platform and silently change the emitted stream (RPR003).
+            b = max(1, -(-(69 * sum(gaps)) // (100 * len(gaps))))
         else:
             b = 1
         writer = BitWriter()
@@ -293,7 +298,9 @@ class VarBytePositionalCodec(PostingsCodec):
     name = "varbyte-pos"
     positional = True
 
-    def encode(self, postings) -> bytes:
+    # The positional entry shape intentionally differs from the base
+    # codec's (doc, tf) pairs; the engine selects by `positional` flag.
+    def encode(self, postings: Sequence[PositionalPosting]) -> bytes:  # type: ignore[override]
         out = bytearray()
         encode_uvarint(len(postings), out)
         prev = -1
@@ -315,9 +322,9 @@ class VarBytePositionalCodec(PostingsCodec):
             prev = doc_id
         return bytes(out)
 
-    def decode(self, data: bytes):
+    def decode(self, data: bytes) -> list[PositionalPosting]:  # type: ignore[override]
         count, pos = decode_uvarint(data, 0)
-        postings = []
+        postings: list[PositionalPosting] = []
         prev = -1
         for _ in range(count):
             gap, pos = decode_uvarint(data, pos)

@@ -24,8 +24,11 @@ import random
 import time
 import zlib
 from dataclasses import dataclass
+from typing import Callable, TypeVar
 
 from repro.robustness.errors import FatalFault, RetryExhausted, TransientReadError
+
+T = TypeVar("T")
 
 __all__ = ["RetryPolicy", "RetryOutcome", "retry_call", "is_transient"]
 
@@ -91,12 +94,12 @@ class RetryOutcome:
 
 
 def retry_call(
-    fn,
+    fn: Callable[[], T],
     policy: RetryPolicy,
     path: str,
-    sleep=time.sleep,
-    clock=time.monotonic,
-):
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+) -> tuple[T, RetryOutcome]:
     """Call ``fn()`` under ``policy``; returns ``(result, RetryOutcome)``.
 
     Raises :class:`RetryExhausted` (with the last error chained) once the

@@ -1,0 +1,20 @@
+"""RPR007 fixture: incomplete signatures in a gated package path.
+
+Lives under a ``core/`` path component so the annotation-completeness
+gate applies.
+"""
+
+
+def untyped(x, y):
+    """Missing parameter and return annotations — two findings."""
+    return x + y
+
+
+def typed(x: int, y: int) -> int:
+    """Fully annotated — compliant."""
+    return x + y
+
+
+def quiet(x, y):  # repro-lint: disable=RPR007 - fixture: suppression check
+    """Same violations, suppressed (both anchor to the def line)."""
+    return x + y

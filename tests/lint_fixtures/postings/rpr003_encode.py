@@ -1,0 +1,19 @@
+"""RPR003 fixture: float arithmetic inside an encode path.
+
+Lives under a ``postings/`` path component because the rule is scoped to
+the packages whose byte streams must be bit-identical across platforms.
+"""
+
+
+def encode_gaps(gaps):
+    """True division and a float literal in an encode function."""
+    total = sum(gaps)
+    avg = total / len(gaps)
+    scale = 0.69
+    quiet = 1.5  # repro-lint: disable=RPR003 - fixture: suppression check
+    return int(avg + scale + quiet)
+
+
+def describe(gaps):
+    """Floats outside an encode path are fine."""
+    return len(gaps) * 2.5

@@ -1,0 +1,12 @@
+"""RPR001 fixture: re-typed Table I/II layout literals."""
+
+NODE_SIZE = 512
+TRIE_TABLE_ENTRIES = 17613
+TRIE_TAIL = 17576
+
+NODE_SIZE_OK = 512  # repro-lint: disable=RPR001 - fixture: suppression check
+
+
+def make_node(degree=16):
+    """Degree defaulted to a literal 16 instead of DEFAULT_DEGREE."""
+    return degree

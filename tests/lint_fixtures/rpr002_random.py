@@ -1,0 +1,20 @@
+"""RPR002 fixture: unseeded global random generators."""
+
+import random
+
+from random import shuffle  # noqa: F401
+
+
+def pick(values):
+    """Uses the global generator."""
+    return random.choice(values)
+
+
+def fresh_generator():
+    """Unseeded Random() instance."""
+    return random.Random()
+
+
+def quiet():
+    """Same violation, suppressed."""
+    return random.random()  # repro-lint: disable=RPR002 - fixture: suppression check

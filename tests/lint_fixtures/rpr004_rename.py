@@ -1,0 +1,19 @@
+"""RPR004 fixture: atomic rename without a preceding fsync."""
+
+import os
+
+
+def swap(src, dst):
+    """Rename with no fsync — not crash-durable."""
+    os.replace(src, dst)
+
+
+def durable(fd, src, dst):
+    """Compliant: data is synced before the rename makes it visible."""
+    os.fsync(fd)
+    os.replace(src, dst)
+
+
+def swap_quietly(src, dst):
+    """Same violation, suppressed."""
+    os.replace(src, dst)  # repro-lint: disable=RPR004 - fixture: suppression check

@@ -1,0 +1,33 @@
+"""RPR005 fixture: broad/bare excepts outside robustness/."""
+
+
+def load(path):
+    """Broad except swallowing everything."""
+    try:
+        return open(path).read()
+    except Exception:
+        return ""
+
+
+def probe(path):
+    """Bare except."""
+    try:
+        return open(path).read()
+    except:  # noqa: E722
+        return ""
+
+
+def relay(path):
+    """Compliant: unconditionally re-raises, so nothing is hidden."""
+    try:
+        return open(path).read()
+    except Exception:
+        raise
+
+
+def quiet(path):
+    """Same violation, suppressed."""
+    try:
+        return open(path).read()
+    except Exception:  # repro-lint: disable=RPR005 - fixture: suppression check
+        return ""

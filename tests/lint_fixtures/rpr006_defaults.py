@@ -1,0 +1,23 @@
+"""RPR006 fixture: mutable default arguments."""
+
+
+def accumulate(value, items=[]):
+    """Classic shared-list default."""
+    items.append(value)
+    return items
+
+
+def tally(key, counts={}):
+    """Shared-dict default."""
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def grow(value, items=None):
+    """Compliant: None default."""
+    return (items or []) + [value]
+
+
+def quiet(value, items=[]):  # repro-lint: disable=RPR006 - fixture: suppression check
+    """Same violation, suppressed."""
+    return items + [value]

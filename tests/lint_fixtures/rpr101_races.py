@@ -1,0 +1,28 @@
+"""RPR101 fixture: unguarded writes to state shared with a worker thread."""
+
+import threading
+
+
+class Counter:
+    """A worker thread and the main thread both touch ``count``."""
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0
+        self._lock = threading.Lock()
+        self._thread = threading.Thread(target=self._worker)
+
+    def _worker(self):
+        """Worker entry: reads and writes shared attributes."""
+        for _ in range(1000):
+            self.count += 1
+            with self._lock:
+                self.total += 1
+
+    def reset(self):
+        """Main-thread write racing the worker — also a finding."""
+        self.count = 0
+
+    def reset_quietly(self):
+        """Same violation, suppressed."""
+        self.count = 0  # repro-lint: disable=RPR101 - fixture: suppression check

@@ -1,0 +1,20 @@
+"""RPR102 fixture: two paths acquire the same locks in opposite orders."""
+
+import threading
+
+lock_a = threading.Lock()
+lock_b = threading.Lock()
+
+
+def transfer_ab():
+    """Acquires A then B."""
+    with lock_a:
+        with lock_b:
+            pass
+
+
+def transfer_ba():
+    """Acquires B then A — closes the cycle."""
+    with lock_b:
+        with lock_a:
+            pass

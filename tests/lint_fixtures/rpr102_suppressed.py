@@ -1,0 +1,21 @@
+# repro-lint: disable-file=RPR102 - fixture: file-level suppression check
+"""Same lock-order cycle as rpr102_deadlock.py, suppressed file-wide."""
+
+import threading
+
+lock_a = threading.Lock()
+lock_b = threading.Lock()
+
+
+def transfer_ab():
+    """Acquires A then B."""
+    with lock_a:
+        with lock_b:
+            pass
+
+
+def transfer_ba():
+    """Acquires B then A."""
+    with lock_b:
+        with lock_a:
+            pass

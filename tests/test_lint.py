@@ -1,0 +1,189 @@
+"""Tests for the static-analysis pack (``repro lint``).
+
+Three layers of coverage, mirroring docs/STATIC_ANALYSIS.md:
+
+- **Fixtures** (``tests/lint_fixtures/``): every rule has a file with
+  known violations *and* a suppressed twin of the same violation, so
+  these tests pin both detection and the suppression machinery.
+- **Self-check**: the repo's own ``src/`` tree lints clean — the gate CI
+  enforces.
+- **Isolation**: linting must never import the engine; the lint CLI
+  stays usable (and fast) even when the index machinery would not load.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.lint import lint_paths, registered_rules
+from repro.lint import races
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+FIXTURES = os.path.join(REPO, "tests", "lint_fixtures")
+
+
+def fixture(*parts: str) -> str:
+    return os.path.join(FIXTURES, *parts)
+
+
+def run_cli(*argv: str) -> subprocess.CompletedProcess:
+    """Run ``python -m repro.lint.cli`` in a clean subprocess."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint.cli", *argv],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env=env,
+    )
+
+
+# Per-rule expectations: fixture path, number of unsuppressed findings.
+RULE_FIXTURES = [
+    ("RPR001", fixture("rpr001_layout.py"), 4),
+    ("RPR002", fixture("rpr002_random.py"), 3),
+    ("RPR003", fixture("postings", "rpr003_encode.py"), 2),
+    ("RPR004", fixture("rpr004_rename.py"), 1),
+    ("RPR005", fixture("rpr005_except.py"), 2),
+    ("RPR006", fixture("rpr006_defaults.py"), 2),
+    ("RPR007", fixture("core", "rpr007_annotations.py"), 2),
+    ("RPR101", fixture("rpr101_races.py"), 2),
+    ("RPR102", fixture("rpr102_deadlock.py"), 1),
+]
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize("code,path,expected", RULE_FIXTURES,
+                             ids=[c for c, _, _ in RULE_FIXTURES])
+    def test_rule_fires_and_suppression_holds(self, code, path, expected):
+        run = lint_paths([path], select=[code])
+        assert run.files_checked == 1
+        assert [f.code for f in run.findings] == [code] * expected
+        # The suppressed twin must not appear.  RPR102's twin is the
+        # separate file-level fixture (test_file_level_suppression);
+        # every other fixture carries an inline `disable=<code>` line.
+        if code == "RPR102":
+            return
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        disabled = {
+            i for i, line in enumerate(lines, start=1)
+            if f"disable={code}" in line
+        }
+        assert disabled, f"fixture {path} lost its suppressed twin"
+        assert not disabled & {f.line for f in run.findings}
+
+    @pytest.mark.parametrize("code,path,expected", RULE_FIXTURES,
+                             ids=[c for c, _, _ in RULE_FIXTURES])
+    def test_cli_exits_nonzero_on_fixture(self, code, path, expected):
+        proc = run_cli(path, "--select", code, "--format", "json")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert f'"{code}"' in proc.stdout
+
+    def test_file_level_suppression(self):
+        run = lint_paths([fixture("rpr102_suppressed.py")], select=["RPR102"])
+        assert run.findings == []
+
+    def test_unknown_rule_code(self):
+        with pytest.raises(KeyError):
+            lint_paths([FIXTURES], select=["RPR999"])
+        proc = run_cli(FIXTURES, "--select", "RPR999")
+        assert proc.returncode == 2
+
+
+class TestRaceAllowlist:
+    def test_allowlist_suppresses_vetted_writes(self):
+        races.set_allowlist_path(fixture("allowlist.txt"))
+        try:
+            run = lint_paths([fixture("rpr101_races.py")], select=["RPR101"])
+        finally:
+            races.set_allowlist_path(None)
+        assert run.findings == []
+
+    def test_empty_allowlist_restores_findings(self):
+        races.set_allowlist_path(os.devnull)
+        try:
+            run = lint_paths([fixture("rpr101_races.py")], select=["RPR101"])
+        finally:
+            races.set_allowlist_path(None)
+        assert len(run.findings) == 2
+
+    def test_malformed_allowlist_rejected(self, tmp_path):
+        bad = tmp_path / "allow.txt"
+        bad.write_text("no-separator-here\n")
+        with pytest.raises(ValueError):
+            races.load_allowlist(str(bad))
+
+    def test_shipped_allowlist_parses(self):
+        entries = races.load_allowlist(races.DEFAULT_ALLOWLIST_PATH)
+        assert entries, "shipped race_allowlist.txt is empty or missing"
+        for suffix, key in entries:
+            assert suffix and key
+
+
+class TestSelfCheck:
+    def test_src_tree_lints_clean(self):
+        """The acceptance gate: ``repro lint src/`` exits 0."""
+        proc = run_cli("src", "--mypy", "off")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 finding(s)" in proc.stdout
+
+    def test_race_analyzer_clean_on_engine_paths(self):
+        """Zero unallowlisted unguarded shared writes in core/ + indexers/."""
+        run = lint_paths(
+            [os.path.join(SRC, "repro", "core"),
+             os.path.join(SRC, "repro", "indexers")],
+            select=["RPR101", "RPR102"],
+        )
+        assert run.findings == []
+
+    def test_every_documented_rule_registered(self):
+        codes = set(registered_rules())
+        assert codes == {
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+            "RPR007", "RPR101", "RPR102",
+        }
+        for reg in registered_rules().values():
+            assert reg.description, f"{reg.code} has no description"
+
+
+class TestIsolation:
+    def test_lint_never_imports_the_engine(self):
+        """`import repro.lint.cli` must not pull in any engine module."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        code = (
+            "import sys\n"
+            "import repro.lint.cli\n"
+            "loaded = [m for m in sys.modules\n"
+            "          if m.startswith('repro.') and not m.startswith('repro.lint')]\n"
+            "assert not loaded, loaded\n"
+        )
+        proc = subprocess.run([sys.executable, "-c", code],
+                              capture_output=True, text=True, env=env)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_repro_cli_lint_subcommand(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "--list-rules"],
+            capture_output=True, text=True, cwd=REPO, env=env,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "RPR101" in proc.stdout
+
+    def test_parse_error_becomes_rpr000(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def oops(:\n")
+        run = lint_paths([str(broken)])
+        assert run.parse_errors == 1
+        assert run.findings[0].code == "RPR000"
+        proc = run_cli(str(broken))
+        assert proc.returncode == 1
