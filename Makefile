@@ -1,6 +1,6 @@
 # Canonical workflows for the reproduction.
 
-.PHONY: install test test-fast chaos lint bench report examples clean
+.PHONY: install test test-fast chaos lint bench report examples trace-demo clean
 
 install:
 	python setup.py develop
@@ -25,6 +25,18 @@ bench:
 report:
 	python -m repro report --output REPORT.md
 	python tools/gen_api_docs.py
+
+# Seeded demo build with telemetry, then the ASCII reports; open
+# /tmp/repro_trace_demo/index/trace.json in Perfetto for the timeline
+# (docs/OBSERVABILITY.md).
+trace-demo:
+	rm -rf /tmp/repro_trace_demo
+	python -m repro generate congress /tmp/repro_trace_demo --seed 7
+	python -m repro build /tmp/repro_trace_demo/congress_mini \
+		/tmp/repro_trace_demo/index --parsers 2 --cpu-indexers 1 --gpus 1
+	python -m repro trace /tmp/repro_trace_demo/index
+	python -m repro stats /tmp/repro_trace_demo/index
+	python -m repro verify /tmp/repro_trace_demo/index
 
 examples:
 	python examples/quickstart.py /tmp/repro_example_qs

@@ -4,12 +4,19 @@ Commands mirror the library's workflow:
 
 - ``generate`` — materialize a synthetic mini collection (ClueWeb /
   Wikipedia / Congress profile);
-- ``stats`` — parse a collection and print its Table III row;
+- ``stats`` — a collection directory prints its Table III row; an index
+  directory (or ``run.metrics.json``) prints the build's telemetry
+  summary; ``--diff A B`` prints per-stage timing and counter deltas
+  between two builds;
 - ``build`` — run the heterogeneous engine over a collection directory
   (``--resume`` continues an interrupted build, ``--on-error`` picks the
-  skip / quarantine policy for corrupt containers);
+  skip / quarantine policy for corrupt containers, ``--no-telemetry``
+  skips the ``run.metrics.json`` / ``trace.json`` artifacts);
+- ``trace`` — stage-utilization report for a build's Chrome trace
+  (open the same file in Perfetto / chrome://tracing for the timeline);
 - ``verify`` — check an index directory's checksums and cross-file
-  invariants; exits non-zero on the first inconsistency;
+  invariants (including telemetry artifact schemas); exits non-zero on
+  the first inconsistency;
 - ``query`` — Boolean / ranked / phrase retrieval over an index;
 - ``merge`` — consolidate a multi-run index into one monolithic run;
 - ``report`` — regenerate the full reproduction report (scorecard +
@@ -54,9 +61,21 @@ def build_arg_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--on-error", choices=["strict", "skip"], default="strict",
                         help="skip: drop undecodable documents instead of aborting")
 
-    stats = sub.add_parser("stats", help="Table III statistics of a collection")
-    stats.add_argument("collection", help="collection directory (with manifest.tsv)")
+    stats = sub.add_parser(
+        "stats",
+        help="Table III stats of a collection, or a build's telemetry summary",
+    )
+    stats.add_argument(
+        "target", nargs="?", default=None,
+        help="collection directory (manifest.tsv) for Table III, or an "
+             "index directory / run.metrics.json for the build's metrics",
+    )
     stats.add_argument("--no-html", action="store_true", help="collection is pure text")
+    stats.add_argument(
+        "--diff", nargs=2, metavar=("BEFORE", "AFTER"), default=None,
+        help="diff two run.metrics.json files (or index directories): "
+             "per-stage timings and changed counters",
+    )
 
     build = sub.add_parser("build", help="build inverted files")
     build.add_argument("collection", help="collection directory")
@@ -78,6 +97,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
     build.add_argument("--quarantine-dir", default=None,
                        help="where quarantined containers go (default: "
                             "quarantine/ inside the collection)")
+    build.add_argument("--no-telemetry", action="store_true",
+                       help="disable span tracing + metrics (no "
+                            "run.metrics.json / trace.json artifacts)")
+
+    trace = sub.add_parser(
+        "trace", help="ASCII stage-utilization report from a build's trace"
+    )
+    trace.add_argument(
+        "trace", help="index directory (containing trace.json) or a trace file"
+    )
+    trace.add_argument("--root", default="build",
+                       help="root span name coverage is computed against")
 
     verify = sub.add_parser(
         "verify", help="check an index's checksums and cross-file invariants"
@@ -175,11 +206,57 @@ def _cmd_ingest(args) -> int:
     return 0
 
 
+def _metrics_path_of(target: str):
+    """Resolve a stats/diff target to a ``run.metrics.json`` path, or None.
+
+    A directory holding ``manifest.tsv`` is a *collection* (Table III
+    path); a directory holding ``run.metrics.json`` is an *index*; a
+    ``.json`` file is taken as a metrics payload directly.
+    """
+    import os
+
+    from repro.obs.schema import METRICS_FILENAME
+
+    if os.path.isfile(target):
+        return target if target.endswith(".json") else None
+    if os.path.isdir(target):
+        if os.path.exists(os.path.join(target, "manifest.tsv")):
+            return None  # a collection: Table III semantics win
+        candidate = os.path.join(target, METRICS_FILENAME)
+        if os.path.exists(candidate):
+            return candidate
+    return None
+
+
 def _cmd_stats(args) -> int:
     from repro.corpus.collection import collection_statistics
     from repro.util.fmt import fmt_bytes, fmt_count
 
-    stats = collection_statistics(_load_collection(args.collection),
+    if args.diff is not None:
+        from repro.obs.schema import load_metrics
+        from repro.obs.stats import render_metrics_diff
+
+        paths = [_metrics_path_of(t) or t for t in args.diff]
+        print(render_metrics_diff(
+            load_metrics(paths[0]), load_metrics(paths[1]),
+            before_label=args.diff[0], after_label=args.diff[1],
+        ))
+        return 0
+
+    if args.target is None:
+        print("error: stats needs a collection/index directory (or --diff A B)",
+              file=sys.stderr)
+        return 2
+
+    metrics_path = _metrics_path_of(args.target)
+    if metrics_path is not None:
+        from repro.obs.schema import load_metrics
+        from repro.obs.stats import render_metrics_summary
+
+        print(render_metrics_summary(load_metrics(metrics_path)))
+        return 0
+
+    stats = collection_statistics(_load_collection(args.target),
                                   strip_html=not args.no_html)
     print(f"collection:   {stats.name}")
     print(f"compressed:   {fmt_bytes(stats.compressed_bytes)}")
@@ -205,15 +282,20 @@ def _cmd_build(args) -> int:
         strip_html=not args.no_html,
         on_error=args.on_error,
         quarantine_dir=args.quarantine_dir,
+        telemetry=not args.no_telemetry,
     )
     result = IndexingEngine(config).build(
         _load_collection(args.collection), args.output, resume=args.resume
     )
     print(f"indexed {result.token_count:,} tokens, {result.term_count:,} terms, "
           f"{result.document_count:,} docs into {result.run_count} runs")
-    print(f"wall time: {result.wall_seconds:.1f}s; simulated on the paper's node: "
+    print(f"wall time: {result.wall_seconds:.1f}s (cpu {result.cpu_seconds:.1f}s); "
+          f"simulated on the paper's node: "
           f"{result.report.total_s:.2f}s = {result.report.throughput_mbps:.1f} MB/s")
     print(f"CPU/GPU token split: {result.split.cpu_tokens:,} / {result.split.gpu_tokens:,}")
+    if result.metrics_path is not None:
+        print(f"telemetry: {result.metrics_path} (repro stats) + "
+              f"{result.trace_path} (repro trace / Perfetto)")
     rb = result.robustness
     if rb.resumed_runs:
         print(f"resumed: {rb.resumed_runs} run(s) recovered from the manifest")
@@ -227,7 +309,25 @@ def _cmd_build(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    import os
+
+    from repro.obs.schema import TRACE_FILENAME
+    from repro.obs.stats import render_trace_summary, spans_from_chrome
+    from repro.obs.trace import load_chrome_trace
+
+    path = args.trace
+    if os.path.isdir(path):
+        path = os.path.join(path, TRACE_FILENAME)
+    events = load_chrome_trace(path)
+    print(render_trace_summary(spans_from_chrome(events), root_name=args.root))
+    return 0
+
+
 def _cmd_verify(args) -> int:
+    import os
+
+    from repro.obs.schema import METRICS_FILENAME, load_metrics
     from repro.robustness.verify import verify_index
 
     result = verify_index(args.index, keep_going=args.keep_going)
@@ -236,6 +336,15 @@ def _cmd_verify(args) -> int:
     if result.ok:
         print(f"ok: {result.runs_checked} run(s), {result.docs_checked} doc(s), "
               f"{result.terms_checked} term(s) verified")
+        metrics_path = os.path.join(args.index, METRICS_FILENAME)
+        if os.path.exists(metrics_path):
+            counters = load_metrics(metrics_path).get("counters", {})
+            robustness = {k: v for k, v in sorted(counters.items())
+                          if k.startswith("robustness.")}
+            if robustness:
+                print("robustness counters from the build:")
+                for name, value in robustness.items():
+                    print(f"  {name:32s} {value}")
         return 0
     print(f"{len(result.issues)} inconsistenc"
           f"{'y' if len(result.issues) == 1 else 'ies'} found", file=sys.stderr)
@@ -322,6 +431,7 @@ def main(argv: list[str] | None = None) -> int:
         "ingest": _cmd_ingest,
         "stats": _cmd_stats,
         "build": _cmd_build,
+        "trace": _cmd_trace,
         "verify": _cmd_verify,
         "query": _cmd_query,
         "merge": _cmd_merge,
@@ -331,6 +441,9 @@ def main(argv: list[str] | None = None) -> int:
     }[args.command]
     try:
         return handler(args)
+    except BrokenPipeError:  # e.g. `repro stats … | head`
+        sys.stderr.close()  # suppress the interpreter's flush-failure noise
+        return 0
     except FileNotFoundError as exc:
         print(f"error: missing file or directory: {exc.filename or exc}", file=sys.stderr)
         return 2

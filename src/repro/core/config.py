@@ -75,6 +75,12 @@ class PlatformConfig:
     #: positional codec automatically when left on "varbyte".
     positional: bool = False
 
+    # --- observability (docs/OBSERVABILITY.md) --------------------------- #
+    #: Span tracing + metrics collection for the build.  On by default;
+    #: when off, the engine runs with the null tracer/registry (near-zero
+    #: overhead) and writes no ``run.metrics.json`` / ``trace.json``.
+    telemetry: bool = True
+
     # --- robustness (docs/ROBUSTNESS.md) -------------------------------- #
     #: What to do with a permanently unreadable container file:
     #: ``"strict"`` aborts the build, ``"skip"`` records and continues,

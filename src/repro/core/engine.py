@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import hashlib
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -46,6 +45,9 @@ from repro.indexers.assignment import WorkAssignment, build_assignment, sample_c
 from repro.indexers.base import IndexerReport
 from repro.indexers.cpu import CPUIndexer
 from repro.indexers.gpu import GPUIndexer
+from repro.obs import runtime as obs
+from repro.obs.runtime import Telemetry
+from repro.obs.schema import METRICS_FILENAME, TRACE_FILENAME, build_payload, write_metrics
 from repro.parsing.parser import ParsedFile, Parser
 from repro.parsing.regroup import ParsedBatch
 from repro.postings.compression import get_codec
@@ -64,7 +66,7 @@ from repro.robustness.checkpoint import (
 from repro.robustness.errors import RetryExhausted
 from repro.robustness.policy import GpuFailover, RobustnessReport, SkippedFile
 from repro.robustness.retry import RetryOutcome, retry_call
-from repro.util.timing import Stopwatch
+from repro.util.timing import Stopwatch, now
 
 __all__ = ["IndexingEngine", "EngineResult", "WorkSplit"]
 
@@ -101,12 +103,22 @@ class EngineResult:
     posting_count: int = 0
     document_count: int = 0
     run_count: int = 0
+    #: Real elapsed time of the whole build (one monotonic interval).
     wall_seconds: float = 0.0
+    #: Sum of the stopwatch buckets — *CPU seconds*.  With prefetch
+    #: threads this legitimately exceeds ``wall_seconds`` (overlapping
+    #: work is counted once per worker; see :mod:`repro.util.timing`).
+    cpu_seconds: float = 0.0
     stopwatch: Stopwatch = field(default_factory=Stopwatch)
     indexer_reports: dict[str, IndexerReport] = field(default_factory=dict)
     #: Fault handling summary: retries, skipped/quarantined files, GPU
     #: failovers, and how many runs a resume recovered from the manifest.
     robustness: RobustnessReport = field(default_factory=RobustnessReport)
+    #: The telemetry bundle the build ran under, and where its artifacts
+    #: landed (``None`` when ``config.telemetry`` is off).
+    telemetry: Telemetry | None = None
+    metrics_path: str | None = None
+    trace_path: str | None = None
 
     @property
     def simulated_total_seconds(self) -> float:
@@ -114,7 +126,21 @@ class EngineResult:
 
     @property
     def simulated_throughput_mbps(self) -> float:
+        """Modeled MB/s from the discrete-event replay (the paper's figure)."""
         return self.report.throughput_mbps
+
+    @property
+    def measured_throughput_mbps(self) -> float:
+        """Real uncompressed MB over real *wall* seconds.
+
+        Divides by :attr:`wall_seconds`, never :attr:`cpu_seconds` — a
+        prefetching build overlaps parse and index work, and dividing by
+        summed bucket time would understate it by up to the worker count.
+        """
+        if self.wall_seconds <= 0:
+            return 0.0
+        total = sum(w.uncompressed_bytes for w in self.file_works)
+        return total / 1e6 / self.wall_seconds
 
 
 class IndexingEngine:
@@ -145,10 +171,41 @@ class IndexingEngine:
         the resumed build allocates the same term ids and produces output
         byte-identical to an uninterrupted one.  With no checkpoint on
         disk, ``resume=True`` silently falls back to a fresh build.
+
+        Unless ``config.telemetry`` is off, the build runs under an
+        installed :class:`~repro.obs.runtime.Telemetry` bundle and writes
+        ``run.metrics.json`` and ``trace.json`` next to ``build.manifest``
+        (see docs/OBSERVABILITY.md).
         """
+        tel = Telemetry.create(self.config.telemetry)
+        t_start = now()
+        with obs.session(tel), tel.tracer.span(
+            "build",
+            collection=collection.name,
+            files=len(collection.files),
+            resume=resume,
+        ):
+            result = self._build(collection, output_dir, resume, tel)
+        result.wall_seconds = now() - t_start
+        result.cpu_seconds = result.stopwatch.total()
+        result.telemetry = tel
+        if tel.enabled:
+            result.metrics_path, result.trace_path = self._write_telemetry(
+                tel, result, collection, output_dir
+            )
+        return result
+
+    def _build(
+        self,
+        collection: Collection,
+        output_dir: str,
+        resume: bool,
+        tel: Telemetry,
+    ) -> EngineResult:
+        """The instrumented build body; runs inside the root ``build`` span."""
         cfg = self.config
         watch = Stopwatch()
-        t_start = time.perf_counter()
+        metrics = tel.metrics
         os.makedirs(output_dir, exist_ok=True)
 
         injector = faults.active()
@@ -187,7 +244,7 @@ class IndexingEngine:
             robustness = RobustnessReport(on_error=cfg.on_error)
 
             # ---- 1. sampling + assignment (Section III.E) ------------- #
-            with watch.measure("sampling"):
+            with watch.measure("sampling"), tel.tracer.span("sampling"):
                 faults.set_stage("sampling")
                 try:
                     sampled = sample_collection(
@@ -241,6 +298,11 @@ class IndexingEngine:
 
         popular_set = set(assignment.popular)
         split = WorkSplit()
+        metrics.set_gauge("assignment.popular_collections", len(assignment.popular))
+        metrics.set_gauge(
+            "assignment.gpu_collections", sum(len(s) for s in assignment.gpu_sets)
+        )
+        metrics.set_gauge("robustness.resumed_runs", robustness.resumed_runs)
 
         # ---- 3. parse + index + write runs (Fig 8) -------------------- #
         writer = RunWriter(output_dir, codec=get_codec(cfg.codec), num_stripes=cfg.output_stripes)
@@ -249,107 +311,127 @@ class IndexingEngine:
         run_docs = 0
 
         parsed_stream = self._parsed_files(
-            collection, trie, watch, start=start_file, robustness=robustness
+            collection, trie, watch, tel, start=start_file, robustness=robustness
         )
-        for k, parsed, error, outcome in parsed_stream:
-            if injector is not None:
-                for ordinal in injector.gpu_failures(k):
-                    self._fail_gpu(ordinal, k, gpu_indexers, assignment, robustness)
+        with tel.tracer.span("run_loop", start_file=start_file):
+            for k, parsed, error, outcome in parsed_stream:
+                if injector is not None:
+                    for ordinal in injector.gpu_failures(k):
+                        self._fail_gpu(ordinal, k, gpu_indexers, assignment, robustness)
 
-            if error is not None:
-                self._handle_read_failure(collection, k, error, robustness)
-            else:
-                batch = parsed.batch
-                with watch.measure("index"):
-                    pop_work, unpop_work = self._index_batch(
-                        batch, doc_offset, assignment, popular_set,
-                        cpu_indexers, gpu_indexers,
+                if error is not None:
+                    self._handle_read_failure(collection, k, error, robustness)
+                else:
+                    batch = parsed.batch
+                    with watch.measure("index"), tel.tracer.span(
+                        "index", cat="index", file=k,
+                        docs=batch.num_docs, tokens=batch.total_tokens,
+                    ):
+                        pop_work, unpop_work = self._index_batch(
+                            batch, doc_offset, assignment, popular_set,
+                            cpu_indexers, gpu_indexers,
+                        )
+                    metrics.count("build.files_indexed")
+                    metrics.count("build.docs", batch.num_docs)
+                    metrics.count("build.tokens", batch.total_tokens)
+                    metrics.observe("file.uncompressed_bytes",
+                                    parsed.metrics.uncompressed_bytes)
+                    file_works.append(
+                        FileWork(
+                            file_index=k,
+                            compressed_bytes=parsed.metrics.compressed_bytes,
+                            uncompressed_bytes=parsed.metrics.uncompressed_bytes,
+                            num_docs=batch.num_docs,
+                            raw_tokens=parsed.metrics.tokens_raw,
+                            popular=pop_work,
+                            unpopular=unpop_work,
+                            segment=collection.segment_of(k),
+                            fault_delay_s=outcome.backoff_s if outcome else 0.0,
+                        )
                     )
-                file_works.append(
-                    FileWork(
-                        file_index=k,
-                        compressed_bytes=parsed.metrics.compressed_bytes,
-                        uncompressed_bytes=parsed.metrics.uncompressed_bytes,
-                        num_docs=batch.num_docs,
-                        raw_tokens=parsed.metrics.tokens_raw,
-                        popular=pop_work,
-                        unpopular=unpop_work,
-                        segment=collection.segment_of(k),
-                        fault_delay_s=outcome.backoff_s if outcome else 0.0,
-                    )
-                )
-                for entry in parsed.doc_table:
-                    doc_table.add(entry.source_file, entry.uri, entry.offset)
-                token_count += batch.total_tokens
-                doc_offset += batch.num_docs
-                run_docs += batch.num_docs
-                run_file_indices.append(k)
+                    for entry in parsed.doc_table:
+                        doc_table.add(entry.source_file, entry.uri, entry.offset)
+                    token_count += batch.total_tokens
+                    doc_offset += batch.num_docs
+                    run_docs += batch.num_docs
+                    run_file_indices.append(k)
 
-            # A run closes after `files_per_run` files (the paper's
-            # fixed-total-size batches) or at the end of the collection —
-            # on file *position*, so run numbering survives skipped files.
-            if (k + 1) % cfg.files_per_run == 0 or k == len(collection.files) - 1:
-                with watch.measure("write_runs"):
-                    run_lists: dict[int, PostingsList] = {}
-                    for indexer in [*cpu_indexers, *gpu_indexers]:
-                        run_lists.update(indexer.drain_postings())
-                    run_postings = sum(len(p) for p in run_lists.values())
-                    posting_count += run_postings
-                    run_id = k // cfg.files_per_run
-                    run_file = writer.write_run(run_id, run_lists)
-                    range_map.add(run_file)
-                    run_count += 1
-                # Durability order: run file → manifest append →
-                # checkpoint replace.  A crash at any point leaves a
-                # resumable directory (see repro.robustness.checkpoint).
-                manifest.append_run(
-                    RunRecord(
-                        run_id=run_id,
-                        path=os.path.relpath(run_file.path, output_dir),
-                        crc32=crc32_of_file(run_file.path),
-                        min_doc=run_file.min_doc,
-                        max_doc=run_file.max_doc,
-                        entry_count=run_file.entry_count,
-                        byte_size=run_file.byte_size,
-                        first_doc=run_first_doc,
-                        docs=run_docs,
-                        postings=run_postings,
-                        file_indices=tuple(run_file_indices),
-                        files=tuple(
-                            os.path.basename(collection.files[i])
-                            for i in run_file_indices
-                        ),
-                    )
-                )
-                save_checkpoint(
-                    output_dir,
-                    {
-                        "fingerprint": fingerprint,
-                        "trie": trie,
-                        "assignment": assignment,
-                        "cpu_indexers": cpu_indexers,
-                        "gpu_indexers": gpu_indexers,
-                        "doc_table": doc_table,
-                        "file_works": file_works,
-                        "range_map": range_map,
-                        "robustness": robustness,
-                        "doc_offset": doc_offset,
-                        "token_count": token_count,
-                        "posting_count": posting_count,
-                        "run_count": run_count,
-                        "next_file_index": k + 1,
-                    },
-                )
-                run_file_indices = []
-                run_first_doc = doc_offset
-                run_docs = 0
+                # A run closes after `files_per_run` files (the paper's
+                # fixed-total-size batches) or at the end of the collection —
+                # on file *position*, so run numbering survives skipped files.
+                if (k + 1) % cfg.files_per_run == 0 or k == len(collection.files) - 1:
+                    with watch.measure("write_runs"), tel.tracer.span(
+                        "write_run", cat="output"
+                    ) as run_tags:
+                        run_lists: dict[int, PostingsList] = {}
+                        for indexer in [*cpu_indexers, *gpu_indexers]:
+                            run_lists.update(indexer.drain_postings())
+                        run_postings = sum(len(p) for p in run_lists.values())
+                        posting_count += run_postings
+                        run_id = k // cfg.files_per_run
+                        run_file = writer.write_run(run_id, run_lists)
+                        range_map.add(run_file)
+                        run_count += 1
+                        run_tags["run"] = run_id
+                        run_tags["postings"] = run_postings
+                        run_tags["bytes"] = run_file.byte_size
+                    metrics.count("runs.written")
+                    metrics.count("postings.entries", run_postings)
+                    metrics.count(f"postings.bytes.{cfg.codec}", run_file.byte_size)
+                    metrics.observe("run.bytes", run_file.byte_size)
+                    metrics.observe("run.postings", run_postings)
+                    # Durability order: run file → manifest append →
+                    # checkpoint replace.  A crash at any point leaves a
+                    # resumable directory (see repro.robustness.checkpoint).
+                    with tel.tracer.span("checkpoint", cat="robustness", run=run_id):
+                        manifest.append_run(
+                            RunRecord(
+                                run_id=run_id,
+                                path=os.path.relpath(run_file.path, output_dir),
+                                crc32=crc32_of_file(run_file.path),
+                                min_doc=run_file.min_doc,
+                                max_doc=run_file.max_doc,
+                                entry_count=run_file.entry_count,
+                                byte_size=run_file.byte_size,
+                                first_doc=run_first_doc,
+                                docs=run_docs,
+                                postings=run_postings,
+                                file_indices=tuple(run_file_indices),
+                                files=tuple(
+                                    os.path.basename(collection.files[i])
+                                    for i in run_file_indices
+                                ),
+                            )
+                        )
+                        save_checkpoint(
+                            output_dir,
+                            {
+                                "fingerprint": fingerprint,
+                                "trie": trie,
+                                "assignment": assignment,
+                                "cpu_indexers": cpu_indexers,
+                                "gpu_indexers": gpu_indexers,
+                                "doc_table": doc_table,
+                                "file_works": file_works,
+                                "range_map": range_map,
+                                "robustness": robustness,
+                                "doc_offset": doc_offset,
+                                "token_count": token_count,
+                                "posting_count": posting_count,
+                                "run_count": run_count,
+                                "next_file_index": k + 1,
+                            },
+                        )
+                    run_file_indices = []
+                    run_first_doc = doc_offset
+                    run_docs = 0
 
         # ---- 4. dictionary epilogue (Table VI) ------------------------ #
-        with watch.measure("dict_combine"):
+        with watch.measure("dict_combine"), tel.tracer.span("dict.combine"):
             dictionary = Dictionary.combine(
                 [ix.shard for ix in [*cpu_indexers, *gpu_indexers]]
             )
-        with watch.measure("dict_write"):
+        with watch.measure("dict_write"), tel.tracer.span("dict.write"):
             save_dictionary(dictionary, os.path.join(output_dir, "dictionary.bin"))
             range_map.save(output_dir)
             doc_table.save(output_dir)
@@ -370,7 +452,12 @@ class IndexingEngine:
                 split.gpu_terms += ix.total.new_terms
                 split.gpu_characters += ix.shard.string_bytes() - ix.total.new_terms
 
-        report = simulate_full_build(file_works, cfg, self.costs)
+        metrics.set_gauge("dictionary.terms", dictionary.term_count())
+        metrics.set_gauge("dictionary.string_heap_bytes", dictionary.string_bytes())
+        metrics.set_gauge("split.cpu_tokens", split.cpu_tokens)
+        metrics.set_gauge("split.gpu_tokens", split.gpu_tokens)
+        with tel.tracer.span("simulate", cat="model"):
+            report = simulate_full_build(file_works, cfg, self.costs)
 
         result = EngineResult(
             output_dir=output_dir,
@@ -384,7 +471,6 @@ class IndexingEngine:
             posting_count=posting_count,
             document_count=doc_offset,
             run_count=run_count,
-            wall_seconds=time.perf_counter() - t_start,
             stopwatch=watch,
             indexer_reports={
                 f"{ix.kind}{ix.indexer_id}": ix.total
@@ -393,6 +479,44 @@ class IndexingEngine:
             robustness=robustness,
         )
         return result
+
+    # ------------------------------------------------------------------ #
+    # Telemetry artifacts
+    # ------------------------------------------------------------------ #
+
+    def _write_telemetry(
+        self,
+        tel: Telemetry,
+        result: EngineResult,
+        collection: Collection,
+        output_dir: str,
+    ) -> tuple[str, str]:
+        """Write ``run.metrics.json`` + ``trace.json`` next to the manifest.
+
+        Wall-clock values (stopwatch buckets, wall/cpu seconds) go into
+        the payload's quarantined ``timings`` section; everything else in
+        the registry is seed-deterministic by construction.
+        """
+        watch = result.stopwatch
+        timings = {f"stage.{name}": s for name, s in watch.buckets.items()}
+        timings["wall_seconds"] = result.wall_seconds
+        timings["cpu_seconds"] = result.cpu_seconds
+        timings["measured_union_seconds"] = watch.wall()
+        payload = build_payload(
+            tel.metrics.snapshot(),
+            timings,
+            meta={
+                "collection": collection.name,
+                "config": self.config.describe(),
+                "codec": self.config.codec,
+                "files": len(collection.files),
+            },
+        )
+        metrics_path = write_metrics(
+            os.path.join(output_dir, METRICS_FILENAME), payload
+        )
+        trace_path = tel.tracer.write(os.path.join(output_dir, TRACE_FILENAME))
+        return metrics_path, trace_path
 
     # ------------------------------------------------------------------ #
     # Robustness plumbing
@@ -432,10 +556,12 @@ class IndexingEngine:
                     quarantined_to=dest,
                 )
             )
+            obs.count("robustness.quarantined")
         else:
             robustness.skipped.append(
                 SkippedFile(file_index=file_index, path=path, reason=reason)
             )
+            obs.count("robustness.skipped")
 
     def _fail_gpu(
         self,
@@ -471,6 +597,12 @@ class IndexingEngine:
                 tokens_before_failure=failed.total.tokens,
             )
         )
+        obs.count("robustness.gpu_failovers")
+        t = obs.current()
+        if t is not None:
+            t.tracer.instant(
+                "gpu_failover", cat="robustness", gpu=ordinal, file=file_index
+            )
 
     # ------------------------------------------------------------------ #
 
@@ -479,6 +611,7 @@ class IndexingEngine:
         collection: Collection,
         trie: TrieTable,
         watch: Stopwatch,
+        tel: Telemetry,
         start: int = 0,
         robustness: RobustnessReport | None = None,
     ) -> Iterator[tuple[int, ParsedFile | None, Exception | None, RetryOutcome | None]]:
@@ -532,7 +665,9 @@ class IndexingEngine:
             parser = make_parser()
             for k in indices:
                 path = collection.files[k]
-                with watch.measure("parse"):
+                with watch.measure("parse"), tel.tracer.span(
+                    "parse", cat="parse", file=k
+                ):
                     parsed, error, outcome = attempt(parser, k, path)
                 merge(outcome)
                 yield k, parsed, error, outcome
@@ -562,7 +697,11 @@ class IndexingEngine:
                 pending.append((k, pool.submit(parse_one, k)))
             while pending:
                 k, future = pending.popleft()
-                with watch.measure("parse"):
+                # Worker threads trace their own "parse" spans on the
+                # parser lanes; the engine lane records only the wait.
+                with watch.measure("parse"), tel.tracer.span(
+                    "parse.wait", cat="parse", file=k
+                ):
                     parsed, error, outcome = future.result()
                 merge(outcome)
                 nxt = next(files, None)

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 from repro.dictionary.layout import NODE_SIZE_BYTES
 from repro.indexers.base import BaseIndexer, IndexerReport
+from repro.obs import runtime as obs
 from repro.parsing.regroup import ParsedBatch
 
 __all__ = ["CPUIndexer", "CPUCostModel"]
@@ -82,19 +83,36 @@ class CPUIndexer(BaseIndexer):
     # ------------------------------------------------------------------ #
 
     def index_batch(self, batch: ParsedBatch, doc_offset: int) -> IndexerReport:
-        """Consume all owned collections of one parsed buffer."""
+        """Consume all owned collections of one parsed buffer.
+
+        Telemetry is read from :func:`repro.obs.runtime.current` rather
+        than held on the indexer: indexers are pickled into the resume
+        checkpoint, and a tracer (with its lock) must never ride along.
+        """
         report = IndexerReport()
-        if batch.ungrouped is not None:
-            report.merge(self._index_ungrouped(batch, doc_offset))
-        else:
-            for cidx in self._owned_collections(batch):
-                positions = batch.positions.get(cidx) if batch.positions else None
-                sub = self._index_collection(
-                    cidx, batch.collections[cidx], doc_offset, positions
-                )
-                sub.modeled_seconds = self._model_collection_seconds(cidx, sub)
-                report.merge(sub)
+        with obs.tracer().span(
+            "index_batch", cat="index", lane=f"cpu-{self.indexer_id}",
+            file=batch.sequence,
+        ) as tags:
+            if batch.ungrouped is not None:
+                report.merge(self._index_ungrouped(batch, doc_offset))
+            else:
+                for cidx in self._owned_collections(batch):
+                    positions = batch.positions.get(cidx) if batch.positions else None
+                    sub = self._index_collection(
+                        cidx, batch.collections[cidx], doc_offset, positions
+                    )
+                    sub.modeled_seconds = self._model_collection_seconds(cidx, sub)
+                    report.merge(sub)
+            tags["tokens"] = report.tokens
+            tags["collections"] = report.collections
         self.total.merge(report)
+        reg = obs.metrics()
+        reg.count("index.cpu.tokens", report.tokens)
+        reg.count("index.cpu.new_terms", report.new_terms)
+        reg.count("btree.node_visits", report.btree.node_visits)
+        reg.count("btree.node_splits", report.btree.splits)
+        reg.count("btree.full_string_fetches", report.btree.full_string_fetches)
         return report
 
     def _index_ungrouped(self, batch: ParsedBatch, doc_offset: int) -> IndexerReport:

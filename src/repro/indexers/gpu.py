@@ -43,6 +43,7 @@ from repro.gpusim.reduction import warp_find_slot
 from repro.gpusim.warp import WarpCounters, WarpExecutor
 from repro.dictionary.layout import DEVICE_CHUNK_BYTES
 from repro.indexers.base import BaseIndexer, IndexerReport
+from repro.obs import runtime as obs
 from repro.parsing.regroup import ParsedBatch
 
 __all__ = ["GPUIndexer", "GPUBatchReport"]
@@ -119,12 +120,28 @@ class GPUIndexer(BaseIndexer):
     # ------------------------------------------------------------------ #
 
     def index_batch(self, batch: ParsedBatch, doc_offset: int) -> GPUBatchReport:
-        """Consume owned collections; simulate transfers + kernel launch."""
+        """Consume owned collections; simulate transfers + kernel launch.
+
+        Telemetry comes from :func:`repro.obs.runtime.current` per call —
+        indexers are pickled into the resume checkpoint and must not hold
+        a tracer (see the CPU indexer).
+        """
         if batch.ungrouped is not None:
             raise ValueError(
                 "the GPU indexer requires regrouped parser output: one thread "
                 "block processes one trie collection at a time"
             )
+        with obs.tracer().span(
+            "index_batch", cat="index", lane=f"gpu-{self.device.device_id}",
+            file=batch.sequence,
+        ) as tags:
+            out = self._index_batch_traced(batch, doc_offset)
+            tags["tokens"] = out.report.tokens
+            tags["collections"] = out.report.collections
+        self._emit_metrics(out)
+        return out
+
+    def _index_batch_traced(self, batch: ParsedBatch, doc_offset: int) -> GPUBatchReport:
         owned = self._owned_collections(batch)
         report = IndexerReport()
         items: list[WorkItem] = []
@@ -183,6 +200,28 @@ class GPUIndexer(BaseIndexer):
         )
         self.batch_reports.append(out)
         return out
+
+    def _emit_metrics(self, out: GPUBatchReport) -> None:
+        """Deterministic per-batch counters/gauges (simulated quantities)."""
+        report = out.report
+        reg = obs.metrics()
+        reg.count("index.gpu.tokens", report.tokens)
+        reg.count("index.gpu.new_terms", report.new_terms)
+        reg.count("btree.node_visits", report.btree.node_visits)
+        reg.count("btree.node_splits", report.btree.splits)
+        reg.count("btree.full_string_fetches", report.btree.full_string_fetches)
+        reg.count("gpu.work_items", len(out.work_items))
+        if out.kernel is not None:
+            dev = self.device.device_id
+            reg.count("gpu.kernel_launches")
+            reg.count("gpu.elapsed_cycles", out.kernel.elapsed_cycles)
+            # Simulated occupancy: how many of this launch's blocks were
+            # resident per SM, and how unevenly work spread over blocks.
+            reg.set_gauge(
+                f"gpu.{dev}.resident_blocks_per_sm",
+                out.kernel.resident_blocks_per_sm,
+            )
+            reg.set_gauge(f"gpu.{dev}.load_imbalance", out.kernel.load_imbalance)
 
     def _charge_collection(
         self, warp: WarpExecutor, delta: BTreeStats, characters: int, tokens: int

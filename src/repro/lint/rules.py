@@ -1,4 +1,4 @@
-"""Paper-invariant lint rules (RPR001–RPR007).
+"""Paper-invariant lint rules (RPR001–RPR008).
 
 Each rule documents the invariant it protects and the paper section the
 invariant comes from.  Rules are pure AST checks over one
@@ -13,7 +13,7 @@ from typing import Iterator
 
 from repro.lint.framework import Finding, SourceFile, rule
 
-__all__ = ["LAYOUT_LITERALS", "GATED_PACKAGES"]
+__all__ = ["LAYOUT_LITERALS", "GATED_PACKAGES", "CLOCK_FNS"]
 
 #: Table I/II values that must never be re-typed outside
 #: ``repro/dictionary/layout.py``: the 512-byte node (Table II), the
@@ -23,6 +23,12 @@ LAYOUT_LITERALS = {512, 17613, 17576}  # repro-lint: disable=RPR001 - the rule's
 #: Packages under the RPR007 annotation-completeness gate (mirrors the
 #: per-package mypy strictness overrides in pyproject.toml).
 GATED_PACKAGES = ("core", "dictionary", "postings", "robustness")
+
+#: ``time``-module clocks that RPR008 fences behind ``util/timing.py``.
+CLOCK_FNS = {
+    "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns",
+    "time", "time_ns", "process_time", "process_time_ns", "clock_gettime",
+}
 
 #: ``random``-module calls that touch the unseeded global generator.
 _GLOBAL_RANDOM_FNS = {
@@ -367,4 +373,56 @@ def check_annotations(sf: SourceFile) -> Iterator[Finding]:
         if fn.returns is None:
             yield sf.finding(
                 "RPR007", fn, f"'{fn.name}' is missing a return annotation"
+            )
+
+
+# ---------------------------------------------------------------------- #
+# RPR008 — clocks flow through util/timing.py (and obs/)
+# ---------------------------------------------------------------------- #
+
+
+@rule("RPR008", "adhoc-clock")
+def check_adhoc_clocks(sf: SourceFile) -> Iterator[Finding]:
+    """Wall-clock reads go through ``util/timing.py`` (telemetry exempt).
+
+    Telemetry quarantines nondeterminism into one place: every timestamp
+    comes from the blessed ``repro.util.timing.now`` clock, so the
+    determinism tests can reason about exactly which artifacts carry
+    wall-clock data (docs/OBSERVABILITY.md).  An ad-hoc
+    ``time.perf_counter()`` sprinkled elsewhere creates a second timing
+    source that the span tracer cannot see and the tests cannot exclude.
+
+    Only *calls* are flagged — passing ``time.monotonic`` as a clock
+    callable (dependency injection, as in ``robustness/retry.py``) keeps
+    the read swappable and is fine.
+    """
+    if sf.path.endswith("util/timing.py") or sf.in_part("obs"):
+        return
+    for node in ast.walk(sf.tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            bad = sorted(
+                alias.name for alias in node.names if alias.name in CLOCK_FNS
+            )
+            if bad:
+                yield sf.finding(
+                    "RPR008",
+                    node,
+                    f"imports clock function(s) {', '.join(bad)} from time; "
+                    "use repro.util.timing.now / Stopwatch",
+                )
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+            and func.attr in CLOCK_FNS
+        ):
+            yield sf.finding(
+                "RPR008",
+                node,
+                f"ad-hoc time.{func.attr}() call; clocks are fenced behind "
+                "repro.util.timing (now / Stopwatch) so telemetry and the "
+                "determinism tests see every timing source",
             )

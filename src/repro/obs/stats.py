@@ -1,0 +1,256 @@
+"""Trace and metrics summarization for ``repro trace`` / ``repro stats``.
+
+Pure functions from telemetry artifacts to numbers and ASCII renderings:
+
+- :func:`spans_from_chrome` — rebuild :class:`~repro.obs.trace.Span`
+  records from an exported Chrome trace (the on-disk form);
+- :func:`span_coverage` — fraction of the root span's wall time covered
+  by instrumented child spans (the acceptance gate: ≥ 95%);
+- :func:`lane_utilization` / :func:`stage_totals` — the per-worker and
+  per-stage aggregates behind the utilization chart;
+- :func:`render_trace_summary` — the ``repro trace`` report, using
+  :mod:`repro.util.ascii_chart` for the bars;
+- :func:`render_metrics_summary` / :func:`render_metrics_diff` — the
+  ``repro stats`` report and the two-run regression-triage diff.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.obs.trace import Span
+from repro.util.ascii_chart import bar_chart
+
+__all__ = [
+    "spans_from_chrome",
+    "interval_union_s",
+    "span_coverage",
+    "lane_utilization",
+    "stage_totals",
+    "render_trace_summary",
+    "render_metrics_summary",
+    "render_metrics_diff",
+]
+
+
+def spans_from_chrome(events: Iterable[Mapping[str, Any]]) -> list[Span]:
+    """Complete ("X") events back into :class:`Span` records.
+
+    Lane names come from the ``thread_name`` metadata events the
+    exporter always writes; an unlabelled tid falls back to ``tid-N``.
+    Nesting depth/parent are not persisted in the Chrome format and are
+    reconstructed as 0/None — the summaries here only need intervals.
+    """
+    events = list(events)
+    lane_names: dict[int, str] = {}
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            lane_names[ev.get("tid", 0)] = ev.get("args", {}).get("name", "")
+    spans: list[Span] = []
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        tid = ev.get("tid", 0)
+        start = ev["ts"] / 1e6
+        spans.append(
+            Span(
+                name=ev["name"],
+                cat=ev.get("cat", ""),
+                lane=lane_names.get(tid) or f"tid-{tid}",
+                start_s=start,
+                end_s=start + ev["dur"] / 1e6,
+                depth=0,
+                parent=None,
+                args=dict(ev.get("args", {})),
+            )
+        )
+    spans.sort(key=lambda s: (s.start_s, s.end_s))
+    return spans
+
+
+def interval_union_s(intervals: Iterable[tuple[float, float]]) -> float:
+    """Total length of the union of ``(start, end)`` intervals."""
+    merged = 0.0
+    cur_start: float | None = None
+    cur_end = 0.0
+    for start, end in sorted(intervals):
+        if end <= start:
+            continue
+        if cur_start is None or start > cur_end:
+            if cur_start is not None:
+                merged += cur_end - cur_start
+            cur_start, cur_end = start, end
+        else:
+            cur_end = max(cur_end, end)
+    if cur_start is not None:
+        merged += cur_end - cur_start
+    return merged
+
+
+def _root(spans: list[Span], root_name: str) -> Span | None:
+    candidates = [s for s in spans if s.name == root_name]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda s: s.duration_s)
+
+
+def span_coverage(spans: list[Span], root_name: str = "build") -> float:
+    """Fraction of the root span's duration covered by other spans.
+
+    The union of every non-root span interval, clipped to the root span,
+    over the root's duration.  This is the number the acceptance
+    criterion bounds (≥ 0.95): time inside the build that no span
+    accounts for is invisible to triage.
+    """
+    root = _root(spans, root_name)
+    if root is None or root.duration_s <= 0:
+        return 0.0
+    clipped = [
+        (max(s.start_s, root.start_s), min(s.end_s, root.end_s))
+        for s in spans
+        if s is not root
+    ]
+    return min(1.0, interval_union_s(clipped) / root.duration_s)
+
+
+def lane_utilization(
+    spans: list[Span], root_name: str = "build"
+) -> dict[str, float]:
+    """Per-lane busy fraction of the root span's wall time."""
+    root = _root(spans, root_name)
+    if root is None or root.duration_s <= 0:
+        return {}
+    lanes: dict[str, list[tuple[float, float]]] = {}
+    for s in spans:
+        if s is root:
+            continue
+        lanes.setdefault(s.lane, []).append(
+            (max(s.start_s, root.start_s), min(s.end_s, root.end_s))
+        )
+    return {
+        lane: interval_union_s(iv) / root.duration_s
+        for lane, iv in sorted(lanes.items())
+    }
+
+
+def stage_totals(spans: list[Span]) -> dict[str, tuple[int, float]]:
+    """Per span-name ``(count, total seconds)``, busiest first."""
+    totals: dict[str, tuple[int, float]] = {}
+    for s in spans:
+        count, seconds = totals.get(s.name, (0, 0.0))
+        totals[s.name] = (count + 1, seconds + s.duration_s)
+    return dict(
+        sorted(totals.items(), key=lambda kv: kv[1][1], reverse=True)
+    )
+
+
+def render_trace_summary(spans: list[Span], root_name: str = "build") -> str:
+    """The ``repro trace`` report: coverage, lane chart, stage table."""
+    if not spans:
+        return "(empty trace)"
+    root = _root(spans, root_name)
+    lines: list[str] = []
+    if root is not None:
+        lines.append(
+            f"root span {root.name!r}: {root.duration_s:.3f}s wall, "
+            f"{len(spans)} span(s), "
+            f"coverage {span_coverage(spans, root_name) * 100:.1f}%"
+        )
+    else:
+        lines.append(f"(no {root_name!r} root span; {len(spans)} span(s))")
+
+    util = lane_utilization(spans, root_name)
+    if util:
+        lines.append("")
+        lines.append("lane utilization (% of build wall time):")
+        lines.append(bar_chart({k: v * 100 for k, v in util.items()}, unit="%"))
+
+    lines.append("")
+    lines.append("stage totals:")
+    totals = stage_totals(spans)
+    name_w = max(len(n) for n in totals)
+    for name, (count, seconds) in totals.items():
+        lines.append(f"  {name.ljust(name_w)}  {count:6d} span(s)  {seconds:10.4f}s")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# Metrics rendering
+# ---------------------------------------------------------------------- #
+
+
+def render_metrics_summary(payload: Mapping[str, Any]) -> str:
+    """Human-readable dump of one ``run.metrics.json`` payload."""
+    lines: list[str] = [f"schema: {payload.get('schema')}"]
+    meta = payload.get("meta") or {}
+    for key in sorted(meta):
+        lines.append(f"meta.{key}: {meta[key]}")
+    for section in ("counters", "gauges"):
+        table = payload.get(section) or {}
+        if table:
+            lines.append(f"\n{section}:")
+            name_w = max(len(n) for n in table)
+            for name in sorted(table):
+                value = table[name]
+                shown = f"{value:.6g}" if isinstance(value, float) else f"{value:,}"
+                lines.append(f"  {name.ljust(name_w)}  {shown}")
+    hists = payload.get("histograms") or {}
+    if hists:
+        lines.append("\nhistograms:")
+        for name in sorted(hists):
+            h = hists[name]
+            lines.append(
+                f"  {name}: n={h['count']:,} sum={h['sum']:,} "
+                f"buckets={len(h['buckets'])}"
+            )
+    timings = payload.get("timings") or {}
+    if timings:
+        lines.append("\ntimings (wall-clock, excluded from determinism):")
+        name_w = max(len(n) for n in timings)
+        for name in sorted(timings):
+            lines.append(f"  {name.ljust(name_w)}  {timings[name]:.4f}s")
+    return "\n".join(lines)
+
+
+def render_metrics_diff(
+    before: Mapping[str, Any],
+    after: Mapping[str, Any],
+    before_label: str = "before",
+    after_label: str = "after",
+) -> str:
+    """Two-run regression triage: per-stage timing and counter deltas."""
+    lines: list[str] = [f"diff: {before_label} -> {after_label}"]
+
+    t_before = before.get("timings") or {}
+    t_after = after.get("timings") or {}
+    stages = sorted(set(t_before) | set(t_after))
+    if stages:
+        lines.append("\nper-stage timings (s):")
+        name_w = max(len(n) for n in stages)
+        for name in stages:
+            a = t_before.get(name, 0.0)
+            b = t_after.get(name, 0.0)
+            pct = f"{(b - a) / a * 100:+7.1f}%" if a else "     new"
+            lines.append(
+                f"  {name.ljust(name_w)}  {a:10.4f}  ->  {b:10.4f}  {pct}"
+            )
+
+    for section in ("counters", "gauges"):
+        s_before = before.get(section) or {}
+        s_after = after.get(section) or {}
+        changed = [
+            name
+            for name in sorted(set(s_before) | set(s_after))
+            if s_before.get(name, 0) != s_after.get(name, 0)
+        ]
+        if changed:
+            lines.append(f"\nchanged {section}:")
+            name_w = max(len(n) for n in changed)
+            for name in changed:
+                a = s_before.get(name, 0)
+                b = s_after.get(name, 0)
+                lines.append(f"  {name.ljust(name_w)}  {a:,}  ->  {b:,}")
+
+    if len(lines) == 1:
+        lines.append("(no differences)")
+    return "\n".join(lines)

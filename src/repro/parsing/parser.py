@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.dictionary.trie import TrieTable
+from repro.obs import runtime as obs
 from repro.parsing.docio import DocTableEntry, load_collection_file
 from repro.parsing.porter import PorterStemmer
 from repro.parsing.regroup import DocTokens, ParsedBatch, regroup
@@ -144,12 +145,15 @@ class Parser:
         )
         batch.num_docs = len(texts)
         if self.regroup_enabled:
-            (
-                batch.collections,
-                batch.tokens_per_collection,
-                batch.chars_per_collection,
-                batch.positions,
-            ) = regroup(doc_streams, with_positions=self.positional)
+            with obs.tracer().span(
+                "regroup", cat="parse", lane=self._lane(), docs=len(texts)
+            ):
+                (
+                    batch.collections,
+                    batch.tokens_per_collection,
+                    batch.chars_per_collection,
+                    batch.positions,
+                ) = regroup(doc_streams, with_positions=self.positional)
         else:
             batch.ungrouped = doc_streams
             # Token/char accounting still keyed by collection for sampling.
@@ -164,14 +168,38 @@ class Parser:
         metrics.collections_touched = len(batch.tokens_per_collection)
         return batch, metrics
 
+    def _lane(self) -> str:
+        """Trace lane for this parser thread (one timeline row each).
+
+        Negative ids are the sampling pre-pass's throwaway parsers.
+        """
+        return f"parser-{self.parser_id}" if self.parser_id >= 0 else "sampler"
+
     def parse_file(self, path: str, sequence: int = 0) -> ParsedFile:
         """Steps 1–5 over a container file on disk."""
-        loaded = load_collection_file(path)
-        batch, metrics = self.parse_texts(
-            loaded.texts, source_file=loaded.path, sequence=sequence
-        )
-        metrics.compressed_bytes = loaded.compressed_bytes
-        metrics.uncompressed_bytes = loaded.uncompressed_bytes
-        batch.compressed_bytes = loaded.compressed_bytes
-        batch.uncompressed_bytes = loaded.uncompressed_bytes
+        tracer = obs.tracer()
+        lane = self._lane()
+        with tracer.span(
+            "parse_file", cat="parse", lane=lane, file=sequence
+        ) as tags:
+            with tracer.span("read", cat="parse", lane=lane):
+                loaded = load_collection_file(path)
+            batch, metrics = self.parse_texts(
+                loaded.texts, source_file=loaded.path, sequence=sequence
+            )
+            metrics.compressed_bytes = loaded.compressed_bytes
+            metrics.uncompressed_bytes = loaded.uncompressed_bytes
+            batch.compressed_bytes = loaded.compressed_bytes
+            batch.uncompressed_bytes = loaded.uncompressed_bytes
+            tags["docs"] = metrics.num_docs
+            tags["tokens"] = metrics.tokens_emitted
+            tags["bytes"] = metrics.uncompressed_bytes
+        reg = obs.metrics()
+        reg.count("parse.files")
+        reg.count("parse.docs", metrics.num_docs)
+        reg.count("parse.tokens_raw", metrics.tokens_raw)
+        reg.count("parse.tokens_stopped", metrics.tokens_stopped)
+        reg.count("parse.tokens_emitted", metrics.tokens_emitted)
+        reg.count("parse.compressed_bytes", metrics.compressed_bytes)
+        reg.count("parse.uncompressed_bytes", metrics.uncompressed_bytes)
         return ParsedFile(batch=batch, doc_table=loaded.doc_table, metrics=metrics)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import os
 
+from repro.obs import runtime as obs
 from repro.postings.compression import PostingsCodec, VarByteCodec, get_codec
 from repro.postings.lists import PostingsList
 from repro.postings.output import (
@@ -37,31 +38,43 @@ def merge_index(
     because postings pointers are stable across the merge.
     """
     range_map = DocRangeMap.load(input_dir)
+    tracer = obs.tracer()
+    reg = obs.metrics()
 
     merged: dict[int, PostingsList] = {}
     input_bytes = 0
-    for run in range_map.runs:  # already sorted by run id = document order
-        with open(run.path, "rb") as fh:
-            data = fh.read()
-        input_bytes += len(data)
-        verify_run_bytes(run.path, data)  # never splice a damaged run
-        _, codec_name, _, _, table, _ = read_run_header(data)
-        run_codec = get_codec(codec_name)
-        if codec is None and run_codec.positional:
-            codec = get_codec(codec_name)  # keep positions through the merge
-        for term_id, (offset, length) in table.items():
-            plist = merged.setdefault(term_id, PostingsList())
-            for entry in run_codec.decode(data[offset : offset + length]):
-                if run_codec.positional:
-                    doc_id, tf, positions = entry
-                    plist.add_posting(doc_id, tf, list(positions))
-                else:
-                    doc_id, tf = entry
-                    plist.add_posting(doc_id, tf)
+    with tracer.span(
+        "merge.read_runs", cat="merge", lane="merge", runs=len(range_map.runs)
+    ):
+        for run in range_map.runs:  # already sorted by run id = document order
+            with open(run.path, "rb") as fh:
+                data = fh.read()
+            input_bytes += len(data)
+            verify_run_bytes(run.path, data)  # never splice a damaged run
+            _, codec_name, _, _, table, _ = read_run_header(data)
+            run_codec = get_codec(codec_name)
+            if codec is None and run_codec.positional:
+                codec = get_codec(codec_name)  # keep positions through the merge
+            reg.count("merge.runs_read")
+            reg.count("merge.input_bytes", len(data))
+            for term_id, (offset, length) in table.items():
+                plist = merged.setdefault(term_id, PostingsList())
+                for entry in run_codec.decode(data[offset : offset + length]):
+                    if run_codec.positional:
+                        doc_id, tf, positions = entry
+                        plist.add_posting(doc_id, tf, list(positions))
+                    else:
+                        doc_id, tf = entry
+                        plist.add_posting(doc_id, tf)
 
     os.makedirs(output_dir, exist_ok=True)
     writer = RunWriter(output_dir, codec=codec if codec is not None else VarByteCodec())
-    run_file = writer.write_run(0, merged)
+    with tracer.span(
+        "merge.write", cat="merge", lane="merge", terms=len(merged)
+    ):
+        run_file = writer.write_run(0, merged)
+    reg.count("merge.terms", len(merged))
+    reg.count("merge.output_bytes", run_file.byte_size)
     out_map = DocRangeMap()
     out_map.add(run_file)
     out_map.save(output_dir)

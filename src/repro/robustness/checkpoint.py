@@ -33,6 +33,7 @@ import pickle
 import zlib
 from dataclasses import asdict, dataclass, field
 
+from repro.obs import runtime as obs
 from repro.robustness.errors import ChecksumError
 
 __all__ = [
@@ -201,6 +202,8 @@ def save_checkpoint(output_dir: str, payload: dict) -> str:
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, path)
+    obs.count("robustness.checkpoint_saves")
+    obs.observe("checkpoint.bytes", os.path.getsize(path))
     return path
 
 
@@ -210,7 +213,9 @@ def load_checkpoint(output_dir: str) -> dict | None:
     if not os.path.exists(path):
         return None
     with open(path, "rb") as fh:
-        return pickle.load(fh)
+        payload = pickle.load(fh)
+    obs.count("robustness.checkpoint_loads")
+    return payload
 
 
 def clear_checkpoint(output_dir: str) -> None:

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import runtime as obs
+
 __all__ = ["ON_ERROR_POLICIES", "SkippedFile", "GpuFailover", "RobustnessReport"]
 
 ON_ERROR_POLICIES = ("strict", "skip", "quarantine")
@@ -79,3 +81,8 @@ class RobustnessReport:
     def merge_outcome(self, retries: int, backoff_s: float) -> None:
         self.retries += retries
         self.retry_backoff_s += backoff_s
+        if retries:
+            # Backoff seconds come from the policy's schedule, not the
+            # clock, so both counters stay seed-deterministic.
+            obs.count("robustness.retries", retries)
+            obs.count("robustness.backoff_seconds", backoff_s)

@@ -14,7 +14,10 @@ artifact.  Checks, in order:
 5. ``dictionary.bin`` (when present) passes its CRC footer and parses;
 6. every term id appearing in a run header is reachable from the
    dictionary (postings that no query could ever retrieve indicate a
-   damaged dictionary or a foreign run file).
+   damaged dictionary or a foreign run file);
+7. the telemetry artifacts (when present): ``run.metrics.json`` must
+   satisfy the :mod:`repro.obs.schema` validator and ``trace.json`` must
+   be a loadable Chrome trace — CI fails builds on either.
 
 Each finding is an :class:`Issue`; :func:`verify_index` stops at the first
 one unless ``keep_going=True``.  This module is imported lazily (not from
@@ -23,6 +26,7 @@ one unless ``keep_going=True``.  This module is imported lazily (not from
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 
@@ -189,5 +193,30 @@ def verify_index(index_dir: str, keep_going: bool = False) -> VerifyResult:
                     f"the dictionary (e.g. {sample})",
                 ):
                     return result
+
+    # Telemetry artifacts: schema-validate instead of trusting them.
+    from repro.obs.schema import METRICS_FILENAME, TRACE_FILENAME, validate_metrics
+
+    metrics_path = os.path.join(index_dir, METRICS_FILENAME)
+    if os.path.exists(metrics_path):
+        try:
+            with open(metrics_path, "r", encoding="utf-8") as fh:
+                payload = fh.read()
+            problems = validate_metrics(json.loads(payload))
+        except ValueError as exc:
+            problems = [f"unparseable JSON: {exc}"]
+        for problem in problems:
+            if found("metrics-schema", metrics_path, problem):
+                return result
+
+    trace_path = os.path.join(index_dir, TRACE_FILENAME)
+    if os.path.exists(trace_path):
+        from repro.obs.trace import load_chrome_trace
+
+        try:
+            load_chrome_trace(trace_path)
+        except ValueError as exc:
+            if found("trace-format", trace_path, str(exc)):
+                return result
 
     return result

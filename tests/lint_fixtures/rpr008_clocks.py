@@ -1,0 +1,25 @@
+"""RPR008 fixture: ad-hoc clock calls outside util/timing.py and obs/."""
+
+import time
+
+from time import perf_counter  # noqa: F401
+
+
+def stamp():
+    """Direct clock call."""
+    return time.perf_counter()
+
+
+def epoch():
+    """Wall-clock read."""
+    return time.time()
+
+
+def injected(clock=time.monotonic):
+    """Passing a clock *callable* is dependency injection — no call, ok."""
+    return clock
+
+
+def quiet():
+    """Same violation, suppressed."""
+    return time.monotonic()  # repro-lint: disable=RPR008 - fixture: suppression check

@@ -91,9 +91,17 @@ class TestBuildCorrectness:
 
 class TestDeterminism:
     def test_two_builds_are_byte_identical(self, tiny_collection, tmp_path):
-        """Same collection + config → identical on-disk artifacts."""
+        """Same collection + config → identical on-disk artifacts.
+
+        The telemetry artifacts are the deliberate exception: they carry
+        wall-clock measurements (``timings`` section, span timestamps),
+        so they are compared structurally instead — everything except
+        timings must match exactly (see docs/OBSERVABILITY.md).
+        """
         import filecmp
         import os
+
+        from repro.obs.schema import METRICS_FILENAME, TRACE_FILENAME, load_metrics
 
         outs = []
         for tag in ("a", "b"):
@@ -102,10 +110,17 @@ class TestDeterminism:
             outs.append(out)
         names = sorted(os.listdir(outs[0]))
         assert names == sorted(os.listdir(outs[1]))
+        wall_clock_artifacts = {METRICS_FILENAME, TRACE_FILENAME}
         for name in names:
+            if name in wall_clock_artifacts:
+                continue
             assert filecmp.cmp(
                 os.path.join(outs[0], name), os.path.join(outs[1], name), shallow=False
             ), name
+
+        a, b = (load_metrics(os.path.join(out, METRICS_FILENAME)) for out in outs)
+        for section in ("schema", "meta", "counters", "gauges", "histograms"):
+            assert a[section] == b[section], section
 
 
 class TestConfigVariants:

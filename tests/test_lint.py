@@ -53,6 +53,7 @@ RULE_FIXTURES = [
     ("RPR005", fixture("rpr005_except.py"), 2),
     ("RPR006", fixture("rpr006_defaults.py"), 2),
     ("RPR007", fixture("core", "rpr007_annotations.py"), 2),
+    ("RPR008", fixture("rpr008_clocks.py"), 3),
     ("RPR101", fixture("rpr101_races.py"), 2),
     ("RPR102", fixture("rpr102_deadlock.py"), 1),
 ]
@@ -147,7 +148,7 @@ class TestSelfCheck:
         codes = set(registered_rules())
         assert codes == {
             "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
-            "RPR007", "RPR101", "RPR102",
+            "RPR007", "RPR008", "RPR101", "RPR102",
         }
         for reg in registered_rules().values():
             assert reg.description, f"{reg.code} has no description"

@@ -29,9 +29,15 @@ class TestPrefetch:
         assert result.document_count == tiny_collection.num_docs
         # build.manifest embeds a config fingerprint (resume safety), and
         # parse_prefetch is part of the config — compare index artifacts.
-        names = sorted(n for n in os.listdir(serial_dir) if n != "build.manifest")
+        # The telemetry artifacts carry wall-clock data and the same
+        # config fingerprint; their deterministic metric sections are
+        # compared structurally below instead (docs/OBSERVABILITY.md).
+        from repro.obs.schema import METRICS_FILENAME, TRACE_FILENAME, load_metrics
+
+        excluded = {"build.manifest", METRICS_FILENAME, TRACE_FILENAME}
+        names = sorted(n for n in os.listdir(serial_dir) if n not in excluded)
         assert names == sorted(
-            n for n in os.listdir(threaded_dir) if n != "build.manifest"
+            n for n in os.listdir(threaded_dir) if n not in excluded
         )
         for name in names:
             assert filecmp.cmp(
@@ -39,6 +45,17 @@ class TestPrefetch:
                 os.path.join(threaded_dir, name),
                 shallow=False,
             ), name
+        # Prefetching must not change what work was done, only when.
+        # checkpoint.bytes is excluded: the checkpoint pickle embeds the
+        # range map's absolute run paths, so its size tracks the output
+        # directory's name length ("serial" vs "threaded" here) — it is
+        # only comparable between builds into identically-named dirs.
+        serial_m = load_metrics(os.path.join(serial_dir, METRICS_FILENAME))
+        threaded_m = load_metrics(os.path.join(threaded_dir, METRICS_FILENAME))
+        for payload in (serial_m, threaded_m):
+            payload["histograms"].pop("checkpoint.bytes", None)
+        for section in ("counters", "gauges", "histograms"):
+            assert serial_m[section] == threaded_m[section], section
 
     def test_prefetch_with_positions_and_grouped_runs(self, tiny_collection, tmp_path):
         out = str(tmp_path / "combo")

@@ -26,6 +26,7 @@ import pytest
 from repro.cli import main
 from repro.core.config import PlatformConfig
 from repro.core.engine import IndexingEngine
+from repro.obs.schema import METRICS_FILENAME, TRACE_FILENAME
 from repro.postings.reader import PostingsReader
 from repro.robustness import faults
 from repro.robustness.checkpoint import (
@@ -40,7 +41,11 @@ from repro.robustness.retry import RetryPolicy, retry_call
 from repro.robustness.verify import verify_index
 
 #: Build-log files that are not part of the queryable index.
-_BUILD_LOGS = {MANIFEST_FILENAME, CHECKPOINT_FILENAME}
+# Build metadata, not index content: the manifest/checkpoint pair plus
+# the telemetry artifacts (which legitimately differ when faults fire —
+# that is what the robustness.* counters are *for*).
+_BUILD_LOGS = {MANIFEST_FILENAME, CHECKPOINT_FILENAME,
+               METRICS_FILENAME, TRACE_FILENAME}
 
 
 def _config(**overrides) -> PlatformConfig:
