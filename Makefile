@@ -1,6 +1,6 @@
 # Canonical workflows for the reproduction.
 
-.PHONY: install test test-fast chaos lint bench report examples trace-demo clean
+.PHONY: install test test-fast test-pipelined chaos lint bench report examples trace-demo pipeline-demo clean
 
 install:
 	python setup.py develop
@@ -10,6 +10,11 @@ test:
 
 test-fast:
 	pytest tests/ -m "not slow"
+
+# The full suite again, with pipelined execution forced on for every
+# build the tests run (docs/ARCHITECTURE.md, "Pipeline execution").
+test-pipelined:
+	REPRO_PIPELINE_DEPTH=3 pytest tests/
 
 chaos:
 	pytest tests/ -m chaos -v
@@ -37,6 +42,19 @@ trace-demo:
 	python -m repro trace /tmp/repro_trace_demo/index
 	python -m repro stats /tmp/repro_trace_demo/index
 	python -m repro verify /tmp/repro_trace_demo/index
+
+# Same demo corpus built pipelined: the exported trace shows parser-w*
+# and indexer lanes overlapping instead of serialized on one thread.
+# Open /tmp/repro_pipeline_demo/index/trace.json in Perfetto.
+pipeline-demo:
+	rm -rf /tmp/repro_pipeline_demo
+	python -m repro generate congress /tmp/repro_pipeline_demo --seed 7
+	python -m repro build /tmp/repro_pipeline_demo/congress_mini \
+		/tmp/repro_pipeline_demo/index --parsers 2 --cpu-indexers 2 --gpus 1 \
+		--pipeline-depth 4 --files-per-run 6
+	python -m repro trace /tmp/repro_pipeline_demo/index
+	python -m repro stats /tmp/repro_pipeline_demo/index
+	python -m repro verify /tmp/repro_pipeline_demo/index
 
 examples:
 	python examples/quickstart.py /tmp/repro_example_qs

@@ -5,13 +5,25 @@ Regenerates the per-file indexing-throughput series for scenarios (ii),
 the sharp early decline flattening out (the inverse-B-tree-depth shape),
 the cliff at file index 1,200 where the Wikipedia.org files begin, and
 the combined CPU+GPU configuration being "especially affected".
+
+Also measures the *functional* engine's pipelined mode for real: a
+serial and a pipelined build of the mini ClueWeb, asserting the
+pipelined one is faster in wall-clock while staying byte-identical
+(docs/ARCHITECTURE.md, "Pipeline execution").
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import shutil
+
 from conftest import report
 
 from repro.analysis.figures import fig11_per_file_series
+from repro.core.config import PlatformConfig
+from repro.core.engine import IndexingEngine
+from repro.robustness.faults import FaultPlan, FaultSpec, inject
 from repro.util.ascii_chart import line_chart
 from repro.util.fmt import render_table
 
@@ -48,3 +60,74 @@ def test_fig11_report(benchmark):
     combined = out["2 CPU + 2 GPU indexers"]
     assert combined[0] > combined[3]  # early decline
     assert out["2 CPU + 2 GPU indexers drop"] < out["2 CPU indexers drop"]
+
+
+def _index_digest(out_dir: str) -> str:
+    """One hash over the index artifacts (build logs / telemetry excluded)."""
+    skip = {"build.manifest", "checkpoint.bin", "run.metrics.json", "trace.json"}
+    h = hashlib.sha256()
+    for name in sorted(os.listdir(out_dir)):
+        path = os.path.join(out_dir, name)
+        if name in skip or os.path.isdir(path):
+            continue
+        h.update(name.encode())
+        with open(path, "rb") as fh:
+            h.update(fh.read())
+    return h.hexdigest()
+
+
+def test_pipelined_build_beats_serial(benchmark, cw_mini, data_dir):
+    """Real wall-clock: pipelined engine vs the serial loop, same bytes.
+
+    What threading can and cannot buy here is governed by the GIL: on a
+    hot page cache this corpus is almost entirely Python-bound (its
+    read+gunzip portion is ~1% of the build), so the overlap the paper
+    gets from extra *cores* is not reachable from CPython threads and
+    the pipelined mode's win is hiding **I/O latency** — exactly the
+    paper's slow-shared-disk setting.  The measured comparison therefore
+    runs both modes under the robustness layer's seeded slow-storage
+    profile (one `slow` fault per container read, as a cold
+    network-attached store would behave): the serial loop eats every
+    read stall inline, the pipelined engine hides them behind indexing
+    on the parser-w*/indexer worker threads.  A hot-cache pair is
+    reported too (unasserted) so the GIL caveat stays visible.
+    """
+
+    def build(mode: str, depth: int, delay_s: float = 0.0):
+        out = os.path.join(data_dir, f"pipeline_bench_{mode}")
+        shutil.rmtree(out, ignore_errors=True)
+        cfg = PlatformConfig(
+            sample_fraction=0.05, files_per_run=8, pipeline_depth=depth
+        )
+        plan = FaultPlan(specs=[
+            FaultSpec(kind="slow", stage="build", delay_s=delay_s),
+        ])
+        with inject(plan):
+            return IndexingEngine(cfg).build(cw_mini, out), out
+
+    delay = 0.15  # per-file read latency of the simulated slow store
+    hot_serial, _ = build("hot_serial", 0)
+    hot_piped, _ = build("hot_piped", 4)
+    serial, serial_out = build("serial", 0, delay_s=delay)
+    piped, piped_out = benchmark.pedantic(
+        build, args=("piped", 4), kwargs={"delay_s": delay},
+        rounds=1, iterations=1,
+    )
+    assert piped.pipeline is not None and piped.pipeline.workers > 1
+    rows = [
+        ["serial, hot cache", f"{hot_serial.wall_seconds:.2f}", "-"],
+        ["pipelined, hot cache", f"{hot_piped.wall_seconds:.2f}", "-"],
+        ["serial, slow store", f"{serial.wall_seconds:.2f}", "-"],
+        ["pipelined (depth 4), slow store", f"{piped.wall_seconds:.2f}",
+         str(piped.pipeline.workers)],
+    ]
+    speedup = serial.wall_seconds / piped.wall_seconds
+    report(
+        "fig11_pipelined_wall_clock",
+        render_table(["Mode", "wall s", "workers"], rows)
+        + f"\n\nslow-store speedup: {speedup:.2f}x "
+        + f"({delay * 1000:.0f} ms injected latency per container read)",
+    )
+    # Identical index bytes, strictly less wall time under I/O latency.
+    assert _index_digest(serial_out) == _index_digest(piped_out)
+    assert piped.wall_seconds < serial.wall_seconds

@@ -100,6 +100,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
     build.add_argument("--no-telemetry", action="store_true",
                        help="disable span tracing + metrics (no "
                             "run.metrics.json / trace.json artifacts)")
+    build.add_argument("--pipeline-depth", type=int, default=None,
+                       help="run parse and indexing concurrently with up to "
+                            "N parsed files in flight to per-indexer worker "
+                            "threads; output stays byte-identical to serial "
+                            "(default: REPRO_PIPELINE_DEPTH env or 0)")
+    build.add_argument("--serial", action="store_true",
+                       help="force the classic inline engine loop, "
+                            "overriding --pipeline-depth and "
+                            "REPRO_PIPELINE_DEPTH")
+    build.add_argument("--files-per-run", type=int, default=None,
+                       help="container files per output run (run boundaries "
+                            "quiesce the pipeline, so larger runs overlap "
+                            "more; default: 1)")
 
     trace = sub.add_parser(
         "trace", help="ASCII stage-utilization report from a build's trace"
@@ -272,6 +285,13 @@ def _cmd_build(args) -> int:
     from repro.core.config import PlatformConfig
     from repro.core.engine import IndexingEngine
 
+    overrides = {}
+    if args.serial:
+        overrides["pipeline_depth"] = 0
+    elif args.pipeline_depth is not None:
+        overrides["pipeline_depth"] = args.pipeline_depth
+    if args.files_per_run is not None:
+        overrides["files_per_run"] = args.files_per_run
     config = PlatformConfig(
         num_parsers=args.parsers,
         num_cpu_indexers=args.cpu_indexers,
@@ -283,6 +303,7 @@ def _cmd_build(args) -> int:
         on_error=args.on_error,
         quarantine_dir=args.quarantine_dir,
         telemetry=not args.no_telemetry,
+        **overrides,
     )
     result = IndexingEngine(config).build(
         _load_collection(args.collection), args.output, resume=args.resume
@@ -293,6 +314,11 @@ def _cmd_build(args) -> int:
           f"simulated on the paper's node: "
           f"{result.report.total_s:.2f}s = {result.report.throughput_mbps:.1f} MB/s")
     print(f"CPU/GPU token split: {result.split.cpu_tokens:,} / {result.split.gpu_tokens:,}")
+    if result.pipeline is not None:
+        p = result.pipeline
+        print(f"pipelined: depth {p.depth}, {p.workers} indexer workers, "
+              f"{p.tasks} sub-batches over {p.files} files "
+              f"(max {p.max_inflight} in flight)")
     if result.metrics_path is not None:
         print(f"telemetry: {result.metrics_path} (repro stats) + "
               f"{result.trace_path} (repro trace / Perfetto)")

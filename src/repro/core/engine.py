@@ -28,12 +28,19 @@ from __future__ import annotations
 
 import hashlib
 import os
+from collections import deque
+from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Any, Callable, Iterator
 
 from repro.core.config import PlatformConfig
 from repro.core.costs import CostConstants, StageCosts
 from repro.core.pipeline import BuildReport, simulate_full_build
+from repro.core.pipeline_exec import (
+    QUEUE_DEPTH_BUCKETS,
+    IndexerPool,
+    PipelineStats,
+)
 from repro.core.workload import FileWork, GroupWork
 from repro.corpus.collection import Collection
 from repro.corpus.warc import CorruptContainerError
@@ -89,6 +96,23 @@ class WorkSplit:
 
 
 @dataclass
+class _InflightFile:
+    """One parsed file dispatched to the worker pool, awaiting its drain.
+
+    The engine keeps these in a FIFO window of at most ``pipeline_depth``
+    entries and always drains the oldest first, so per-file bookkeeping
+    happens in file order even though sub-batches complete out of order.
+    """
+
+    file_index: int
+    parsed: ParsedFile
+    outcome: RetryOutcome | None
+    #: ``(kind, indexer_index, is_popular, sub_batch)`` in dispatch order.
+    tasks: list[tuple[str, int, bool, ParsedBatch]]
+    futures: list["Future[Any]"]
+
+
+@dataclass
 class EngineResult:
     """Everything a build produces."""
 
@@ -119,6 +143,9 @@ class EngineResult:
     telemetry: Telemetry | None = None
     metrics_path: str | None = None
     trace_path: str | None = None
+    #: Pipelined-mode execution summary (``None`` for serial builds):
+    #: dispatch counts, backpressure/quiesce stalls, per-worker idle time.
+    pipeline: PipelineStats | None = None
 
     @property
     def simulated_total_seconds(self) -> float:
@@ -309,122 +336,180 @@ class IndexingEngine:
         run_file_indices: list[int] = []
         run_first_doc = doc_offset
         run_docs = 0
+        pipeline_stats: PipelineStats | None = None
 
-        parsed_stream = self._parsed_files(
-            collection, trie, watch, tel, start=start_file, robustness=robustness
-        )
-        with tel.tracer.span("run_loop", start_file=start_file):
-            for k, parsed, error, outcome in parsed_stream:
-                if injector is not None:
-                    for ordinal in injector.gpu_failures(k):
-                        self._fail_gpu(ordinal, k, gpu_indexers, assignment, robustness)
+        def record_file(
+            k: int,
+            parsed: ParsedFile,
+            outcome: RetryOutcome | None,
+            pop_work: GroupWork,
+            unpop_work: GroupWork,
+        ) -> None:
+            """Post-index bookkeeping for one file, on the engine thread.
 
-                if error is not None:
-                    self._handle_read_failure(collection, k, error, robustness)
-                else:
-                    batch = parsed.batch
-                    with watch.measure("index"), tel.tracer.span(
-                        "index", cat="index", file=k,
-                        docs=batch.num_docs, tokens=batch.total_tokens,
-                    ):
-                        pop_work, unpop_work = self._index_batch(
-                            batch, doc_offset, assignment, popular_set,
-                            cpu_indexers, gpu_indexers,
-                        )
-                    metrics.count("build.files_indexed")
-                    metrics.count("build.docs", batch.num_docs)
-                    metrics.count("build.tokens", batch.total_tokens)
-                    metrics.observe("file.uncompressed_bytes",
-                                    parsed.metrics.uncompressed_bytes)
-                    file_works.append(
-                        FileWork(
-                            file_index=k,
-                            compressed_bytes=parsed.metrics.compressed_bytes,
-                            uncompressed_bytes=parsed.metrics.uncompressed_bytes,
-                            num_docs=batch.num_docs,
-                            raw_tokens=parsed.metrics.tokens_raw,
-                            popular=pop_work,
-                            unpopular=unpop_work,
-                            segment=collection.segment_of(k),
-                            fault_delay_s=outcome.backoff_s if outcome else 0.0,
-                        )
+            Both execution modes call this strictly in file order — it
+            advances the global doc-ID cursor and the doc table, which is
+            what keeps serial and pipelined output byte-identical.
+            """
+            nonlocal doc_offset, token_count, run_docs
+            batch = parsed.batch
+            metrics.count("build.files_indexed")
+            metrics.count("build.docs", batch.num_docs)
+            metrics.count("build.tokens", batch.total_tokens)
+            metrics.observe("file.uncompressed_bytes",
+                            parsed.metrics.uncompressed_bytes)
+            file_works.append(
+                FileWork(
+                    file_index=k,
+                    compressed_bytes=parsed.metrics.compressed_bytes,
+                    uncompressed_bytes=parsed.metrics.uncompressed_bytes,
+                    num_docs=batch.num_docs,
+                    raw_tokens=parsed.metrics.tokens_raw,
+                    popular=pop_work,
+                    unpopular=unpop_work,
+                    segment=collection.segment_of(k),
+                    fault_delay_s=outcome.backoff_s if outcome else 0.0,
+                )
+            )
+            for entry in parsed.doc_table:
+                doc_table.add(entry.source_file, entry.uri, entry.offset)
+            token_count += batch.total_tokens
+            doc_offset += batch.num_docs
+            run_docs += batch.num_docs
+            run_file_indices.append(k)
+
+        def is_run_boundary(k: int) -> bool:
+            # A run closes after `files_per_run` files (the paper's
+            # fixed-total-size batches) or at the end of the collection —
+            # on file *position*, so run numbering survives skipped files.
+            return (k + 1) % cfg.files_per_run == 0 or k == len(collection.files) - 1
+
+        def close_run(k: int) -> None:
+            """Drain accumulators → run file → manifest → checkpoint.
+
+            Engine-thread only.  In pipelined mode the caller quiesces the
+            worker pool first, so the drain and the checkpoint pickle see
+            settled indexer state with empty queues.
+            """
+            nonlocal posting_count, run_count, run_file_indices, run_first_doc, run_docs
+            with watch.measure("write_runs"), tel.tracer.span(
+                "write_run", cat="output"
+            ) as run_tags:
+                run_lists: dict[int, PostingsList] = {}
+                for indexer in [*cpu_indexers, *gpu_indexers]:
+                    run_lists.update(indexer.drain_postings())
+                run_postings = sum(len(p) for p in run_lists.values())
+                posting_count += run_postings
+                run_id = k // cfg.files_per_run
+                run_file = writer.write_run(run_id, run_lists)
+                range_map.add(run_file)
+                run_count += 1
+                run_tags["run"] = run_id
+                run_tags["postings"] = run_postings
+                run_tags["bytes"] = run_file.byte_size
+            metrics.count("runs.written")
+            metrics.count("postings.entries", run_postings)
+            metrics.count(f"postings.bytes.{cfg.codec}", run_file.byte_size)
+            metrics.observe("run.bytes", run_file.byte_size)
+            metrics.observe("run.postings", run_postings)
+            # Durability order: run file → manifest append →
+            # checkpoint replace.  A crash at any point leaves a
+            # resumable directory (see repro.robustness.checkpoint).
+            with tel.tracer.span("checkpoint", cat="robustness", run=run_id):
+                manifest.append_run(
+                    RunRecord(
+                        run_id=run_id,
+                        path=os.path.relpath(run_file.path, output_dir),
+                        crc32=crc32_of_file(run_file.path),
+                        min_doc=run_file.min_doc,
+                        max_doc=run_file.max_doc,
+                        entry_count=run_file.entry_count,
+                        byte_size=run_file.byte_size,
+                        first_doc=run_first_doc,
+                        docs=run_docs,
+                        postings=run_postings,
+                        file_indices=tuple(run_file_indices),
+                        files=tuple(
+                            os.path.basename(collection.files[i])
+                            for i in run_file_indices
+                        ),
                     )
-                    for entry in parsed.doc_table:
-                        doc_table.add(entry.source_file, entry.uri, entry.offset)
-                    token_count += batch.total_tokens
-                    doc_offset += batch.num_docs
-                    run_docs += batch.num_docs
-                    run_file_indices.append(k)
+                )
+                save_checkpoint(
+                    output_dir,
+                    {
+                        "fingerprint": fingerprint,
+                        "trie": trie,
+                        "assignment": assignment,
+                        "cpu_indexers": cpu_indexers,
+                        "gpu_indexers": gpu_indexers,
+                        "doc_table": doc_table,
+                        "file_works": file_works,
+                        "range_map": range_map,
+                        "robustness": robustness,
+                        "doc_offset": doc_offset,
+                        "token_count": token_count,
+                        "posting_count": posting_count,
+                        "run_count": run_count,
+                        "next_file_index": k + 1,
+                    },
+                )
+            run_file_indices = []
+            run_first_doc = doc_offset
+            run_docs = 0
 
-                # A run closes after `files_per_run` files (the paper's
-                # fixed-total-size batches) or at the end of the collection —
-                # on file *position*, so run numbering survives skipped files.
-                if (k + 1) % cfg.files_per_run == 0 or k == len(collection.files) - 1:
-                    with watch.measure("write_runs"), tel.tracer.span(
-                        "write_run", cat="output"
-                    ) as run_tags:
-                        run_lists: dict[int, PostingsList] = {}
-                        for indexer in [*cpu_indexers, *gpu_indexers]:
-                            run_lists.update(indexer.drain_postings())
-                        run_postings = sum(len(p) for p in run_lists.values())
-                        posting_count += run_postings
-                        run_id = k // cfg.files_per_run
-                        run_file = writer.write_run(run_id, run_lists)
-                        range_map.add(run_file)
-                        run_count += 1
-                        run_tags["run"] = run_id
-                        run_tags["postings"] = run_postings
-                        run_tags["bytes"] = run_file.byte_size
-                    metrics.count("runs.written")
-                    metrics.count("postings.entries", run_postings)
-                    metrics.count(f"postings.bytes.{cfg.codec}", run_file.byte_size)
-                    metrics.observe("run.bytes", run_file.byte_size)
-                    metrics.observe("run.postings", run_postings)
-                    # Durability order: run file → manifest append →
-                    # checkpoint replace.  A crash at any point leaves a
-                    # resumable directory (see repro.robustness.checkpoint).
-                    with tel.tracer.span("checkpoint", cat="robustness", run=run_id):
-                        manifest.append_run(
-                            RunRecord(
-                                run_id=run_id,
-                                path=os.path.relpath(run_file.path, output_dir),
-                                crc32=crc32_of_file(run_file.path),
-                                min_doc=run_file.min_doc,
-                                max_doc=run_file.max_doc,
-                                entry_count=run_file.entry_count,
-                                byte_size=run_file.byte_size,
-                                first_doc=run_first_doc,
-                                docs=run_docs,
-                                postings=run_postings,
-                                file_indices=tuple(run_file_indices),
-                                files=tuple(
-                                    os.path.basename(collection.files[i])
-                                    for i in run_file_indices
-                                ),
+        depth = cfg.pipeline_depth
+        # Pipelined builds reuse the depth as parse lookahead when no
+        # explicit prefetch is configured, so the parse stage actually
+        # runs ahead of the indexer workers instead of starving them.
+        prefetch = cfg.parse_prefetch if cfg.parse_prefetch > 0 else depth
+        parsed_stream = self._parsed_files(
+            collection, trie, watch, tel,
+            start=start_file, robustness=robustness, prefetch=prefetch,
+        )
+        with tel.tracer.span("run_loop", start_file=start_file, pipelined=bool(depth)):
+            if depth > 0:
+                pipeline_stats = self._run_pipelined(
+                    parsed_stream,
+                    injector=injector,
+                    collection=collection,
+                    assignment=assignment,
+                    popular_set=popular_set,
+                    cpu_indexers=cpu_indexers,
+                    gpu_indexers=gpu_indexers,
+                    robustness=robustness,
+                    depth=depth,
+                    doc_offset=doc_offset,
+                    watch=watch,
+                    tel=tel,
+                    record_file=record_file,
+                    close_run=close_run,
+                    is_run_boundary=is_run_boundary,
+                )
+            else:
+                for k, parsed, error, outcome in parsed_stream:
+                    if injector is not None:
+                        for ordinal in injector.gpu_failures(k):
+                            self._fail_gpu(
+                                ordinal, k, gpu_indexers, assignment, robustness
                             )
-                        )
-                        save_checkpoint(
-                            output_dir,
-                            {
-                                "fingerprint": fingerprint,
-                                "trie": trie,
-                                "assignment": assignment,
-                                "cpu_indexers": cpu_indexers,
-                                "gpu_indexers": gpu_indexers,
-                                "doc_table": doc_table,
-                                "file_works": file_works,
-                                "range_map": range_map,
-                                "robustness": robustness,
-                                "doc_offset": doc_offset,
-                                "token_count": token_count,
-                                "posting_count": posting_count,
-                                "run_count": run_count,
-                                "next_file_index": k + 1,
-                            },
-                        )
-                    run_file_indices = []
-                    run_first_doc = doc_offset
-                    run_docs = 0
+
+                    if error is not None:
+                        self._handle_read_failure(collection, k, error, robustness)
+                    else:
+                        batch = parsed.batch
+                        with watch.measure("index"), tel.tracer.span(
+                            "index", cat="index", file=k,
+                            docs=batch.num_docs, tokens=batch.total_tokens,
+                        ):
+                            pop_work, unpop_work = self._index_batch(
+                                batch, doc_offset, assignment, popular_set,
+                                cpu_indexers, gpu_indexers,
+                            )
+                        record_file(k, parsed, outcome, pop_work, unpop_work)
+
+                    if is_run_boundary(k):
+                        close_run(k)
 
         # ---- 4. dictionary epilogue (Table VI) ------------------------ #
         with watch.measure("dict_combine"), tel.tracer.span("dict.combine"):
@@ -477,6 +562,7 @@ class IndexingEngine:
                 for ix in [*cpu_indexers, *gpu_indexers]
             },
             robustness=robustness,
+            pipeline=pipeline_stats,
         )
         return result
 
@@ -502,6 +588,10 @@ class IndexingEngine:
         timings["wall_seconds"] = result.wall_seconds
         timings["cpu_seconds"] = result.cpu_seconds
         timings["measured_union_seconds"] = watch.wall()
+        if result.pipeline is not None:
+            # Pipelined stall/idle wall-clock: quarantined with the other
+            # timings; the registry only sees deterministic pipeline.*.
+            timings.update(result.pipeline.timings())
         payload = build_payload(
             tel.metrics.snapshot(),
             timings,
@@ -605,6 +695,143 @@ class IndexingEngine:
             )
 
     # ------------------------------------------------------------------ #
+    # Pipelined execution (Fig 8/9, executed for real)
+    # ------------------------------------------------------------------ #
+
+    def _run_pipelined(
+        self,
+        parsed_stream: Iterator[
+            tuple[int, ParsedFile | None, Exception | None, RetryOutcome | None]
+        ],
+        *,
+        injector: faults.FaultInjector | None,
+        collection: Collection,
+        assignment: WorkAssignment,
+        popular_set: set[int],
+        cpu_indexers: list[CPUIndexer],
+        gpu_indexers: list[Any],
+        robustness: RobustnessReport,
+        depth: int,
+        doc_offset: int,
+        watch: Stopwatch,
+        tel: Telemetry,
+        record_file: Callable[
+            [int, ParsedFile, RetryOutcome | None, GroupWork, GroupWork], None
+        ],
+        close_run: Callable[[int], None],
+        is_run_boundary: Callable[[int], bool],
+    ) -> PipelineStats:
+        """The pipelined run loop: dispatch to workers, drain in order.
+
+        One :class:`~repro.core.pipeline_exec.IndexerWorker` thread per
+        indexer slot consumes that slot's bounded queue; the engine thread
+        splits each parsed file into per-(indexer, group) sub-batches,
+        dispatches them, and keeps at most ``depth`` files in flight.
+        Draining always collects the *oldest* file first and runs the
+        shared ``record_file`` bookkeeping, so doc table, range map and
+        counters advance in file order exactly as in the serial loop.
+
+        Run boundaries, GPU failovers and error-policy decisions quiesce
+        the window first (every in-flight file drained, every queue empty),
+        giving ``close_run``'s accumulator drain / checkpoint pickle and
+        ``_fail_gpu``'s indexer swap a settled, single-threaded view.
+
+        Determinism: everything recorded to the metrics registry here
+        (dispatch counts, in-flight depth) is a pure function of the file
+        sequence and the config; wall-clock stalls go to the trace and the
+        quarantined ``timings`` section via :class:`PipelineStats`.
+        """
+        cfg = self.config
+        metrics = tel.metrics
+        pool = IndexerPool(cfg.num_cpu_indexers, cfg.num_gpus, depth).start()
+        stats = pool.stats
+        metrics.set_gauge("pipeline.depth", depth)
+        metrics.set_gauge("pipeline.workers", len(pool.workers))
+        inflight: deque[_InflightFile] = deque()
+        # Dispatch-side doc-ID cursor: runs ahead of the drain-side
+        # ``doc_offset`` (advanced by ``record_file``) by exactly the
+        # documents currently in flight.
+        next_offset = doc_offset
+
+        def collect_oldest(reason: str) -> None:
+            item = inflight.popleft()
+            t0 = now()
+            with tel.tracer.span(
+                "pipeline.wait", cat="pipeline", file=item.file_index, reason=reason
+            ):
+                results = [future.result() for future in item.futures]
+            waited = now() - t0
+            watch.charge("pipeline.wait", waited)
+            (stats.backpressure if reason == "backpressure" else stats.quiesce).add(
+                waited
+            )
+            pop_work, unpop_work = self._aggregate_group_work(
+                item.parsed.batch, item.tasks, results
+            )
+            record_file(item.file_index, item.parsed, item.outcome, pop_work, unpop_work)
+
+        def quiesce(reason: str) -> None:
+            while inflight:
+                collect_oldest(reason)
+
+        try:
+            for k, parsed, error, outcome in parsed_stream:
+                if injector is not None:
+                    failures = injector.gpu_failures(k)
+                    if failures:
+                        # The failover swaps the indexer object in its
+                        # slot; drain everything dispatched to the old
+                        # object first so its accumulator state is final.
+                        quiesce("quiesce")
+                        for ordinal in failures:
+                            self._fail_gpu(
+                                ordinal, k, gpu_indexers, assignment, robustness
+                            )
+
+                if error is not None:
+                    # Error-policy decisions happen on the engine thread
+                    # in file order; a "strict" abort propagates through
+                    # the finally below with the pool shut down.
+                    self._handle_read_failure(collection, k, error, robustness)
+                else:
+                    assert parsed is not None
+                    while len(inflight) >= depth:
+                        collect_oldest("backpressure")
+                    batch = parsed.batch
+                    tasks = self._split_batch(batch, assignment, popular_set)
+                    with tel.tracer.span(
+                        "pipeline.dispatch", cat="pipeline", file=k, tasks=len(tasks)
+                    ):
+                        futures = [
+                            pool.submit(
+                                kind,
+                                idx,
+                                cpu_indexers[idx] if kind == "cpu" else gpu_indexers[idx],
+                                sub,
+                                next_offset,
+                            )
+                            for kind, idx, _is_popular, sub in tasks
+                        ]
+                    inflight.append(_InflightFile(k, parsed, outcome, tasks, futures))
+                    next_offset += batch.num_docs
+                    stats.files += 1
+                    stats.max_inflight = max(stats.max_inflight, len(inflight))
+                    metrics.set_gauge("pipeline.queue_depth", len(inflight))
+                    metrics.observe(
+                        "pipeline.inflight", len(inflight), buckets=QUEUE_DEPTH_BUCKETS
+                    )
+
+                if is_run_boundary(k):
+                    quiesce("quiesce")
+                    close_run(k)
+        finally:
+            pool.shutdown()
+        metrics.set_gauge("pipeline.queue_depth", 0)
+        for key, tasks_done in sorted(stats.worker_tasks.items()):
+            metrics.set_gauge(f"pipeline.tasks.{key}", tasks_done)
+        return stats
+
+    # ------------------------------------------------------------------ #
 
     def _parsed_files(
         self,
@@ -614,6 +841,7 @@ class IndexingEngine:
         tel: Telemetry,
         start: int = 0,
         robustness: RobustnessReport | None = None,
+        prefetch: int | None = None,
     ) -> Iterator[tuple[int, ParsedFile | None, Exception | None, RetryOutcome | None]]:
         """Yield ``(file_index, parsed, error, retry_outcome)`` in order.
 
@@ -623,12 +851,19 @@ class IndexingEngine:
         fault propagates — that *is* the crash).  ``start`` skips files a
         resumed build already indexed.
 
-        With ``parse_prefetch > 0`` a thread pool reads, decompresses and
+        With a positive lookahead (``prefetch`` argument, defaulting to
+        ``config.parse_prefetch``) a thread pool reads, decompresses and
         parses up to that many files ahead — gzip inflation and the regex
         scan release the GIL, so the lookahead genuinely overlaps with
         indexing (the paper's parser/indexer pipeline, executed for real).
         Results are always consumed in file order, so indexes are
         byte-identical to a serial build.
+
+        Each worker *thread* owns one stable trace lane (``parser-w<n>``):
+        spans on a lane never overlap, which is what Perfetto-style
+        timeline rows require.  The paper's round-robin parser slot for
+        file ``k`` (``k % num_parsers``) is recorded as the ``parser``
+        span attribute instead of rotating the lane per file.
         """
         cfg = self.config
 
@@ -646,6 +881,9 @@ class IndexingEngine:
         ) -> tuple[ParsedFile | None, Exception | None, RetryOutcome | None]:
             """Parse under retry; classify the outcome for the caller."""
             def call() -> ParsedFile:
+                # The paper's parser-array slot for this file: stamped on
+                # the batch (and the parse_file span) for round-robin
+                # accounting, while the trace lane stays per-thread.
                 parser.parser_id = k % cfg.num_parsers
                 return parser.parse_file(path, sequence=k)
 
@@ -660,8 +898,9 @@ class IndexingEngine:
                 robustness.merge_outcome(outcome.retries, outcome.backoff_s)
 
         indices = range(start, len(collection.files))
+        window = cfg.parse_prefetch if prefetch is None else prefetch
 
-        if cfg.parse_prefetch <= 0:
+        if window <= 0:
             parser = make_parser()
             for k in indices:
                 path = collection.files[k]
@@ -675,10 +914,11 @@ class IndexingEngine:
 
         import itertools
         import threading
-        from collections import deque
         from concurrent.futures import ThreadPoolExecutor
 
         local = threading.local()
+        lane_ids = itertools.count()
+        lane_lock = threading.Lock()
 
         def parse_one(
             k: int,
@@ -686,10 +926,12 @@ class IndexingEngine:
             parser = getattr(local, "parser", None)
             if parser is None:
                 parser = make_parser()
+                with lane_lock:
+                    worker = next(lane_ids)
+                parser.lane_override = f"parser-w{worker}"
                 local.parser = parser
             return attempt(parser, k, collection.files[k])
 
-        window = cfg.parse_prefetch
         with ThreadPoolExecutor(max_workers=window) as pool:
             pending = deque()
             files = iter(indices)
@@ -718,26 +960,47 @@ class IndexingEngine:
         cpu_indexers: list[CPUIndexer],
         gpu_indexers: list[GPUIndexer],
     ) -> tuple[GroupWork, GroupWork]:
-        """Route one buffer's collections to their bound indexers.
+        """Route one buffer's collections to their bound indexers, inline.
 
-        Returns the measured (popular, unpopular) group work for the
-        pipeline simulator.  Sub-batches are built per (indexer, group) so
+        The serial path: split the buffer per (indexer, group), index
+        each sub-batch on the engine thread in deterministic order, and
+        aggregate the group work.  The pipelined path runs the *same*
+        split and aggregation around worker-pool dispatch
+        (``_run_pipelined``), which is what keeps the two modes
+        byte-identical.
+        """
+        tasks = self._split_batch(batch, assignment, popular_set)
+        results = [
+            (cpu_indexers[idx] if kind == "cpu" else gpu_indexers[idx]).index_batch(
+                sub, doc_offset
+            )
+            for kind, idx, _is_popular, sub in tasks
+        ]
+        return self._aggregate_group_work(batch, tasks, results)
+
+    def _split_batch(
+        self,
+        batch: ParsedBatch,
+        assignment: WorkAssignment,
+        popular_set: set[int],
+    ) -> list[tuple[str, int, bool, ParsedBatch]]:
+        """Partition one buffer into per-(indexer, group) sub-batches.
+
+        Returns ``(kind, indexer_index, is_popular, sub_batch)`` tuples
+        sorted into the serial loop's historical consumption order (CPU
+        slots before GPU slots, then by index) — term-id allocation order
+        depends on it.  Runs on the engine thread in both modes:
+        ``bind_unseen`` mutates the assignment and must see collections
+        in file order.  Sub-batches are built per (indexer, group) so
         group-level work attribution stays exact even on CPU-only
         configurations.
         """
-        cfg = self.config
         if batch.ungrouped is not None:
             # Regrouping disabled (ablation): the whole document-order
             # stream goes through one CPU indexer — the paper's ~15×
             # comparison is against a *serial* indexer, and splitting an
             # ungrouped stream would duplicate collections across shards.
-            report = GroupWork()
-            sub = cpu_indexers[0].index_batch(batch, doc_offset)
-            report.tokens = sub.tokens
-            report.new_terms = sub.new_terms
-            report.node_visits = sub.btree.node_visits
-            report.hot_visit_fraction = 0.0
-            return GroupWork(), report
+            return [("cpu", 0, False, batch)]
 
         subs: dict[tuple[str, int, bool], ParsedBatch] = {}
         for cidx, stream in batch.collections.items():
@@ -760,16 +1023,40 @@ class IndexingEngine:
                 sub.positions[cidx] = batch.positions[cidx]
             sub.tokens_per_collection[cidx] = batch.tokens_per_collection[cidx]
             sub.chars_per_collection[cidx] = batch.chars_per_collection[cidx]
+        return [
+            (kind, idx, is_popular, sub)
+            for (kind, idx, is_popular), sub in sorted(
+                subs.items(), key=lambda kv: (kv[0][0], kv[0][1], kv[0][2])
+            )
+        ]
+
+    def _aggregate_group_work(
+        self,
+        batch: ParsedBatch,
+        tasks: list[tuple[str, int, bool, ParsedBatch]],
+        results: list[Any],
+    ) -> tuple[GroupWork, GroupWork]:
+        """Fold per-sub-batch indexer reports into (popular, unpopular) work.
+
+        ``results`` is parallel to ``tasks``; entries are
+        :class:`~repro.indexers.base.IndexerReport` or GPU batch reports
+        carrying one.  Pure aggregation — safe to run on the engine
+        thread after out-of-order worker completion.
+        """
+        if batch.ungrouped is not None:
+            report = GroupWork()
+            rep = getattr(results[0], "report", results[0])
+            report.tokens = rep.tokens
+            report.new_terms = rep.new_terms
+            report.node_visits = rep.btree.node_visits
+            report.hot_visit_fraction = 0.0
+            return GroupWork(), report
 
         groups = {True: GroupWork(), False: GroupWork()}
         hot_fractions = {True: 0.95, False: 0.35}
-        for (kind, idx, is_popular), sub in sorted(
-            subs.items(), key=lambda kv: (kv[0][0], kv[0][1], kv[0][2])
-        ):
-            indexer = cpu_indexers[idx] if kind == "cpu" else gpu_indexers[idx]
+        for (kind, idx, is_popular, sub), res in zip(tasks, results):
             # A GPU slot can hold a CPU fallback after a failover, so
             # normalize on the report attribute GPU batches carry.
-            res = indexer.index_batch(sub, doc_offset)
             rep = getattr(res, "report", res)
             g = groups[is_popular]
             g.tokens += rep.tokens

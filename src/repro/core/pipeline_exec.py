@@ -1,0 +1,223 @@
+"""Pipelined parser→indexer execution: worker threads + bounded queues.
+
+The paper's throughput comes from running parsers and indexers
+*concurrently* (Fig 8/9): parsed streams are buffered to CPU/GPU
+indexers, which consume them while the parsers move on.  The serial
+engine loop indexes every sub-batch inline on the engine thread; this
+module supplies the real pipelined alternative:
+
+- one :class:`IndexerWorker` thread per indexer slot (each CPU shard and
+  each simulated GPU), consuming that slot's bounded FIFO queue;
+- the engine splits each parsed file into per-indexer sub-batches and
+  dispatches them to the owning slot's queue, so every dictionary shard
+  and postings accumulator keeps its single-writer discipline;
+- per-slot FIFO consumption preserves file order *per indexer*, which is
+  exactly the invariant the postings accumulators need (occurrences in
+  non-decreasing global document order) — so pipelined output is
+  byte-identical to a serial build;
+- backpressure lives in the engine's in-flight window (at most
+  ``pipeline_depth`` parsed files dispatched but not yet drained) plus
+  each worker queue's ``maxsize``.
+
+Thread contract
+---------------
+One worker thread consumes one indexer; the engine never touches an
+indexer while work for it is in flight.  Handoff happens-before is given
+by the queue (dispatch) and the :class:`~concurrent.futures.Future`
+(drain).  Run boundaries quiesce the pool — the engine drains every
+in-flight file first — so checkpoint pickling and GPU failover always
+see workers idle and queues empty (see ``IndexingEngine._run_pipelined``).
+
+Every wall-clock stall measured here (worker idle time, engine
+backpressure/quiesce waits) is surfaced through :meth:`PipelineStats.timings`
+into the quarantined ``timings`` section of ``run.metrics.json`` — the
+deterministic registry sections only ever receive values that are pure
+functions of the dispatch sequence (docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from queue import Queue
+from typing import TYPE_CHECKING, Any
+
+from repro.util.timing import now
+
+if TYPE_CHECKING:  # import cycle: engine → pipeline_exec → indexers
+    from repro.indexers.base import BaseIndexer
+    from repro.parsing.regroup import ParsedBatch
+
+__all__ = ["IndexerPool", "IndexerWorker", "PipelineStats", "QUEUE_DEPTH_BUCKETS"]
+
+#: Histogram geometry for the deterministic ``pipeline.inflight``
+#: distribution (files in flight after each dispatch).
+QUEUE_DEPTH_BUCKETS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+#: Queue sentinel telling a worker to exit its loop.
+_STOP: Any = object()
+
+
+@dataclass
+class StallStat:
+    """Count/total/max of one kind of engine-side stall (wall-clock)."""
+
+    events: int = 0
+    seconds: float = 0.0
+    max_seconds: float = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.events += 1
+        self.seconds += seconds
+        self.max_seconds = max(self.max_seconds, seconds)
+
+
+@dataclass
+class PipelineStats:
+    """One pipelined build's execution summary.
+
+    ``files``/``tasks``/``max_inflight`` are deterministic functions of
+    the dispatch sequence; the stall stats and per-worker idle seconds
+    are wall-clock and belong in the ``timings`` quarantine.
+    """
+
+    depth: int
+    workers: int
+    files: int = 0
+    tasks: int = 0
+    max_inflight: int = 0
+    #: Engine blocked because ``pipeline_depth`` files were in flight.
+    backpressure: StallStat = field(default_factory=StallStat)
+    #: Engine drained the whole window at a run boundary / GPU failover.
+    quiesce: StallStat = field(default_factory=StallStat)
+    #: Per worker lane: seconds spent waiting for work, batches consumed.
+    worker_idle_s: dict[str, float] = field(default_factory=dict)
+    worker_tasks: dict[str, int] = field(default_factory=dict)
+
+    def timings(self) -> dict[str, float]:
+        """Wall-clock stall summary for ``run.metrics.json``'s timings.
+
+        Flattened count/total/max per stall kind plus per-worker idle
+        seconds — a quarantine-safe stand-in for a stall histogram (the
+        full distribution is in the trace's ``pipeline.wait`` spans).
+        """
+        out: dict[str, float] = {}
+        for kind, stat in (("backpressure", self.backpressure), ("quiesce", self.quiesce)):
+            out[f"pipeline.stall.{kind}.events"] = float(stat.events)
+            out[f"pipeline.stall.{kind}.seconds"] = stat.seconds
+            out[f"pipeline.stall.{kind}.max_seconds"] = stat.max_seconds
+        for lane, idle in sorted(self.worker_idle_s.items()):
+            out[f"pipeline.idle.{lane}"] = idle
+        return out
+
+
+class IndexerWorker:
+    """One indexer slot's dedicated consumer thread.
+
+    The worker owns nothing but its queue: each task carries the indexer
+    object to run, so a GPU→CPU failover (which swaps the indexer in the
+    engine's slot list while the pool is quiesced) needs no worker-side
+    coordination — the next task simply carries the replacement.
+    """
+
+    def __init__(self, key: str, capacity: int) -> None:
+        self.key = key
+        self.queue: Queue[Any] = Queue(maxsize=max(1, capacity))
+        #: Single-writer stats: written only by the worker thread, read
+        #: by the engine after ``stop_and_join`` (vetted in
+        #: race_allowlist.txt with that happens-before argument).
+        self.idle_s = 0.0
+        self.tasks_done = 0
+        self._thread = threading.Thread(
+            target=self._run, name=f"indexer-{key}", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def submit(
+        self, indexer: "BaseIndexer", batch: "ParsedBatch", doc_offset: int
+    ) -> "Future[Any]":
+        """Enqueue one sub-batch; blocks when the slot's queue is full."""
+        future: Future[Any] = Future()
+        self.queue.put((indexer, batch, doc_offset, future))
+        return future
+
+    def stop_and_join(self) -> None:
+        """Signal the worker to exit after its pending tasks and wait."""
+        self.queue.put(_STOP)
+        self._thread.join()
+
+    def _run(self) -> None:
+        while True:
+            t0 = now()
+            item = self.queue.get()
+            self.idle_s += now() - t0
+            if item is _STOP:
+                return
+            indexer, batch, doc_offset, future = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(indexer.index_batch(batch, doc_offset))
+            except BaseException as exc:  # propagate to the engine's drain
+                future.set_exception(exc)
+            finally:
+                self.tasks_done += 1
+
+
+class IndexerPool:
+    """Slot-keyed pool: one :class:`IndexerWorker` per indexer slot.
+
+    Slots are ``("cpu", i)`` for CPU indexer shards and ``("gpu", j)``
+    for GPU ordinals; the slot key is stable across GPU failover even
+    though the indexer object in the engine's list changes kind.
+    """
+
+    def __init__(self, num_cpu: int, num_gpus: int, depth: int) -> None:
+        if depth < 1:
+            raise ValueError(f"pipeline depth must be >= 1, got {depth}")
+        self.depth = depth
+        self.workers: dict[tuple[str, int], IndexerWorker] = {}
+        for i in range(num_cpu):
+            self.workers[("cpu", i)] = IndexerWorker(f"cpu-{i}", depth)
+        for j in range(num_gpus):
+            self.workers[("gpu", j)] = IndexerWorker(f"gpu-{j}", depth)
+        if not self.workers:
+            raise ValueError("pipelined execution needs at least one indexer")
+        self.stats = PipelineStats(depth=depth, workers=len(self.workers))
+        self._running = False
+
+    def start(self) -> "IndexerPool":
+        for worker in self.workers.values():
+            worker.start()
+        self._running = True
+        return self
+
+    def submit(
+        self,
+        kind: str,
+        idx: int,
+        indexer: "BaseIndexer",
+        batch: "ParsedBatch",
+        doc_offset: int,
+    ) -> "Future[Any]":
+        self.stats.tasks += 1
+        return self.workers[(kind, idx)].submit(indexer, batch, doc_offset)
+
+    def shutdown(self) -> None:
+        """Stop every worker (after pending tasks) and fold their stats.
+
+        Idempotent; always called from the engine's ``finally`` so an
+        aborted build (fatal fault, strict read error) never leaks
+        threads past the build call.
+        """
+        if not self._running:
+            return
+        self._running = False
+        for worker in self.workers.values():
+            worker.stop_and_join()
+        for worker in self.workers.values():
+            self.stats.worker_idle_s[worker.key] = worker.idle_s
+            self.stats.worker_tasks[worker.key] = worker.tasks_done

@@ -56,6 +56,16 @@ class BaseIndexer:
         partitions the term-id space.
     shard:
         The exclusive dictionary shard this indexer owns.
+
+    Thread contract
+    ---------------
+    ``index_batch`` is safe to run concurrently *across* indexers — each
+    owns a disjoint dictionary shard and postings accumulator, and
+    telemetry instruments are internally locked — but one indexer's
+    batches must be consumed by a single thread at a time, in file order
+    (the accumulator requires non-decreasing document IDs per term).
+    The pipelined engine guarantees this by giving every indexer slot
+    exactly one :class:`repro.core.pipeline_exec.IndexerWorker`.
     """
 
     kind = "base"
@@ -65,6 +75,15 @@ class BaseIndexer:
         self.shard = shard
         self.accumulator = PostingsAccumulator()
         self.total = IndexerReport()
+
+    @property
+    def lane(self) -> str:
+        """Stable trace-lane identity for this indexer's batch spans.
+
+        One lane per indexer (== per worker thread in pipelined mode), so
+        concurrent ``index_batch`` spans never interleave on a lane.
+        """
+        return f"{self.kind}-{self.indexer_id}"
 
     # ------------------------------------------------------------------ #
 

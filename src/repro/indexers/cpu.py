@@ -91,7 +91,7 @@ class CPUIndexer(BaseIndexer):
         """
         report = IndexerReport()
         with obs.tracer().span(
-            "index_batch", cat="index", lane=f"cpu-{self.indexer_id}",
+            "index_batch", cat="index", lane=self.lane,
             file=batch.sequence,
         ) as tags:
             if batch.ungrouped is not None:

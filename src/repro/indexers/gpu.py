@@ -94,6 +94,11 @@ class GPUIndexer(BaseIndexer):
         self.warp_counters = WarpCounters()
         self.batch_reports: list[GPUBatchReport] = []
 
+    @property
+    def lane(self) -> str:
+        """GPU lanes key on the device ordinal, not the shard id."""
+        return f"gpu-{self.device.device_id}"
+
     # ------------------------------------------------------------------ #
     # Warp-fidelity slot search (Fig 7, executed literally)
     # ------------------------------------------------------------------ #
@@ -132,7 +137,7 @@ class GPUIndexer(BaseIndexer):
                 "block processes one trie collection at a time"
             )
         with obs.tracer().span(
-            "index_batch", cat="index", lane=f"gpu-{self.device.device_id}",
+            "index_batch", cat="index", lane=self.lane,
             file=batch.sequence,
         ) as tags:
             out = self._index_batch_traced(batch, doc_offset)

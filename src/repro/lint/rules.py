@@ -282,6 +282,22 @@ def _is_broad(expr: ast.expr | None) -> bool:
     return False
 
 
+def _forwards_to_future(handler: ast.ExceptHandler) -> bool:
+    """True if the handler calls ``<obj>.set_exception(<caught name>)``."""
+    for node in ast.walk(handler):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "set_exception"
+            and any(
+                isinstance(arg, ast.Name) and arg.id == handler.name
+                for arg in node.args
+            )
+        ):
+            return True
+    return False
+
+
 @rule("RPR005", "broad-except")
 def check_broad_except(sf: SourceFile) -> Iterator[Finding]:
     """No bare/broad ``except`` outside ``robustness/``.
@@ -299,6 +315,11 @@ def check_broad_except(sf: SourceFile) -> Iterator[Finding]:
             continue
         # A handler that re-raises unconditionally is logging, not hiding.
         if any(isinstance(stmt, ast.Raise) and stmt.exc is None for stmt in node.body):
+            continue
+        # A handler that forwards the caught exception into a Future
+        # (``future.set_exception(exc)``) is cross-thread propagation,
+        # not hiding — the waiter's ``result()`` re-raises it.
+        if node.name and _forwards_to_future(node):
             continue
         what = "bare except" if node.type is None else "broad except"
         yield sf.finding(

@@ -42,31 +42,40 @@ DEFAULT_BYTE_BUCKETS: tuple[int, ...] = tuple(4 ** k for k in range(1, 16))
 
 
 class Counter:
-    """A monotonically increasing total."""
+    """A monotonically increasing total.
 
-    __slots__ = ("name", "value")
+    ``inc`` takes the instrument's own lock: ``value += amount`` is a
+    read-modify-write that can lose updates when parser-prefetch and
+    indexer-pool workers hit the same counter between bytecodes.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: int | float = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int | float = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease (by {amount})")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A last-write-wins value."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: int | float = 0
+        self._lock = threading.Lock()
 
     def set(self, value: int | float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
 
 class Histogram:
@@ -78,7 +87,7 @@ class Histogram:
     bound lands in that bound's bucket.
     """
 
-    __slots__ = ("name", "buckets", "counts", "total", "count")
+    __slots__ = ("name", "buckets", "counts", "total", "count", "_lock")
 
     def __init__(self, name: str, buckets: Iterable[int | float] | None = None) -> None:
         bounds = tuple(buckets) if buckets is not None else DEFAULT_BYTE_BUCKETS
@@ -93,6 +102,7 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)
         self.total: int | float = 0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: int | float) -> None:
         lo, hi = 0, len(self.buckets)
@@ -102,9 +112,10 @@ class Histogram:
                 lo = mid + 1
             else:
                 hi = mid
-        self.counts[lo] += 1
-        self.total += value
-        self.count += 1
+        with self._lock:
+            self.counts[lo] += 1
+            self.total += value
+            self.count += 1
 
     def bucket_for(self, value: int | float) -> int:
         """Index of the bucket ``observe(value)`` would increment."""
@@ -119,9 +130,12 @@ class MetricsRegistry:
 
     A name is bound to exactly one instrument kind for the registry's
     lifetime; asking for the same name as a different kind is a bug and
-    raises immediately.  Creation is lock-protected (parser prefetch
-    threads and the engine thread share the registry); increments on the
-    returned instruments ride Python's atomic int operations.
+    raises immediately.  Creation is lock-protected, and every instrument
+    carries its own lock around its read-modify-write, so parser-prefetch
+    threads, indexer-pool workers and the engine thread can record
+    concurrently without losing updates.  Locks make the *totals* exact;
+    determinism additionally requires the recorded values themselves be
+    seed-deterministic (see the module docstring).
     """
 
     enabled = True

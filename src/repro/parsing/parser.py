@@ -92,6 +92,12 @@ class Parser:
         self.stop_filter = stop_filter if stop_filter is not None else StopWordFilter()
         self.regroup_enabled = regroup
         self.positional = positional
+        #: Stable trace-lane identity for this parser *object*.  Worker
+        #: threads set it once at creation (e.g. ``parser-w0``) so their
+        #: spans never interleave on a lane, even though ``parser_id`` is
+        #: restamped per file for round-robin batch accounting.  ``None``
+        #: falls back to the ``parser-<id>`` lane (serial builds).
+        self.lane_override: str | None = None
         if positional and not regroup:
             raise ValueError("positional parsing requires regrouping")
         # Token-level memo over the whole stem→stop→split tail: Zipf
@@ -173,6 +179,8 @@ class Parser:
 
         Negative ids are the sampling pre-pass's throwaway parsers.
         """
+        if self.lane_override is not None:
+            return self.lane_override
         return f"parser-{self.parser_id}" if self.parser_id >= 0 else "sampler"
 
     def parse_file(self, path: str, sequence: int = 0) -> ParsedFile:
@@ -180,7 +188,8 @@ class Parser:
         tracer = obs.tracer()
         lane = self._lane()
         with tracer.span(
-            "parse_file", cat="parse", lane=lane, file=sequence
+            "parse_file", cat="parse", lane=lane, file=sequence,
+            parser=self.parser_id,
         ) as tags:
             with tracer.span("read", cat="parse", lane=lane):
                 loaded = load_collection_file(path)

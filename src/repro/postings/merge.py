@@ -3,15 +3,30 @@
 "If necessary, we can combine the partial postings lists of each term into
 a single list in a post-processing step, with an additional cost of less
 than 10% of the total running time."  This module implements that step: it
-reads every run file in run order, splices each term's partial lists, and
-writes a single consolidated run file (run id ``0`` by convention) plus a
-fresh ``runs.map``.  The merge benchmark checks the <10% cost claim against
-the engine's build time.
+splices each term's partial lists across every run (in run order = document
+order) and writes a single consolidated run file (run id ``0`` by
+convention) plus a fresh ``runs.map``.  The merge benchmark checks the
+<10% cost claim against the engine's build time.
+
+The merge streams: run files are verified and their headers parsed without
+loading payloads, then each term's partial lists are seek-read from the
+open run handles one term at a time and fed straight into
+:meth:`~repro.postings.output.RunWriter.write_run_streaming`.  Peak
+resident postings are therefore bounded by the largest single term's
+merged list, not by the index size.
+
+Codec handling: when ``codec`` is ``None`` the merged run keeps the input
+runs' codec — positional or not — so a merge never silently re-encodes.
+A run set that mixes codecs cannot be spliced byte-for-byte and raises
+``ValueError``; pass an explicit ``codec`` after re-encoding if that is
+really intended.
 """
 
 from __future__ import annotations
 
 import os
+from contextlib import ExitStack
+from typing import BinaryIO, Iterator
 
 from repro.obs import runtime as obs
 from repro.postings.compression import PostingsCodec, VarByteCodec, get_codec
@@ -19,8 +34,8 @@ from repro.postings.lists import PostingsList
 from repro.postings.output import (
     DocRangeMap,
     RunWriter,
-    read_run_header,
-    verify_run_bytes,
+    read_run_header_from_file,
+    verify_run_file,
 )
 
 __all__ = ["merge_index"]
@@ -34,46 +49,80 @@ def merge_index(
     """Merge a multi-run index directory into a single-run directory.
 
     Returns summary statistics: terms merged, postings written, input and
-    output byte sizes.  The dictionary file (if present) is copied verbatim
+    output byte sizes, and ``peak_resident_postings`` — the largest number
+    of postings held in memory at once (the merged length of the most
+    frequent term).  The dictionary file (if present) is copied verbatim
     because postings pointers are stable across the merge.
+
+    Raises ``ValueError`` if the input runs do not all share one codec.
     """
     range_map = DocRangeMap.load(input_dir)
     tracer = obs.tracer()
     reg = obs.metrics()
 
-    merged: dict[int, PostingsList] = {}
     input_bytes = 0
-    with tracer.span(
-        "merge.read_runs", cat="merge", lane="merge", runs=len(range_map.runs)
-    ):
-        for run in range_map.runs:  # already sorted by run id = document order
-            with open(run.path, "rb") as fh:
-                data = fh.read()
-            input_bytes += len(data)
-            verify_run_bytes(run.path, data)  # never splice a damaged run
-            _, codec_name, _, _, table, _ = read_run_header(data)
-            run_codec = get_codec(codec_name)
-            if codec is None and run_codec.positional:
-                codec = get_codec(codec_name)  # keep positions through the merge
-            reg.count("merge.runs_read")
-            reg.count("merge.input_bytes", len(data))
-            for term_id, (offset, length) in table.items():
-                plist = merged.setdefault(term_id, PostingsList())
-                for entry in run_codec.decode(data[offset : offset + length]):
-                    if run_codec.positional:
-                        doc_id, tf, positions = entry
-                        plist.add_posting(doc_id, tf, list(positions))
-                    else:
-                        doc_id, tf = entry
-                        plist.add_posting(doc_id, tf)
+    peak_resident = 0
+    total_postings = 0
 
-    os.makedirs(output_dir, exist_ok=True)
-    writer = RunWriter(output_dir, codec=codec if codec is not None else VarByteCodec())
-    with tracer.span(
-        "merge.write", cat="merge", lane="merge", terms=len(merged)
-    ):
-        run_file = writer.write_run(0, merged)
-    reg.count("merge.terms", len(merged))
+    with ExitStack() as stack:
+        handles: list[BinaryIO] = []
+        tables: list[dict[int, tuple[int, int]]] = []
+        codec_names: list[str] = []
+        with tracer.span(
+            "merge.read_runs", cat="merge", lane="merge", runs=len(range_map.runs)
+        ):
+            for run in range_map.runs:  # already sorted by run id = document order
+                size = verify_run_file(run.path)  # never splice a damaged run
+                input_bytes += size
+                fh = stack.enter_context(open(run.path, "rb"))
+                _, codec_name, _, _, table, _ = read_run_header_from_file(fh)
+                handles.append(fh)
+                tables.append(table)
+                codec_names.append(codec_name)
+                reg.count("merge.runs_read")
+                reg.count("merge.input_bytes", size)
+
+        names = sorted(set(codec_names))
+        if len(names) > 1:
+            raise ValueError(
+                f"cannot merge runs with mixed codecs ({', '.join(names)}); "
+                "rebuild or re-encode the runs with one codec first"
+            )
+        run_codec = get_codec(names[0]) if names else VarByteCodec()
+        if codec is None:
+            codec = run_codec  # preserve the run codec through the merge
+        term_ids = sorted(set().union(*tables)) if tables else []
+
+        def spliced() -> Iterator[tuple[int, PostingsList]]:
+            """Yield one fully merged term at a time, in term-id order."""
+            nonlocal peak_resident, total_postings
+            for term_id in term_ids:
+                plist = PostingsList()
+                for fh, table in zip(handles, tables):
+                    loc = table.get(term_id)
+                    if loc is None:
+                        continue
+                    offset, length = loc
+                    fh.seek(offset)
+                    for entry in run_codec.decode(fh.read(length)):
+                        if run_codec.positional:
+                            doc_id, tf, positions = entry
+                            plist.add_posting(doc_id, tf, list(positions))
+                        else:
+                            doc_id, tf = entry
+                            plist.add_posting(doc_id, tf)
+                peak_resident = max(peak_resident, len(plist))
+                total_postings += len(plist)
+                yield term_id, plist
+
+        os.makedirs(output_dir, exist_ok=True)
+        writer = RunWriter(output_dir, codec=codec)
+        with tracer.span(
+            "merge.write", cat="merge", lane="merge", terms=len(term_ids)
+        ):
+            run_file = writer.write_run_streaming(0, spliced())
+
+    reg.count("merge.terms", len(term_ids))
     reg.count("merge.output_bytes", run_file.byte_size)
     out_map = DocRangeMap()
     out_map.add(run_file)
@@ -87,9 +136,10 @@ def merge_index(
             dst.write(src.read())
 
     return {
-        "terms": len(merged),
-        "postings": sum(len(p) for p in merged.values()),
+        "terms": len(term_ids),
+        "postings": total_postings,
         "input_bytes": input_bytes,
         "output_bytes": run_file.byte_size,
         "input_runs": len(range_map.runs),
+        "peak_resident_postings": peak_resident,
     }

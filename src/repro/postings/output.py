@@ -33,6 +33,7 @@ from __future__ import annotations
 import os
 import zlib
 from dataclasses import dataclass
+from typing import BinaryIO, Iterable
 
 from repro.postings.compression import (
     PostingsCodec,
@@ -51,12 +52,16 @@ __all__ = [
     "RUN_CRC_BYTES",
     "run_filename",
     "verify_run_bytes",
+    "verify_run_file",
+    "read_run_header_from_file",
 ]
 
 RUN_MAGIC = b"RPRORUN1"
 MAP_FILENAME = "runs.map"
 #: Width of the little-endian CRC32 footer at the end of every run file.
 RUN_CRC_BYTES = 4
+#: Chunk size for streaming CRC verification / payload copying.
+_STREAM_CHUNK = 1 << 16
 
 
 def run_filename(run_id: int) -> str:
@@ -157,6 +162,88 @@ class RunWriter:
         )
 
 
+    def write_run_streaming(
+        self, run_id: int, lists: Iterable[tuple[int, PostingsList]]
+    ) -> "RunFile":
+        """Write a run from a ``(term_id, list)`` stream, bounded memory.
+
+        Byte-identical to :meth:`write_run` over the same content, but
+        only one term's encoded postings are resident at a time: the
+        payload streams into a sibling temp file while the mapping table
+        accumulates, then header, payload copy and trailing CRC are
+        written in one pass.  Offsets are payload-relative (see the
+        module docstring), which is what makes the two-pass layout
+        possible without back-patching.
+
+        ``lists`` must yield term ids in strictly ascending order — the
+        same order ``write_run`` gets from sorting — so readers can rely
+        on table order.  Empty lists are skipped, as in ``write_run``.
+        """
+        filename = run_filename(run_id)
+        path = os.path.join(self.stripe_dir(run_id), filename)
+        tmp_path = path + ".payload.tmp"
+        entries: list[RunEntry] = []
+        min_doc: int | None = None
+        max_doc: int | None = None
+        payload_len = 0
+        try:
+            with open(tmp_path, "wb") as payload_fh:
+                for term_id, plist in lists:
+                    if entries and term_id <= entries[-1].term_id:
+                        raise ValueError(
+                            f"write_run_streaming needs strictly ascending term "
+                            f"ids, got {term_id} after {entries[-1].term_id}"
+                        )
+                    if not plist.doc_ids:
+                        continue
+                    if self.codec.positional:
+                        encoded = self.codec.encode(plist.positional_postings())
+                    else:
+                        encoded = self.codec.encode(plist.postings())
+                    entries.append(RunEntry(term_id, payload_len, len(encoded)))
+                    payload_fh.write(encoded)
+                    payload_len += len(encoded)
+                    lo, hi = plist.doc_ids[0], plist.doc_ids[-1]
+                    min_doc = lo if min_doc is None else min(min_doc, lo)
+                    max_doc = hi if max_doc is None else max(max_doc, hi)
+
+            header = bytearray(RUN_MAGIC)
+            encode_uvarint(run_id, header)
+            name_bytes = self.codec.name.encode("ascii")
+            encode_uvarint(len(name_bytes), header)
+            header.extend(name_bytes)
+            encode_uvarint(0 if min_doc is None else min_doc + 1, header)
+            encode_uvarint(0 if max_doc is None else max_doc + 1, header)
+            encode_uvarint(len(entries), header)
+            for entry in entries:
+                encode_uvarint(entry.term_id, header)
+                encode_uvarint(entry.offset, header)
+                encode_uvarint(entry.length, header)
+
+            crc = zlib.crc32(header)
+            with open(path, "wb") as fh:
+                fh.write(header)
+                with open(tmp_path, "rb") as payload_fh:
+                    while True:
+                        chunk = payload_fh.read(_STREAM_CHUNK)
+                        if not chunk:
+                            break
+                        crc = zlib.crc32(chunk, crc)
+                        fh.write(chunk)
+                fh.write((crc & 0xFFFFFFFF).to_bytes(RUN_CRC_BYTES, "little"))
+        finally:
+            if os.path.exists(tmp_path):
+                os.remove(tmp_path)
+        return RunFile(
+            path=path,
+            run_id=run_id,
+            min_doc=min_doc,
+            max_doc=max_doc,
+            entry_count=len(entries),
+            byte_size=len(header) + payload_len + RUN_CRC_BYTES,
+        )
+
+
 def verify_run_bytes(path: str, data: bytes) -> None:
     """Check a run file's trailing CRC32 over its full bytes.
 
@@ -169,6 +256,59 @@ def verify_run_bytes(path: str, data: bytes) -> None:
     actual = zlib.crc32(data[:-RUN_CRC_BYTES]) & 0xFFFFFFFF
     if stored != actual:
         raise ChecksumError(path, stored, actual)
+
+
+def verify_run_file(path: str) -> int:
+    """Streaming equivalent of :func:`verify_run_bytes`: constant memory.
+
+    Reads the file in chunks, never holding more than one chunk resident
+    — the merge path uses this so verification cost does not scale with
+    run size in memory.  Returns the file's total byte size.
+    """
+    size = os.path.getsize(path)
+    if size < len(RUN_MAGIC) + RUN_CRC_BYTES:
+        raise ValueError(f"{path} is too short to be a run file ({size} bytes)")
+    crc = 0
+    remaining = size - RUN_CRC_BYTES
+    with open(path, "rb") as fh:
+        while remaining:
+            chunk = fh.read(min(_STREAM_CHUNK, remaining))
+            if not chunk:
+                raise ValueError(f"{path} truncated while verifying")
+            crc = zlib.crc32(chunk, crc)
+            remaining -= len(chunk)
+        stored = int.from_bytes(fh.read(RUN_CRC_BYTES), "little")
+    actual = crc & 0xFFFFFFFF
+    if stored != actual:
+        raise ChecksumError(path, stored, actual)
+    return size
+
+
+def read_run_header_from_file(
+    fh: BinaryIO,
+) -> tuple[int, str, int | None, int | None, dict[int, tuple[int, int]], int]:
+    """Parse a run header from an open file without loading the payload.
+
+    Reads the file in growing chunks until the header (whose length is
+    only known once its entry table is decoded) parses completely; the
+    payload itself is never read.  Returns the same tuple as
+    :func:`read_run_header`, with absolute offsets usable for
+    ``seek``/``read`` splicing.
+    """
+    data = bytearray()
+    while True:
+        piece = fh.read(_STREAM_CHUNK)
+        if piece:
+            data.extend(piece)
+            if len(data) < len(RUN_MAGIC):
+                continue  # too short to even check the magic yet
+        try:
+            return read_run_header(bytes(data))
+        except (IndexError, EOFError):
+            # Header extends past what we buffered so far (a byte index
+            # past the buffer or a uvarint cut mid-sequence).
+            if not piece:
+                raise ValueError("truncated run file header") from None
 
 
 @dataclass

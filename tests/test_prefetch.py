@@ -72,3 +72,41 @@ class TestPrefetch:
     def test_invalid_prefetch(self):
         with pytest.raises(ValueError):
             PlatformConfig(parse_prefetch=-1)
+
+
+class TestTraceLanes:
+    """Regression: each prefetch worker thread owns one trace lane.
+
+    The old code reassigned the shared ``parser_id`` (``k % num_parsers``)
+    per file, so spans from different worker threads landed interleaved on
+    the same ``parser-N`` lane and overlapped.  Lanes now key on the worker
+    thread (``parser-wN``); the logical parser slot survives as the span's
+    ``parser`` attribute.
+    """
+
+    def test_parse_spans_never_overlap_within_a_lane(self, tiny_collection, tmp_path):
+        from repro.obs.schema import TRACE_FILENAME
+        from repro.obs.stats import spans_from_chrome
+        from repro.obs.trace import load_chrome_trace
+
+        out = str(tmp_path / "lanes")
+        IndexingEngine(_cfg(parse_prefetch=3, num_parsers=2)).build(
+            tiny_collection, out
+        )
+        spans = spans_from_chrome(
+            load_chrome_trace(os.path.join(out, TRACE_FILENAME))
+        )
+        parses = [s for s in spans if s.name == "parse_file"]
+        assert parses
+        by_lane: dict[str, list] = {}
+        for s in parses:
+            by_lane.setdefault(s.lane, []).append(s)
+        for lane, lane_spans in by_lane.items():
+            assert lane.startswith("parser-w"), lane
+            lane_spans.sort(key=lambda s: s.start_s)
+            for a, b in zip(lane_spans, lane_spans[1:]):
+                assert a.end_s <= b.start_s, (
+                    f"overlapping parse_file spans on lane {lane}"
+                )
+        # The logical parser slot is still recorded, just as an attribute.
+        assert {s.args.get("parser") for s in parses} == {0, 1}
