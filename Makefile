@@ -1,6 +1,6 @@
 # Canonical workflows for the reproduction.
 
-.PHONY: install test test-fast test-pipelined chaos lint bench report examples trace-demo pipeline-demo clean
+.PHONY: install test test-fast test-pipelined chaos lint bench bench-pytest bench-gate report examples trace-demo pipeline-demo clean
 
 install:
 	python setup.py develop
@@ -21,10 +21,24 @@ chaos:
 
 # Paper-invariant lint pack + race analyzer + typing gate
 # (docs/STATIC_ANALYSIS.md).  mypy runs when installed (dev extra).
+# The second pass holds benchmarks/ to the RPR008 clock fence: bench
+# timing flows through the `repro bench` harness / util/timing.py.
 lint:
 	python -m repro lint src
+	python -m repro lint benchmarks --select RPR008
 
+# The declared benchmark suite under the pinned protocol
+# (docs/OBSERVABILITY.md, "Benchmark protocol") → BENCH_PR5.json at the
+# repo root, one point in the perf trajectory.
 bench:
+	python -m repro bench
+
+# Noise-aware regression gate + trajectory table; exits 1 on regression.
+bench-gate: bench
+	python -m repro bench --compare BENCH_BASELINE.json BENCH_PR5.json
+
+# The original pytest-benchmark path (free-text reports per script).
+bench-pytest:
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
 report:

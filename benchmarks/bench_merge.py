@@ -1,0 +1,73 @@
+"""Merge-phase throughput (§III.F) as a first-class bench scenario.
+
+The ablation suite checks the *claim* (merge < 10% of build time); this
+module times the merge itself under the ``repro bench`` protocol so the
+perf trajectory tracks it per PR — the streaming splice introduced in
+PR 4 is exactly the kind of change this scenario exists to gate.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+from conftest import report
+
+from repro.obs.bench import BenchOp, scenario
+from repro.postings.merge import merge_index
+from repro.util.fmt import render_table
+from repro.util.timing import Timer
+
+
+@scenario("merge_index_mini", group="merge")
+def bench_merge(ctx):
+    """Full merge of the cached mini-ClueWeb build's run files.
+
+    Each timed call merges into a fresh directory (the rmtree is part of
+    the op, a constant cost dwarfed by the splice).  ``bytes_processed``
+    is the merger's input-run byte count, so the result file carries a
+    merge MB/s figure comparable across PRs.
+    """
+    result = ctx.engine_build()
+    merged_dir = os.path.join(ctx.fresh_dir("merge_scratch"), "out")
+    probe = merge_index(result.output_dir, merged_dir)
+
+    def op():
+        shutil.rmtree(merged_dir, ignore_errors=True)
+        return merge_index(result.output_dir, merged_dir)
+
+    return BenchOp(
+        op=op,
+        bytes_processed=probe["input_bytes"],
+        stage_timings=ctx.build_stage_timings(result),
+    )
+
+
+def test_merge_throughput(benchmark, engine_result, data_dir):
+    """Standalone pytest path: one timed merge with the stats table."""
+    merged_dir = os.path.join(data_dir, "bench_merge_out")
+
+    def do_merge():
+        shutil.rmtree(merged_dir, ignore_errors=True)
+        with Timer() as t:
+            stats = merge_index(engine_result.output_dir, merged_dir)
+        return stats, t.elapsed
+
+    stats, merge_wall = benchmark.pedantic(do_merge, rounds=1, iterations=1)
+    mbps = stats["input_bytes"] / 1e6 / merge_wall if merge_wall > 0 else 0.0
+    rows = [
+        ["input runs", stats["input_runs"]],
+        ["terms", stats["terms"]],
+        ["postings", stats["postings"]],
+        ["input bytes", stats["input_bytes"]],
+        ["output bytes", stats["output_bytes"]],
+        ["peak resident postings", stats["peak_resident_postings"]],
+        ["wall seconds", f"{merge_wall:.3f}"],
+        ["MB/s", f"{mbps:.1f}"],
+    ]
+    report(
+        "merge_throughput",
+        render_table(["Metric", "Value"], rows),
+        data={**stats, "wall_seconds": merge_wall, "throughput_mbps": mbps},
+    )
+    assert stats["terms"] > 0 and stats["postings"] > 0

@@ -7,7 +7,8 @@ Commands mirror the library's workflow:
 - ``stats`` — a collection directory prints its Table III row; an index
   directory (or ``run.metrics.json``) prints the build's telemetry
   summary; ``--diff A B`` prints per-stage timing and counter deltas
-  between two builds;
+  between two builds (``--fail-on-regress PCT`` turns the diff into a
+  gate);
 - ``build`` — run the heterogeneous engine over a collection directory
   (``--resume`` continues an interrupted build, ``--on-error`` picks the
   skip / quarantine policy for corrupt containers, ``--no-telemetry``
@@ -24,7 +25,11 @@ Commands mirror the library's workflow:
 - ``simulate`` — the paper-scale pipeline simulation (Tables IV/VI
   numbers without touching a terabyte);
 - ``lint`` — the paper-invariant static-analysis pack
-  (docs/STATIC_ANALYSIS.md): AST rules, race analyzer, typing gate.
+  (docs/STATIC_ANALYSIS.md): AST rules, race analyzer, typing gate;
+- ``bench`` — run the declared benchmark suite under the pinned
+  protocol (docs/OBSERVABILITY.md, "Benchmark protocol") and write
+  ``BENCH_PR5.json``; ``--compare OLD NEW`` is the noise-aware
+  regression gate plus the perf-trajectory table.
 """
 
 from __future__ import annotations
@@ -75,6 +80,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "--diff", nargs=2, metavar=("BEFORE", "AFTER"), default=None,
         help="diff two run.metrics.json files (or index directories): "
              "per-stage timings and changed counters",
+    )
+    stats.add_argument(
+        "--fail-on-regress", type=float, default=None, metavar="PCT",
+        help="with --diff: exit 1 when a stage timing or pipeline.* "
+             "stall counter worsens by more than PCT percent (same "
+             "noise-aware gate as `repro bench --compare`)",
     )
 
     build = sub.add_parser("build", help="build inverted files")
@@ -155,6 +166,45 @@ def build_arg_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--parsers", type=int, default=6)
     simulate.add_argument("--cpu-indexers", type=int, default=2)
     simulate.add_argument("--gpus", type=int, default=2)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the declared benchmark suite under the pinned protocol, "
+             "or gate one BENCH_*.json against another",
+    )
+    bench.add_argument(
+        "--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
+        help="noise-aware regression gate between two BENCH_*.json files "
+             "(native or pytest-benchmark format); exits 1 on regression "
+             "and prints the perf trajectory over the repo's BENCH_*.json",
+    )
+    bench.add_argument("--suite-dir", default="benchmarks",
+                       help="directory holding the bench_*.py suite")
+    bench.add_argument("--out", default=None,
+                       help="result file to write (default: BENCH_PR5.json "
+                            "in the current directory)")
+    bench.add_argument("--data-dir", default=".bench_data",
+                       help="cache for generated corpora and builds")
+    bench.add_argument("--only", action="append", default=None, metavar="NAME",
+                       help="run only this scenario (repeatable)")
+    bench.add_argument("--list", action="store_true",
+                       help="list registered scenarios and exit")
+    bench.add_argument("--repetitions", type=int, default=None,
+                       help="timed repetitions per scenario (default 5, min 3)")
+    bench.add_argument("--warmup", type=int, default=None,
+                       help="discarded warmup calls per scenario (default 1)")
+    bench.add_argument("--seed", type=int, default=None,
+                       help="protocol seed for corpus generation (default 1234)")
+    bench.add_argument("--scale", type=float, default=None,
+                       help="mini-corpus scale factor (default 0.25)")
+    bench.add_argument("--rel-threshold", type=float, default=None,
+                       help="--compare: relative slowdown bar "
+                            "(fraction, default 0.10)")
+    bench.add_argument("--noise-mult", type=float, default=None,
+                       help="--compare: IQR multiplier for the noise floor "
+                            "(default 1.5)")
+    bench.add_argument("--trajectory-root", default=".",
+                       help="--compare: where BENCH_*.json history lives")
 
     lint = sub.add_parser(
         "lint", help="paper-invariant lint pack + race analyzer + typing gate"
@@ -247,14 +297,29 @@ def _cmd_stats(args) -> int:
 
     if args.diff is not None:
         from repro.obs.schema import load_metrics
-        from repro.obs.stats import render_metrics_diff
+        from repro.obs.stats import metrics_regressions, render_metrics_diff
 
         paths = [_metrics_path_of(t) or t for t in args.diff]
+        before, after = load_metrics(paths[0]), load_metrics(paths[1])
         print(render_metrics_diff(
-            load_metrics(paths[0]), load_metrics(paths[1]),
+            before, after,
             before_label=args.diff[0], after_label=args.diff[1],
         ))
+        if args.fail_on_regress is not None:
+            regressions = metrics_regressions(
+                before, after, rel_threshold=args.fail_on_regress / 100.0
+            )
+            if regressions:
+                print(f"\n{len(regressions)} regression(s) past "
+                      f"{args.fail_on_regress:g}%:")
+                for line in regressions:
+                    print(f"  {line}")
+                return 1
+            print(f"\nno regressions past {args.fail_on_regress:g}%")
         return 0
+    if args.fail_on_regress is not None:
+        print("error: --fail-on-regress requires --diff A B", file=sys.stderr)
+        return 2
 
     if args.target is None:
         print("error: stats needs a collection/index directory (or --diff A B)",
@@ -449,6 +514,61 @@ def _cmd_lint(args) -> int:
     return run(args)
 
 
+def _cmd_bench(args) -> int:
+    import os
+
+    from repro.obs import bench
+    from repro.obs.bench_schema import BENCH_FILENAME
+
+    if args.compare is not None:
+        old_path, new_path = args.compare
+        comparison = bench.compare_results(
+            bench.load_results(old_path),
+            bench.load_results(new_path),
+            rel_threshold=(args.rel_threshold
+                           if args.rel_threshold is not None
+                           else bench.DEFAULT_REL_THRESHOLD),
+            noise_mult=(args.noise_mult
+                        if args.noise_mult is not None
+                        else bench.DEFAULT_NOISE_MULT),
+        )
+        print(comparison.text)
+        print()
+        print(bench.render_trajectory(args.trajectory_root))
+        return 0 if comparison.ok else 1
+
+    bench.load_scenario_modules(args.suite_dir)
+    registry = bench.registered_scenarios()
+    if args.list:
+        for name, sc in registry.items():
+            extra = f"  [{sc.group}]" if sc.group else ""
+            print(f"{name}{extra}")
+        return 0
+
+    payload = bench.run_suite(
+        registry,
+        data_dir=args.data_dir,
+        repetitions=(args.repetitions if args.repetitions is not None
+                     else bench.DEFAULT_REPETITIONS),
+        warmup=args.warmup if args.warmup is not None else bench.DEFAULT_WARMUP,
+        seed=args.seed if args.seed is not None else bench.DEFAULT_SEED,
+        scale=args.scale if args.scale is not None else bench.DEFAULT_SCALE,
+        only=args.only,
+        progress=print,
+    )
+    out = args.out or os.path.join(os.curdir, BENCH_FILENAME)
+    bench.write_results(out, payload)
+    for entry in payload["scenarios"]:
+        stats = entry["stats"]
+        thpt = (f"  {entry['throughput_mbps']:8.1f} MB/s"
+                if "throughput_mbps" in entry else "")
+        print(f"{entry['name']:<28} median {stats['median'] * 1e3:9.3f} ms  "
+              f"min {stats['min'] * 1e3:9.3f} ms  "
+              f"IQR {stats['iqr'] * 1e3:8.3f} ms{thpt}")
+    print(f"\nwrote {len(payload['scenarios'])} scenario(s) to {out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code (2 on usage errors)."""
     args = build_arg_parser().parse_args(argv)
@@ -464,6 +584,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "simulate": _cmd_simulate,
         "lint": _cmd_lint,
+        "bench": _cmd_bench,
     }[args.command]
     try:
         return handler(args)

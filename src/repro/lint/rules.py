@@ -416,20 +416,37 @@ def check_adhoc_clocks(sf: SourceFile) -> Iterator[Finding]:
     Only *calls* are flagged — passing ``time.monotonic`` as a clock
     callable (dependency injection, as in ``robustness/retry.py``) keeps
     the read swappable and is fine.
+
+    The fence also covers ``timeit.default_timer`` — the clock benchmark
+    scripts habitually reach for — because the rule runs over
+    ``benchmarks/`` too (``make lint`` / CI select RPR008 there):
+    benchmark timing must flow through the ``repro bench`` harness or
+    ``util/timing.py`` so every number in a ``BENCH_*.json`` comes from
+    the same clock the protocol documents.
     """
     if sf.path.endswith("util/timing.py") or sf.in_part("obs"):
         return
     for node in ast.walk(sf.tree):
-        if isinstance(node, ast.ImportFrom) and node.module == "time":
-            bad = sorted(
-                alias.name for alias in node.names if alias.name in CLOCK_FNS
-            )
-            if bad:
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "time":
+                bad = sorted(
+                    alias.name for alias in node.names if alias.name in CLOCK_FNS
+                )
+                if bad:
+                    yield sf.finding(
+                        "RPR008",
+                        node,
+                        f"imports clock function(s) {', '.join(bad)} from time; "
+                        "use repro.util.timing.now / Stopwatch",
+                    )
+            elif node.module == "timeit" and any(
+                alias.name == "default_timer" for alias in node.names
+            ):
                 yield sf.finding(
                     "RPR008",
                     node,
-                    f"imports clock function(s) {', '.join(bad)} from time; "
-                    "use repro.util.timing.now / Stopwatch",
+                    "imports default_timer from timeit; benchmark clocks go "
+                    "through the repro bench harness / repro.util.timing",
                 )
         if not isinstance(node, ast.Call):
             continue
@@ -446,4 +463,16 @@ def check_adhoc_clocks(sf: SourceFile) -> Iterator[Finding]:
                 f"ad-hoc time.{func.attr}() call; clocks are fenced behind "
                 "repro.util.timing (now / Stopwatch) so telemetry and the "
                 "determinism tests see every timing source",
+            )
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "timeit"
+            and func.attr == "default_timer"
+        ):
+            yield sf.finding(
+                "RPR008",
+                node,
+                "ad-hoc timeit.default_timer() call; benchmark clocks go "
+                "through the repro bench harness / repro.util.timing",
             )

@@ -1,0 +1,789 @@
+"""Continuous performance observability: the ``repro bench`` harness.
+
+The paper's headline claim is a throughput number (262 MB/s end to end,
+Figs 10–12); keeping the reproduction honest about *its own* speed needs
+more than 22 free-text benchmark reports.  This module gives the repo a
+pinned measurement protocol and a machine-readable perf trajectory:
+
+- **Scenarios** — benchmark scripts under ``benchmarks/`` register
+  named operations with :func:`scenario`; a scenario's prepare step
+  (corpus generation, engine builds) runs once and untimed, then the
+  returned :class:`BenchOp` is timed under one protocol: fixed seeds,
+  ``warmup`` discarded calls, ``repetitions`` timed calls, min / median
+  / IQR over the repetitions (median and IQR because indexing times on
+  shared machines are skewed — a mean would let one page-cache hiccup
+  fake a regression).
+- **Results** — one ``BENCH_PR5.json`` per run (schema
+  ``repro.bench.result/1``, :mod:`repro.obs.bench_schema`), carrying
+  the machine fingerprint in the same shape pytest-benchmark wrote into
+  ``BENCH_BASELINE.json`` and, per scenario, the build's
+  ``run.metrics.json`` per-stage timing summary — so a regression is
+  *localized* (parse vs index vs merge), not just detected.
+- **Gate** — :func:`regression_gate` is deliberately noise-aware: a
+  scenario regresses only when its median slows by more than
+  ``max(rel_threshold · old_median, noise_mult · max(old_IQR, new_IQR))``.
+  The IQR term is the measured noise floor of the two runs themselves,
+  so a quiet scenario gets a tight gate and a jittery one does not page
+  anyone.  ``repro stats --diff --fail-on-regress`` reuses the same
+  primitive for in-build stage timings.
+- **Trajectory** — every ``BENCH_*.json`` at the repo root is one point
+  in the perf history; :func:`render_trajectory` renders the
+  scenario × result-file median table with sparklines.
+
+Like the rest of :mod:`repro.obs`, importing this module never pulls in
+the engine; scenario *execution* does, inside :class:`BenchContext`.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import platform
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.obs.bench_schema import BENCH_SCHEMA_VERSION, validate_bench, write_bench
+from repro.util.ascii_chart import sparkline
+from repro.util.fmt import render_table
+from repro.util.timing import now
+
+__all__ = [
+    "BenchOp",
+    "Scenario",
+    "BenchContext",
+    "scenario",
+    "registered_scenarios",
+    "clear_scenarios",
+    "load_scenario_modules",
+    "DEFAULT_SUITE",
+    "machine_fingerprint",
+    "commit_fingerprint",
+    "run_suite",
+    "load_results",
+    "regression_gate",
+    "compare_results",
+    "render_trajectory",
+    "find_result_files",
+]
+
+#: The declared suite: benchmark modules whose import registers the
+#: cross-PR scenarios.  Order is presentation order in the result file.
+DEFAULT_SUITE = (
+    "bench_fig10_parsers",
+    "bench_fig11_scalability",
+    "bench_fig12_comparison",
+    "bench_merge",
+    "bench_search",
+)
+
+#: Default measurement protocol — changing these changes what a
+#: "comparable" result means, so they are named constants, not argparse
+#: defaults (docs/OBSERVABILITY.md, "Benchmark protocol").
+DEFAULT_SEED = 1234
+DEFAULT_WARMUP = 1
+DEFAULT_REPETITIONS = 5
+DEFAULT_SCALE = 0.25
+DEFAULT_REL_THRESHOLD = 0.10
+DEFAULT_NOISE_MULT = 1.5
+
+
+# ---------------------------------------------------------------------- #
+# Scenario registry
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class BenchOp:
+    """What a scenario's prepare step hands back to the harness.
+
+    ``op`` is the zero-argument operation the protocol times.
+    ``stage_timings`` localizes regressions: either a ready dict or a
+    callable applied to the *last* timed ``op()`` return value, producing
+    ``{stage name: seconds}`` (typically the ``timings`` section of the
+    build's ``run.metrics.json``, or the simulator's stage breakdown).
+    ``bytes_processed`` (uncompressed input bytes per call) turns the
+    median into a MB/s figure in the result file.
+    """
+
+    op: Callable[[], Any]
+    bytes_processed: int | None = None
+    stage_timings: (
+        Mapping[str, float] | Callable[[Any], Mapping[str, float]] | None
+    ) = None
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered benchmark scenario."""
+
+    name: str
+    prepare: Callable[["BenchContext"], BenchOp]
+    group: str = ""
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def scenario(
+    name: str, group: str = "", **params: Any
+) -> Callable[[Callable[["BenchContext"], BenchOp]], Callable[["BenchContext"], BenchOp]]:
+    """Register a scenario prepare function under ``name``.
+
+    Re-registration replaces (module reloads during discovery are
+    normal); names are globally unique so the trajectory can track one
+    scenario across every result file.
+    """
+
+    def decorate(
+        prepare: Callable[["BenchContext"], BenchOp],
+    ) -> Callable[["BenchContext"], BenchOp]:
+        _REGISTRY[name] = Scenario(name=name, prepare=prepare, group=group, params=params)
+        return prepare
+
+    return decorate
+
+
+def registered_scenarios() -> dict[str, Scenario]:
+    """Name → scenario, in registration order."""
+    return dict(_REGISTRY)
+
+
+def clear_scenarios() -> None:
+    """Reset the registry (tests)."""
+    _REGISTRY.clear()
+
+
+def load_scenario_modules(
+    bench_dir: str, modules: Iterable[str] = DEFAULT_SUITE
+) -> list[str]:
+    """Import the declared suite from ``bench_dir``, registering scenarios.
+
+    ``bench_dir`` is put on ``sys.path`` so the scripts' ``from conftest
+    import report`` keeps resolving exactly as it does under pytest.
+    Returns the module names imported (or already present).
+    """
+    bench_dir = os.path.abspath(bench_dir)
+    if not os.path.isdir(bench_dir):
+        raise FileNotFoundError(bench_dir)
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    import importlib
+
+    loaded: list[str] = []
+    for name in modules:
+        if not os.path.exists(os.path.join(bench_dir, name + ".py")):
+            raise FileNotFoundError(
+                f"declared benchmark module {name!r} not found in {bench_dir}"
+            )
+        importlib.import_module(name)
+        loaded.append(name)
+    return loaded
+
+
+# ---------------------------------------------------------------------- #
+# Shared prepare-step context (cached corpora and builds)
+# ---------------------------------------------------------------------- #
+
+
+class BenchContext:
+    """Cached corpora / builds shared by every scenario's prepare step.
+
+    Mirrors ``benchmarks/conftest.py``'s session fixtures for the CLI
+    path: the mini ClueWeb corpus and one functional engine build are
+    materialized once under ``data_dir`` (default ``.bench_data``) and
+    reused, so per-repetition timing measures the operation, not the
+    fixtures.  Everything derives from ``seed`` and ``scale`` — the
+    protocol pins both.
+    """
+
+    def __init__(
+        self,
+        data_dir: str,
+        scale: float = DEFAULT_SCALE,
+        seed: int = DEFAULT_SEED,
+        sample_fraction: float = 0.05,
+    ) -> None:
+        self.data_dir = os.path.abspath(data_dir)
+        self.scale = scale
+        self.seed = seed
+        self.sample_fraction = sample_fraction
+        self._collection: Any = None
+        self._engine_result: Any = None
+
+    # -- working directories ------------------------------------------- #
+
+    def _root(self) -> str:
+        tag = f"bench_s{self.scale:g}_seed{self.seed}"
+        path = os.path.join(self.data_dir, tag)
+        os.makedirs(path, exist_ok=True)
+        return path
+
+    def fresh_dir(self, name: str) -> str:
+        """An empty scratch directory under the context root."""
+        import shutil
+
+        path = os.path.join(self._root(), name)
+        shutil.rmtree(path, ignore_errors=True)
+        return path
+
+    # -- cached fixtures ----------------------------------------------- #
+
+    def mini_collection(self) -> Any:
+        """The ClueWeb09-profile mini collection (generated once)."""
+        if self._collection is None:
+            from repro.corpus.datasets import clueweb09_mini
+
+            self._collection = clueweb09_mini(
+                self._root(), scale=self.scale, seed=self.seed
+            )
+        return self._collection
+
+    def engine_build(self) -> Any:
+        """One cached functional engine build over :meth:`mini_collection`."""
+        if self._engine_result is None:
+            from repro.core.config import PlatformConfig
+            from repro.core.engine import IndexingEngine
+
+            out = self.fresh_dir("engine_out")
+            engine = IndexingEngine(
+                PlatformConfig(sample_fraction=self.sample_fraction)
+            )
+            self._engine_result = engine.build(self.mini_collection(), out)
+        return self._engine_result
+
+    def build_config(self, **overrides: Any) -> Any:
+        from repro.core.config import PlatformConfig
+
+        overrides.setdefault("sample_fraction", self.sample_fraction)
+        return PlatformConfig(**overrides)
+
+    # -- stage-timing summaries ---------------------------------------- #
+
+    def build_stage_timings(self, result: Any = None) -> dict[str, float]:
+        """The ``timings`` section of a build's ``run.metrics.json``."""
+        from repro.obs.schema import load_metrics
+
+        result = result if result is not None else self.engine_build()
+        if result.metrics_path is None:
+            return {}
+        return {
+            name: float(v)
+            for name, v in load_metrics(result.metrics_path)["timings"].items()
+        }
+
+    def simulated_stage_timings(
+        self, works: Any = None, config: Any = None
+    ) -> dict[str, float]:
+        """Per-stage seconds from the calibrated pipeline simulation.
+
+        Simulation scenarios have no ``run.metrics.json``; their stage
+        summary is the simulator's own breakdown, prefixed ``sim.`` so a
+        trajectory diff never confuses modeled with measured seconds.
+        """
+        from repro.core.pipeline import simulate_full_build
+        from repro.core.workload import WorkloadModel
+
+        if works is None:
+            works = WorkloadModel.paper_scale("clueweb09").files()
+        if config is None:
+            config = self.build_config()
+        report = simulate_full_build(works, config)
+        return {
+            "sim.sampling": report.sampling_s,
+            "sim.parsers": report.pipeline.parser_finish_s,
+            "sim.indexers": report.pipeline.indexer_finish_s,
+            "sim.dict_combine": report.dict_combine_s,
+            "sim.dict_write": report.dict_write_s,
+            "sim.total": report.total_s,
+        }
+
+
+# ---------------------------------------------------------------------- #
+# Fingerprints
+# ---------------------------------------------------------------------- #
+
+
+def machine_fingerprint() -> dict[str, Any]:
+    """Host fingerprint, in ``BENCH_BASELINE.json``'s ``machine_info`` shape.
+
+    Uses py-cpuinfo when importable (what pytest-benchmark used for the
+    baseline); otherwise degrades to :mod:`platform` with the same keys,
+    so comparisons across the two collectors still line up.
+    """
+    uname = platform.uname()
+    info: dict[str, Any] = {
+        "node": uname.node,
+        "processor": uname.processor,
+        "machine": uname.machine,
+        "python_implementation": platform.python_implementation(),
+        "python_version": platform.python_version(),
+        "release": uname.release,
+        "system": uname.system,
+    }
+    cpu: dict[str, Any] = {"count": os.cpu_count()}
+    try:
+        import cpuinfo  # type: ignore[import-untyped]
+
+        cpu.update(cpuinfo.get_cpu_info())
+    except ImportError:
+        cpu.update({"arch_string_raw": uname.machine, "brand_raw": uname.processor})
+    # The flags list is hundreds of entries of noise for our purposes.
+    cpu.pop("flags", None)
+    info["cpu"] = cpu
+    return info
+
+
+def commit_fingerprint(cwd: str | None = None) -> dict[str, Any]:
+    """Best-effort git provenance (empty dict outside a repo)."""
+
+    def git(*argv: str) -> str | None:
+        try:
+            proc = subprocess.run(
+                ["git", *argv], capture_output=True, text=True, cwd=cwd, timeout=10
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        return proc.stdout.strip() if proc.returncode == 0 else None
+
+    commit = git("rev-parse", "HEAD")
+    if commit is None:
+        return {}
+    status = git("status", "--porcelain")
+    return {
+        "id": commit,
+        "branch": git("rev-parse", "--abbrev-ref", "HEAD") or "",
+        "dirty": bool(status),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# The measurement protocol
+# ---------------------------------------------------------------------- #
+
+
+def _quartiles(samples: list[float]) -> tuple[float, float, float]:
+    """(q1, median, q3) by linear interpolation on the sorted samples.
+
+    The "inclusive" method: exact at the data points, defined from one
+    sample up — the protocol's floor is 3 repetitions, where q1/q3 fall
+    halfway into the first/last gap.
+    """
+    ordered = sorted(samples)
+    last = len(ordered) - 1
+
+    def at(p: float) -> float:
+        pos = p * last
+        lo = int(pos)
+        hi = min(lo + 1, last)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    return at(0.25), at(0.5), at(0.75)
+
+
+def _scenario_stats(seconds: list[float]) -> dict[str, float]:
+    q1, median, q3 = _quartiles(seconds)
+    return {
+        "min": min(seconds),
+        "max": max(seconds),
+        "mean": sum(seconds) / len(seconds),
+        "median": median,
+        "q1": q1,
+        "q3": q3,
+        "iqr": q3 - q1,
+    }
+
+
+def run_suite(
+    scenarios: Mapping[str, Scenario] | None = None,
+    *,
+    data_dir: str = ".bench_data",
+    repetitions: int = DEFAULT_REPETITIONS,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = DEFAULT_SEED,
+    scale: float = DEFAULT_SCALE,
+    only: Iterable[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
+    """Run scenarios under the pinned protocol; returns a validated payload.
+
+    ``only`` filters by exact scenario name (unknown names raise — a CI
+    job that silently measures nothing is worse than one that fails).
+    """
+    if repetitions < 3:
+        raise ValueError(
+            f"protocol floor is 3 timed repetitions (IQR needs spread), got {repetitions}"
+        )
+    if warmup < 0:
+        raise ValueError(f"negative warmup {warmup}")
+    registry = dict(scenarios if scenarios is not None else _REGISTRY)
+    if only is not None:
+        wanted = list(only)
+        unknown = [n for n in wanted if n not in registry]
+        if unknown:
+            raise KeyError(
+                f"unknown scenario(s): {', '.join(unknown)} "
+                f"(registered: {', '.join(registry) or 'none'})"
+            )
+        registry = {n: registry[n] for n in wanted}
+    if not registry:
+        raise ValueError("no scenarios registered — load the suite first")
+
+    ctx = BenchContext(data_dir, scale=scale, seed=seed)
+    entries: list[dict[str, Any]] = []
+    for name, sc in registry.items():
+        if progress is not None:
+            progress(f"[{len(entries) + 1}/{len(registry)}] {name}")
+        spec = sc.prepare(ctx)
+        for _ in range(warmup):
+            spec.op()
+        seconds: list[float] = []
+        last: Any = None
+        for _ in range(repetitions):
+            t0 = now()
+            last = spec.op()
+            seconds.append(now() - t0)
+        timings = spec.stage_timings
+        if callable(timings):
+            timings = timings(last)
+        stats = _scenario_stats(seconds)
+        entry: dict[str, Any] = {
+            "name": name,
+            "group": sc.group,
+            "params": dict(sc.params),
+            "warmup": warmup,
+            "repetitions": repetitions,
+            "seconds": seconds,
+            "stats": stats,
+            "stage_timings": {k: float(v) for k, v in (timings or {}).items()},
+        }
+        if spec.bytes_processed is not None:
+            entry["bytes_processed"] = int(spec.bytes_processed)
+            entry["throughput_mbps"] = (
+                spec.bytes_processed / 1e6 / stats["median"]
+                if stats["median"] > 0
+                else 0.0
+            )
+        entries.append(entry)
+
+    payload: dict[str, Any] = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "machine_info": machine_fingerprint(),
+        "commit_info": commit_fingerprint(),
+        "created": datetime.now(timezone.utc).isoformat(),
+        "protocol": {
+            "seed": seed,
+            "warmup": warmup,
+            "repetitions": repetitions,
+            "scale": scale,
+        },
+        "scenarios": entries,
+    }
+    problems = validate_bench(payload)
+    if problems:  # pragma: no cover - harness bug, not input error
+        raise ValueError(f"harness produced an invalid payload: {'; '.join(problems)}")
+    return payload
+
+
+def write_results(path: str, payload: Mapping[str, Any]) -> str:
+    """Alias of :func:`repro.obs.bench_schema.write_bench` for callers here."""
+    return write_bench(path, payload)
+
+
+# ---------------------------------------------------------------------- #
+# Loading results (native + pytest-benchmark formats)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One scenario's normalized statistics from a result file."""
+
+    name: str
+    median: float
+    min: float
+    iqr: float
+    repetitions: int
+    stage_timings: Mapping[str, float] = field(default_factory=dict)
+    throughput_mbps: float | None = None
+
+
+@dataclass(frozen=True)
+class BenchResults:
+    """A normalized result file, either format."""
+
+    path: str
+    label: str
+    format: str  # "repro.bench.result/1" or "pytest-benchmark"
+    machine_info: Mapping[str, Any]
+    protocol: Mapping[str, Any]
+    scenarios: Mapping[str, ScenarioResult]
+
+
+def _label_of(path: str) -> str:
+    base = os.path.basename(path)
+    if base.endswith(".json"):
+        base = base[: -len(".json")]
+    if base.startswith("BENCH_"):
+        base = base[len("BENCH_"):]
+    return base
+
+
+def load_results(path: str) -> BenchResults:
+    """Load and normalize either result format.
+
+    Native files are schema-validated; pytest-benchmark files
+    (``BENCH_BASELINE.json``) are recognized by their ``benchmarks``
+    list and mapped onto the same statistics, so the trajectory and the
+    compare gate treat the pre-harness baseline as just another point.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+
+    if isinstance(payload, dict) and "benchmarks" in payload and "schema" not in payload:
+        scenarios: dict[str, ScenarioResult] = {}
+        for entry in payload["benchmarks"]:
+            stats = entry.get("stats") or {}
+            name = entry.get("name", "?")
+            scenarios[name] = ScenarioResult(
+                name=name,
+                median=float(stats.get("median", 0.0)),
+                min=float(stats.get("min", 0.0)),
+                iqr=float(stats.get("iqr", 0.0)),
+                repetitions=int(stats.get("rounds", 0)),
+            )
+        return BenchResults(
+            path=path,
+            label=_label_of(path),
+            format="pytest-benchmark",
+            machine_info=payload.get("machine_info") or {},
+            protocol={},
+            scenarios=scenarios,
+        )
+
+    problems = validate_bench(payload)
+    if problems:
+        raise ValueError(f"{path}: {'; '.join(problems)}")
+    scenarios = {}
+    for entry in payload["scenarios"]:
+        stats = entry["stats"]
+        scenarios[entry["name"]] = ScenarioResult(
+            name=entry["name"],
+            median=float(stats["median"]),
+            min=float(stats["min"]),
+            iqr=float(stats["iqr"]),
+            repetitions=int(entry["repetitions"]),
+            stage_timings=dict(entry.get("stage_timings") or {}),
+            throughput_mbps=entry.get("throughput_mbps"),
+        )
+    return BenchResults(
+        path=path,
+        label=_label_of(path),
+        format=payload["schema"],
+        machine_info=payload["machine_info"],
+        protocol=payload["protocol"],
+        scenarios=scenarios,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# The noise-aware gate
+# ---------------------------------------------------------------------- #
+
+
+def regression_gate(
+    old: float,
+    new: float,
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    noise_floor: float = 0.0,
+) -> bool:
+    """Did ``new`` worsen past ``max(rel_threshold · old, noise_floor)``?
+
+    The single primitive both gates share (``repro bench --compare`` and
+    ``repro stats --diff --fail-on-regress``): a slowdown must clear a
+    *relative* bar (small regressions on big numbers matter) **and** the
+    measured noise floor (so jitter can never fail a build on its own).
+    Values are "lower is better" seconds/counts.
+    """
+    return (new - old) > max(rel_threshold * old, noise_floor)
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1e3:.3f}ms"
+
+
+def _worst_stage(
+    old: Mapping[str, float], new: Mapping[str, float]
+) -> str | None:
+    """The stage whose absolute slowdown dominates — the localization hint."""
+    worst: tuple[float, str] | None = None
+    for stage in set(old) | set(new):
+        delta = new.get(stage, 0.0) - old.get(stage, 0.0)
+        if worst is None or delta > worst[0]:
+            worst = (delta, stage)
+    if worst is None or worst[0] <= 0:
+        return None
+    delta, stage = worst
+    base = old.get(stage, 0.0)
+    pct = f" ({delta / base * 100:+.0f}%)" if base > 0 else ""
+    return f"{stage} +{_fmt_s(delta)}{pct}"
+
+
+@dataclass
+class Comparison:
+    """Outcome of comparing two result files."""
+
+    text: str
+    regressions: list[str]
+    warnings: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare_results(
+    old: BenchResults,
+    new: BenchResults,
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    noise_mult: float = DEFAULT_NOISE_MULT,
+) -> Comparison:
+    """Gate ``new`` against ``old`` scenario by scenario.
+
+    Scenarios present in only one file are reported (``new``/``gone``)
+    but never gate — renaming a scenario must not masquerade as a perf
+    win.  Machine/protocol mismatches demote nothing either; they are
+    surfaced as warnings because a cross-machine "regression" is
+    meaningless.
+    """
+    warnings: list[str] = []
+    old_cpu = (old.machine_info.get("cpu") or {}).get("brand_raw")
+    new_cpu = (new.machine_info.get("cpu") or {}).get("brand_raw")
+    if old_cpu and new_cpu and old_cpu != new_cpu:
+        warnings.append(
+            f"machine mismatch: {old_cpu!r} vs {new_cpu!r} — medians are "
+            "not comparable across hosts"
+        )
+    for key in ("seed", "scale", "repetitions"):
+        a, b = old.protocol.get(key), new.protocol.get(key)
+        if a is not None and b is not None and a != b:
+            warnings.append(f"protocol mismatch: {key} {a!r} vs {b!r}")
+
+    names = sorted(set(old.scenarios) | set(new.scenarios))
+    rows: list[list[object]] = []
+    regressions: list[str] = []
+    localizations: list[str] = []
+    for name in names:
+        o, n = old.scenarios.get(name), new.scenarios.get(name)
+        if o is None or n is None:
+            rows.append([
+                name,
+                _fmt_s(o.median) if o else "—",
+                _fmt_s(n.median) if n else "—",
+                "", "",
+                "new" if o is None else "gone",
+            ])
+            continue
+        noise_floor = noise_mult * max(o.iqr, n.iqr)
+        delta_pct = (n.median - o.median) / o.median * 100 if o.median else 0.0
+        if regression_gate(o.median, n.median, rel_threshold, noise_floor):
+            verdict = "REGRESSED"
+            regressions.append(name)
+            hint = _worst_stage(o.stage_timings, n.stage_timings)
+            if hint:
+                localizations.append(f"  {name}: slowest-growing stage {hint}")
+        elif o.median - n.median > max(rel_threshold * o.median, noise_floor):
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        rows.append([
+            name,
+            _fmt_s(o.median),
+            _fmt_s(n.median),
+            f"{delta_pct:+.1f}%",
+            _fmt_s(noise_floor),
+            verdict,
+        ])
+
+    lines = [f"compare: {old.label} -> {new.label}  "
+             f"(gate: median slowdown > max({rel_threshold * 100:.0f}%, "
+             f"{noise_mult:g}×IQR))"]
+    lines.extend(f"warning: {w}" for w in warnings)
+    lines.append("")
+    lines.append(render_table(
+        ["scenario", old.label, new.label, "Δ median", "noise floor", "verdict"],
+        rows,
+    ))
+    if localizations:
+        lines.append("")
+        lines.append("regression localization (per-stage timings):")
+        lines.extend(localizations)
+    lines.append("")
+    if regressions:
+        lines.append(
+            f"{len(regressions)} scenario(s) regressed: {', '.join(regressions)}"
+        )
+    else:
+        lines.append("no regressions")
+    return Comparison(text="\n".join(lines), regressions=regressions, warnings=warnings)
+
+
+# ---------------------------------------------------------------------- #
+# Trajectory
+# ---------------------------------------------------------------------- #
+
+
+def find_result_files(root: str) -> list[str]:
+    """Every ``BENCH_*.json`` under ``root``, baseline first, then sorted.
+
+    The baseline is the anchor of the trajectory; later results sort by
+    name, which the ``BENCH_PR<N>`` convention makes chronological.
+    """
+    paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    baseline = [p for p in paths if os.path.basename(p) == "BENCH_BASELINE.json"]
+    rest = [p for p in paths if os.path.basename(p) != "BENCH_BASELINE.json"]
+    return baseline + rest
+
+
+def render_trajectory(root: str) -> str:
+    """The scenario × result-file median table over ``BENCH_*.json``.
+
+    Cells are medians; ``·`` marks a scenario absent from that run
+    (pre-harness baselines and future suite growth both produce holes).
+    Unreadable files are noted and skipped, never fatal — one corrupt
+    artifact must not hide the rest of the history.
+    """
+    notes: list[str] = []
+    results: list[BenchResults] = []
+    for path in find_result_files(root):
+        try:
+            results.append(load_results(path))
+        except (ValueError, OSError, json.JSONDecodeError) as exc:
+            notes.append(f"note: skipped unreadable {os.path.basename(path)}: {exc}")
+    if not results:
+        return "\n".join(notes + [f"(no BENCH_*.json files under {root})"])
+
+    names = sorted({n for r in results for n in r.scenarios})
+    rows: list[list[object]] = []
+    for name in names:
+        cells: list[object] = [name]
+        series: list[float] = []
+        for r in results:
+            sr = r.scenarios.get(name)
+            cells.append(_fmt_s(sr.median) if sr else "·")
+            if sr:
+                series.append(sr.median)
+        cells.append(sparkline(series) if len(series) >= 2 else "")
+        rows.append(cells)
+    table = render_table(
+        ["scenario (median)"] + [r.label for r in results] + ["trend"], rows
+    )
+    header = f"perf trajectory over {len(results)} result file(s) in {root}:"
+    return "\n".join(notes + [header, "", table])

@@ -1,0 +1,224 @@
+"""The ``BENCH_*.json`` artifact: format, writer, validator.
+
+``repro bench`` emits one machine-readable result file per run (the
+repo tracks them at the root: ``BENCH_BASELINE.json`` from the original
+pytest-benchmark capture, ``BENCH_PR5.json`` and successors from this
+harness).  The payload has five top-level sections:
+
+``schema``
+    The literal string ``"repro.bench.result/1"``.  Bump the suffix on
+    incompatible changes; readers reject unknown majors.
+``machine_info``
+    Host fingerprint, the same shape pytest-benchmark wrote into
+    ``BENCH_BASELINE.json`` (node / machine / python_* / cpu dict), so
+    a trajectory over both formats can ask "same machine?" uniformly.
+``commit_info``
+    Best-effort git provenance (id, branch, dirty).  Informational.
+``protocol``
+    The pinned measurement protocol: seed, warmup count, timed
+    repetition count, corpus scale.  Two results are only comparable
+    when their protocols match — ``repro bench --compare`` warns on a
+    mismatch rather than silently gating apples against oranges.
+``scenarios``
+    One entry per measured scenario: the raw per-repetition seconds,
+    the derived order statistics (min/median/quartiles/IQR), optional
+    bytes-processed → MB/s, and the per-stage timing summary that
+    localizes a regression (parse vs index vs merge) instead of just
+    detecting it.
+
+Validation is hand-rolled (the container has no jsonschema), mirroring
+:mod:`repro.obs.schema`: :func:`validate_bench` returns a list of
+human-readable problems — empty means valid.  ``repro bench`` refuses
+to write an invalid payload and CI fails on a non-empty list.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BENCH_FILENAME",
+    "BENCH_SCHEMA",
+    "SCENARIO_STATS_KEYS",
+    "validate_bench",
+    "write_bench",
+    "load_bench",
+]
+
+BENCH_SCHEMA_VERSION = "repro.bench.result/1"
+#: The artifact this PR's ``make bench`` writes at the repo root.
+BENCH_FILENAME = "BENCH_PR5.json"
+
+#: Top-level sections: name → (required, expected container type).
+BENCH_SCHEMA: dict[str, tuple[bool, type]] = {
+    "schema": (True, str),
+    "machine_info": (True, dict),
+    "commit_info": (False, dict),
+    "created": (False, str),
+    "protocol": (True, dict),
+    "scenarios": (True, list),
+}
+
+#: Order statistics every scenario must carry.
+SCENARIO_STATS_KEYS = ("min", "max", "mean", "median", "q1", "q3", "iqr")
+
+_NUMBER = (int, float)
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, _NUMBER) and not isinstance(value, bool)
+
+
+def _check_protocol(protocol: Mapping[str, Any], problems: list[str]) -> None:
+    for key in ("seed", "warmup", "repetitions"):
+        if key not in protocol:
+            problems.append(f"protocol: missing key {key!r}")
+        elif not _is_number(protocol[key]):
+            problems.append(f"protocol.{key}: {protocol[key]!r} is not a number")
+
+
+def _check_scenario(i: int, entry: Any, problems: list[str]) -> None:
+    where = f"scenarios[{i}]"
+    if not isinstance(entry, dict):
+        problems.append(f"{where}: not an object")
+        return
+    name = entry.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append(f"{where}: missing or empty 'name'")
+        name = f"#{i}"
+    where = f"scenarios[{i}] ({name})"
+
+    reps = entry.get("repetitions")
+    if not isinstance(reps, int) or isinstance(reps, bool) or reps < 1:
+        problems.append(f"{where}: 'repetitions' must be a positive integer")
+        reps = None
+
+    seconds = entry.get("seconds")
+    if not isinstance(seconds, list) or not all(_is_number(s) for s in seconds):
+        problems.append(f"{where}: 'seconds' must be a list of numbers")
+    else:
+        if any(s < 0 for s in seconds):
+            problems.append(f"{where}: negative duration in 'seconds'")
+        if reps is not None and len(seconds) != reps:
+            problems.append(
+                f"{where}: {len(seconds)} sample(s) for "
+                f"{reps} declared repetition(s)"
+            )
+
+    stats = entry.get("stats")
+    if not isinstance(stats, dict):
+        problems.append(f"{where}: missing 'stats' object")
+    else:
+        missing = [k for k in SCENARIO_STATS_KEYS if k not in stats]
+        if missing:
+            problems.append(f"{where}: stats missing key(s) {missing}")
+        for key, value in stats.items():
+            if not _is_number(value):
+                problems.append(f"{where}: stats.{key} {value!r} is not a number")
+        if all(_is_number(stats.get(k)) for k in ("min", "median", "max")):
+            if not stats["min"] <= stats["median"] <= stats["max"]:
+                problems.append(
+                    f"{where}: stats are not ordered "
+                    f"(min {stats['min']} / median {stats['median']} / "
+                    f"max {stats['max']})"
+                )
+        if _is_number(stats.get("iqr")) and stats["iqr"] < 0:
+            problems.append(f"{where}: stats.iqr is negative")
+
+    timings = entry.get("stage_timings")
+    if not isinstance(timings, dict):
+        problems.append(f"{where}: missing 'stage_timings' object")
+    else:
+        for key, value in timings.items():
+            if not isinstance(key, str):
+                problems.append(f"{where}: non-string stage name {key!r}")
+            if not _is_number(value):
+                problems.append(
+                    f"{where}: stage_timings[{key!r}] {value!r} is not a number"
+                )
+
+    for optional in ("bytes_processed", "throughput_mbps"):
+        if optional in entry and entry[optional] is not None:
+            if not _is_number(entry[optional]):
+                problems.append(f"{where}: {optional} {entry[optional]!r} is not a number")
+
+
+def validate_bench(payload: Any) -> list[str]:
+    """Structural validation; returns problems (empty list = valid)."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload is {type(payload).__name__}, expected an object"]
+
+    for key, (required, expected) in BENCH_SCHEMA.items():
+        if key not in payload:
+            if required:
+                problems.append(f"missing required section {key!r}")
+            continue
+        if not isinstance(payload[key], expected):
+            problems.append(
+                f"section {key!r} is {type(payload[key]).__name__}, "
+                f"expected {expected.__name__}"
+            )
+    for key in payload:
+        if key not in BENCH_SCHEMA:
+            problems.append(f"unknown section {key!r}")
+    if problems:
+        return problems
+
+    version = payload["schema"]
+    major = version.rsplit("/", 1)[0]
+    if major != BENCH_SCHEMA_VERSION.rsplit("/", 1)[0]:
+        problems.append(
+            f"schema {version!r} is not a "
+            f"{BENCH_SCHEMA_VERSION.rsplit('/', 1)[0]} payload"
+        )
+    elif version != BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"schema version {version!r} != supported {BENCH_SCHEMA_VERSION!r}"
+        )
+
+    _check_protocol(payload["protocol"], problems)
+
+    seen: set[str] = set()
+    for i, entry in enumerate(payload["scenarios"]):
+        _check_scenario(i, entry, problems)
+        if isinstance(entry, dict) and isinstance(entry.get("name"), str):
+            if entry["name"] in seen:
+                problems.append(f"duplicate scenario name {entry['name']!r}")
+            seen.add(entry["name"])
+    return problems
+
+
+def write_bench(path: str, payload: Mapping[str, Any]) -> str:
+    """Validate and write a bench payload; returns ``path``.
+
+    Writing an invalid payload is a programming error, not an input
+    error — fail loudly rather than persist a lie.
+    """
+    problems = validate_bench(payload)
+    if problems:
+        raise ValueError(
+            f"refusing to write invalid bench result to {path}: "
+            f"{'; '.join(problems)}"
+        )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_bench(path: str) -> dict[str, Any]:
+    """Load and validate a ``repro.bench.result`` file; raises on problems.
+
+    Only accepts the native format — :func:`repro.obs.bench.load_results`
+    additionally understands pytest-benchmark files
+    (``BENCH_BASELINE.json``).
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    problems = validate_bench(payload)
+    if problems:
+        raise ValueError(f"{path}: {'; '.join(problems)}")
+    return payload

@@ -11,7 +11,10 @@ Pure functions from telemetry artifacts to numbers and ASCII renderings:
 - :func:`render_trace_summary` — the ``repro trace`` report, using
   :mod:`repro.util.ascii_chart` for the bars;
 - :func:`render_metrics_summary` / :func:`render_metrics_diff` — the
-  ``repro stats`` report and the two-run regression-triage diff.
+  ``repro stats`` report and the two-run regression-triage diff;
+- :func:`metrics_regressions` — the ``--fail-on-regress`` gate behind
+  ``repro stats --diff``, sharing
+  :func:`repro.obs.bench.regression_gate` with ``repro bench --compare``.
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ __all__ = [
     "render_trace_summary",
     "render_metrics_summary",
     "render_metrics_diff",
+    "metrics_regressions",
 ]
 
 
@@ -198,10 +202,10 @@ def render_metrics_summary(payload: Mapping[str, Any]) -> str:
     if hists:
         lines.append("\nhistograms:")
         for name in sorted(hists):
-            h = hists[name]
+            h = hists[name] or {}
             lines.append(
-                f"  {name}: n={h['count']:,} sum={h['sum']:,} "
-                f"buckets={len(h['buckets'])}"
+                f"  {name}: n={h.get('count', 0):,} sum={h.get('sum', 0):,} "
+                f"buckets={len(h.get('buckets') or ())}"
             )
     timings = payload.get("timings") or {}
     if timings:
@@ -209,6 +213,20 @@ def render_metrics_summary(payload: Mapping[str, Any]) -> str:
         name_w = max(len(n) for n in timings)
         for name in sorted(timings):
             lines.append(f"  {name.ljust(name_w)}  {timings[name]:.4f}s")
+
+    # Derived throughput, guarded for zero-wall / empty-corpus builds: an
+    # empty collection legitimately produces wall_seconds ≈ 0 and zero
+    # bytes, and the summary must degrade to "0.00 MB/s", never divide.
+    wall = timings.get("wall_seconds")
+    if wall is not None:
+        # An empty-corpus build never increments the parse counter at
+        # all — treat the absent counter as zero bytes, same degradation.
+        bytes_in = (payload.get("counters") or {}).get(
+            "parse.uncompressed_bytes", 0
+        )
+        mbps = bytes_in / 1e6 / wall if wall > 0 else 0.0
+        note = "" if wall > 0 and bytes_in > 0 else "  (empty or zero-wall build)"
+        lines.append(f"\nderived measured throughput: {mbps:.2f} MB/s{note}")
     return "\n".join(lines)
 
 
@@ -254,3 +272,49 @@ def render_metrics_diff(
     if len(lines) == 1:
         lines.append("(no differences)")
     return "\n".join(lines)
+
+
+def metrics_regressions(
+    before: Mapping[str, Any],
+    after: Mapping[str, Any],
+    rel_threshold: float = 0.10,
+    noise_floor_s: float = 0.01,
+) -> list[str]:
+    """Timing / stall regressions between two ``run.metrics.json`` payloads.
+
+    The decision rule is :func:`repro.obs.bench.regression_gate` — the
+    same primitive behind ``repro bench --compare`` — applied to:
+
+    - every name the two ``timings`` sections share (``stage.*``,
+      ``wall_seconds``, ``pipeline.stall.*``, ``pipeline.idle.*``), with
+      ``noise_floor_s`` as the absolute floor so microsecond stages
+      cannot trip a percentage gate on scheduler jitter; and
+    - ``pipeline.*`` stall/idle counters and gauges (pure relative gate
+      with a zero floor: a stall counter going 0 → N must fire).
+
+    Names on only one side never gate (a stage appearing or vanishing is
+    a shape change for the human-readable diff, not a slowdown).
+    Returns human-readable lines, empty when nothing worsened.
+    """
+    from repro.obs.bench import regression_gate
+
+    out: list[str] = []
+    t_before = before.get("timings") or {}
+    t_after = after.get("timings") or {}
+    for name in sorted(set(t_before) & set(t_after)):
+        a, b = float(t_before[name]), float(t_after[name])
+        if regression_gate(a, b, rel_threshold, noise_floor_s):
+            pct = f" ({(b - a) / a * 100:+.1f}%)" if a > 0 else ""
+            out.append(f"timings.{name}: {a:.4f}s -> {b:.4f}s{pct}")
+    for section in ("counters", "gauges"):
+        s_before = before.get(section) or {}
+        s_after = after.get(section) or {}
+        for name in sorted(set(s_before) & set(s_after)):
+            if not name.startswith("pipeline."):
+                continue
+            if "stall" not in name and "idle" not in name:
+                continue
+            a, b = float(s_before[name]), float(s_after[name])
+            if regression_gate(a, b, rel_threshold, 0.0):
+                out.append(f"{section}.{name}: {a:g} -> {b:g}")
+    return out

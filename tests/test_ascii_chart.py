@@ -61,3 +61,81 @@ class TestLineChart:
         out = line_chart(xs, {"s": ys})
         assert isinstance(out, str) and out
         assert sparkline(ys)
+
+
+class TestTraceRendererDegenerate:
+    """The ``repro trace`` renderer on pathological-but-legal traces.
+
+    These are real shapes: an aborted build writes an empty trace, a
+    serial single-worker build has one lane, and a build of an empty
+    collection can produce spans whose durations all round to zero.
+    """
+
+    @staticmethod
+    def _events(spans):
+        """(name, lane_tid, ts_us, dur_us) tuples → Chrome events."""
+        tids = {}
+        events = []
+        for name, lane, ts, dur in spans:
+            tid = tids.setdefault(lane, len(tids) + 1)
+            events.append({"ph": "X", "name": name, "ts": ts, "dur": dur,
+                           "tid": tid, "pid": 1})
+        for lane, tid in tids.items():
+            events.append({"ph": "M", "name": "thread_name", "tid": tid,
+                           "pid": 1, "args": {"name": lane}})
+        return events
+
+    def test_empty_trace(self):
+        from repro.obs.stats import render_trace_summary, spans_from_chrome
+
+        spans = spans_from_chrome([])
+        assert spans == []
+        assert render_trace_summary(spans) == "(empty trace)"
+
+    def test_single_lane_trace(self):
+        from repro.obs.stats import (
+            lane_utilization,
+            render_trace_summary,
+            spans_from_chrome,
+        )
+
+        spans = spans_from_chrome(self._events([
+            ("build", "main", 0, 1_000_000),
+            ("parse", "main", 0, 400_000),
+            ("index", "main", 400_000, 600_000),
+        ]))
+        util = lane_utilization(spans)
+        assert set(util) == {"main"} and util["main"] == 1.0
+        out = render_trace_summary(spans)
+        assert "coverage 100.0%" in out
+        assert "main" in out and "parse" in out
+
+    def test_all_zero_duration_spans(self):
+        from repro.obs.stats import (
+            lane_utilization,
+            render_trace_summary,
+            span_coverage,
+            spans_from_chrome,
+        )
+
+        spans = spans_from_chrome(self._events([
+            ("build", "main", 0, 0),
+            ("parse", "parser-w0", 0, 0),
+            ("index", "cpu0", 0, 0),
+        ]))
+        assert len(spans) == 3
+        # A zero-duration root defines no wall time to divide by.
+        assert span_coverage(spans) == 0.0
+        assert lane_utilization(spans) == {}
+        out = render_trace_summary(spans)  # must not divide or crash
+        assert "0.000s wall" in out
+        assert "stage totals:" in out
+
+    def test_missing_root_span(self):
+        from repro.obs.stats import render_trace_summary, spans_from_chrome
+
+        spans = spans_from_chrome(self._events([
+            ("parse", "parser-w0", 0, 100),
+        ]))
+        out = render_trace_summary(spans)
+        assert "no 'build' root span" in out

@@ -1,0 +1,456 @@
+"""The ``repro bench`` harness: schema, protocol, gate, trajectory.
+
+Pins the acceptance behavior of the perf-observability subsystem
+(docs/OBSERVABILITY.md, "Benchmark protocol"):
+
+- the hand-rolled ``repro.bench.result/1`` validator accepts what the
+  harness writes and rejects structural damage;
+- ``run_suite`` implements the pinned protocol (warmup discarded, N
+  timed repetitions, inclusive-quartile stats, per-scenario stage
+  timings) and refuses unmeasurable configurations;
+- the noise-aware gate: re-comparing a file against itself exits 0, a
+  synthetically slowed copy exits 1, and jitter under the IQR-derived
+  noise floor never gates;
+- both result formats normalize (``BENCH_BASELINE.json``'s
+  pytest-benchmark shape and the native one), so the trajectory spans
+  the repo's whole perf history;
+- the empty-collection build degrades to throughput 0.0 with a clean
+  metrics summary (the satellite bugfix regression test).
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.obs import bench
+from repro.obs.bench import (
+    BenchContext,
+    BenchOp,
+    Scenario,
+    _quartiles,
+    compare_results,
+    load_results,
+    machine_fingerprint,
+    regression_gate,
+    render_trajectory,
+    run_suite,
+)
+from repro.obs.bench_schema import (
+    BENCH_SCHEMA_VERSION,
+    load_bench,
+    validate_bench,
+    write_bench,
+)
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def make_scenario(name: str, op, **kwargs) -> Scenario:
+    return Scenario(name=name, prepare=lambda ctx: BenchOp(op=op, **kwargs))
+
+
+def synthetic_payload(medians: dict[str, float], iqr: float = 0.0) -> dict:
+    """A valid native payload with pinned medians (no timing involved)."""
+    scenarios = []
+    for name, median in medians.items():
+        half = iqr / 2
+        seconds = [median - half, median, median + half]
+        scenarios.append({
+            "name": name,
+            "warmup": 1,
+            "repetitions": 3,
+            "seconds": seconds,
+            "stats": {
+                "min": seconds[0], "max": seconds[2],
+                "mean": median, "median": median,
+                "q1": median - half / 2, "q3": median + half / 2,
+                "iqr": iqr / 2,
+            },
+            "stage_timings": {"stage.parse": median / 2, "stage.index": median / 2},
+        })
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "machine_info": machine_fingerprint(),
+        "protocol": {"seed": 1234, "warmup": 1, "repetitions": 3, "scale": 0.25},
+        "scenarios": scenarios,
+    }
+
+
+class TestSchema:
+    def test_harness_shape_validates(self):
+        assert validate_bench(synthetic_payload({"a": 0.5, "b": 1.0})) == []
+
+    def test_missing_sections(self):
+        problems = validate_bench({"schema": BENCH_SCHEMA_VERSION})
+        text = "; ".join(problems)
+        assert "machine_info" in text and "protocol" in text and "scenarios" in text
+
+    def test_unknown_section_rejected(self):
+        payload = synthetic_payload({"a": 0.5})
+        payload["extra"] = {}
+        assert any("unknown section" in p for p in validate_bench(payload))
+
+    def test_wrong_schema_version(self):
+        payload = synthetic_payload({"a": 0.5})
+        payload["schema"] = "repro.bench.result/99"
+        assert any("version" in p for p in validate_bench(payload))
+        payload["schema"] = "something.else/1"
+        assert any("not a" in p for p in validate_bench(payload))
+
+    def test_unordered_stats_rejected(self):
+        payload = synthetic_payload({"a": 0.5})
+        payload["scenarios"][0]["stats"]["min"] = 2.0
+        assert any("not ordered" in p for p in validate_bench(payload))
+
+    def test_negative_iqr_rejected(self):
+        payload = synthetic_payload({"a": 0.5})
+        payload["scenarios"][0]["stats"]["iqr"] = -0.1
+        assert any("iqr" in p for p in validate_bench(payload))
+
+    def test_seconds_repetitions_mismatch(self):
+        payload = synthetic_payload({"a": 0.5})
+        payload["scenarios"][0]["seconds"].append(0.5)
+        assert any("declared repetition" in p for p in validate_bench(payload))
+
+    def test_negative_duration_rejected(self):
+        payload = synthetic_payload({"a": 0.5})
+        payload["scenarios"][0]["seconds"][0] = -1.0
+        assert any("negative duration" in p for p in validate_bench(payload))
+
+    def test_duplicate_scenario_names(self):
+        payload = synthetic_payload({"a": 0.5})
+        payload["scenarios"].append(copy.deepcopy(payload["scenarios"][0]))
+        assert any("duplicate" in p for p in validate_bench(payload))
+
+    def test_missing_stage_timings_rejected(self):
+        payload = synthetic_payload({"a": 0.5})
+        del payload["scenarios"][0]["stage_timings"]
+        assert any("stage_timings" in p for p in validate_bench(payload))
+
+    def test_write_refuses_invalid_and_roundtrips(self, tmp_path):
+        path = str(tmp_path / "BENCH_T.json")
+        with pytest.raises(ValueError, match="refusing to write"):
+            write_bench(path, {"schema": BENCH_SCHEMA_VERSION})
+        assert not os.path.exists(path)
+        payload = synthetic_payload({"a": 0.5})
+        write_bench(path, payload)
+        assert load_bench(path)["scenarios"][0]["name"] == "a"
+
+
+class TestProtocol:
+    def test_quartiles_inclusive(self):
+        q1, med, q3 = _quartiles([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert (q1, med, q3) == (2.0, 3.0, 4.0)
+        q1, med, q3 = _quartiles([4.0, 1.0, 3.0, 2.0])
+        assert (q1, med, q3) == (1.75, 2.5, 3.25)
+        q1, med, q3 = _quartiles([7.0])
+        assert (q1, med, q3) == (7.0, 7.0, 7.0)
+
+    def test_run_suite_counts_and_stats(self, tmp_path):
+        calls = {"n": 0}
+
+        def op():
+            calls["n"] += 1
+            return calls["n"]
+
+        payload = run_suite(
+            {"counted": make_scenario("counted", op,
+                                      stage_timings={"stage.x": 1.0},
+                                      bytes_processed=10_000_000)},
+            data_dir=str(tmp_path), repetitions=3, warmup=2,
+        )
+        # warmup calls happen but are not measured
+        assert calls["n"] == 5
+        entry = payload["scenarios"][0]
+        assert entry["repetitions"] == 3 and len(entry["seconds"]) == 3
+        assert entry["stats"]["min"] <= entry["stats"]["median"] <= entry["stats"]["max"]
+        assert entry["stage_timings"] == {"stage.x": 1.0}
+        assert entry["bytes_processed"] == 10_000_000
+        assert entry["throughput_mbps"] > 0
+        assert validate_bench(payload) == []
+
+    def test_stage_timings_callable_gets_last_result(self, tmp_path):
+        seen = []
+
+        def timings(last):
+            seen.append(last)
+            return {"stage.y": float(last)}
+
+        payload = run_suite(
+            {"cb": Scenario(name="cb", prepare=lambda ctx: BenchOp(
+                op=lambda: 7, stage_timings=timings))},
+            data_dir=str(tmp_path), repetitions=3, warmup=0,
+        )
+        assert seen == [7]
+        assert payload["scenarios"][0]["stage_timings"] == {"stage.y": 7.0}
+
+    def test_repetition_floor_enforced(self, tmp_path):
+        with pytest.raises(ValueError, match="floor is 3"):
+            run_suite({"a": make_scenario("a", lambda: None)},
+                      data_dir=str(tmp_path), repetitions=2)
+
+    def test_unknown_only_name_raises(self, tmp_path):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            run_suite({"a": make_scenario("a", lambda: None)},
+                      data_dir=str(tmp_path), only=["nope"])
+
+    def test_empty_registry_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="no scenarios"):
+            run_suite({}, data_dir=str(tmp_path))
+
+    def test_declared_suite_registers_five_scenarios(self):
+        bench.load_scenario_modules(os.path.join(REPO, "benchmarks"))
+        names = set(bench.registered_scenarios())
+        assert {"fig10_parser_sweep", "fig11_per_file_series",
+                "fig12_comparison", "merge_index_mini",
+                "search_ranked_top10"} <= names
+
+
+class TestGate:
+    def test_regression_gate_truth_table(self):
+        # 10% bar: a 5% slip holds, a 20% slip gates.
+        assert not regression_gate(1.0, 1.05, rel_threshold=0.10)
+        assert regression_gate(1.0, 1.20, rel_threshold=0.10)
+        # the IQR noise floor absorbs what the relative bar would flag
+        assert not regression_gate(1.0, 1.20, rel_threshold=0.10, noise_floor=0.5)
+        # improvements never gate
+        assert not regression_gate(1.0, 0.5)
+
+    def test_self_compare_is_clean(self, tmp_path):
+        path = str(tmp_path / "BENCH_A.json")
+        write_bench(path, synthetic_payload({"a": 0.5, "b": 1.0}))
+        cmp = compare_results(load_results(path), load_results(path))
+        assert cmp.ok and cmp.regressions == []
+        assert "no regressions" in cmp.text
+
+    def test_slowdown_gates_and_localizes(self, tmp_path):
+        old = str(tmp_path / "BENCH_A.json")
+        new = str(tmp_path / "BENCH_B.json")
+        write_bench(old, synthetic_payload({"a": 0.5, "b": 1.0}))
+        slowed = synthetic_payload({"a": 0.5, "b": 1.0})
+        entry = slowed["scenarios"][1]
+        entry["seconds"] = [s * 2 for s in entry["seconds"]]
+        entry["stats"] = {k: v * 2 for k, v in entry["stats"].items()}
+        entry["stage_timings"]["stage.index"] *= 4  # the culprit stage
+        write_bench(new, slowed)
+        cmp = compare_results(load_results(old), load_results(new))
+        assert cmp.regressions == ["b"]
+        assert "REGRESSED" in cmp.text
+        assert "stage.index" in cmp.text  # localization hint names the stage
+
+    def test_noise_floor_absorbs_jitter(self, tmp_path):
+        old = str(tmp_path / "BENCH_A.json")
+        new = str(tmp_path / "BENCH_B.json")
+        # 30% slower — but the scenario's own IQR is huge, so no gate.
+        write_bench(old, synthetic_payload({"a": 1.0}, iqr=0.8))
+        write_bench(new, synthetic_payload({"a": 1.3}, iqr=0.8))
+        assert compare_results(load_results(old), load_results(new)).ok
+
+    def test_machine_mismatch_warns(self, tmp_path):
+        old_payload = synthetic_payload({"a": 0.5})
+        new_payload = synthetic_payload({"a": 0.5})
+        old_payload["machine_info"] = {"cpu": {"brand_raw": "Elder CPU"}}
+        new_payload["machine_info"] = {"cpu": {"brand_raw": "Newer CPU"}}
+        old = str(tmp_path / "BENCH_A.json")
+        new = str(tmp_path / "BENCH_B.json")
+        write_bench(old, old_payload)
+        write_bench(new, new_payload)
+        cmp = compare_results(load_results(old), load_results(new))
+        assert cmp.ok and any("machine mismatch" in w for w in cmp.warnings)
+
+    def test_cli_exit_codes(self, tmp_path, capsys, monkeypatch):
+        """The acceptance pin: self-compare exits 0, slowed copy exits 1."""
+        monkeypatch.chdir(tmp_path)
+        good = str(tmp_path / "BENCH_G.json")
+        write_bench(good, synthetic_payload({"a": 0.5, "b": 1.0}))
+        slowed = synthetic_payload({"a": 0.5, "b": 1.0})
+        for entry in slowed["scenarios"]:
+            entry["seconds"] = [s * 3 for s in entry["seconds"]]
+            entry["stats"] = {k: v * 3 for k, v in entry["stats"].items()}
+        bad = str(tmp_path / "BENCH_S.json")
+        write_bench(bad, slowed)
+
+        assert main(["bench", "--compare", good, good]) == 0
+        out = capsys.readouterr().out
+        assert "no regressions" in out and "perf trajectory" in out
+
+        assert main(["bench", "--compare", good, bad]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "2 scenario(s) regressed" in out
+
+
+class TestFormats:
+    def test_pytest_benchmark_format_normalizes(self, tmp_path):
+        payload = {
+            "machine_info": {"node": "ci", "cpu": {"brand_raw": "X"}},
+            "commit_info": {"id": "deadbeef"},
+            "benchmarks": [{
+                "name": "test_old_scenario",
+                "stats": {"min": 0.1, "median": 0.2, "iqr": 0.01, "rounds": 5},
+            }],
+            "datetime": "2026-01-01T00:00:00",
+            "version": "4.0.0",
+        }
+        path = str(tmp_path / "BENCH_BASELINE.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        results = load_results(path)
+        assert results.format == "pytest-benchmark"
+        sr = results.scenarios["test_old_scenario"]
+        assert (sr.median, sr.min, sr.iqr, sr.repetitions) == (0.2, 0.1, 0.01, 5)
+
+    def test_repo_baseline_loads(self):
+        results = load_results(os.path.join(REPO, "BENCH_BASELINE.json"))
+        assert results.format == "pytest-benchmark"
+        assert results.scenarios  # at least one historical scenario
+
+    def test_invalid_native_file_raises(self, tmp_path):
+        path = str(tmp_path / "BENCH_BAD.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"schema": BENCH_SCHEMA_VERSION}, fh)
+        with pytest.raises(ValueError):
+            load_results(path)
+
+
+class TestTrajectory:
+    def test_renders_holes_and_order(self, tmp_path):
+        # Baseline knows scenario a; PR file knows a and b.
+        base = {"machine_info": {}, "benchmarks": [
+            {"name": "a", "stats": {"min": 0.1, "median": 0.1, "iqr": 0, "rounds": 3}},
+        ]}
+        with open(tmp_path / "BENCH_BASELINE.json", "w", encoding="utf-8") as fh:
+            json.dump(base, fh)
+        write_bench(str(tmp_path / "BENCH_PR9.json"),
+                    synthetic_payload({"a": 0.2, "b": 0.4}))
+        out = render_trajectory(str(tmp_path))
+        assert "perf trajectory over 2 result file(s)" in out
+        assert "BASELINE" in out and "PR9" in out
+        assert "·" in out  # scenario b absent from the baseline
+        # baseline stays the leftmost column
+        header = [ln for ln in out.splitlines() if "BASELINE" in ln][0]
+        assert header.index("BASELINE") < header.index("PR9")
+
+    def test_unreadable_file_skipped_not_fatal(self, tmp_path):
+        (tmp_path / "BENCH_CORRUPT.json").write_text("{not json")
+        write_bench(str(tmp_path / "BENCH_PR9.json"), synthetic_payload({"a": 0.2}))
+        out = render_trajectory(str(tmp_path))
+        assert "skipped unreadable BENCH_CORRUPT.json" in out
+        assert "PR9" in out
+
+    def test_empty_directory(self, tmp_path):
+        assert "no BENCH_*.json" in render_trajectory(str(tmp_path))
+
+
+class TestMetricsGate:
+    """``repro stats --diff --fail-on-regress`` shares the bench gate."""
+
+    @staticmethod
+    def _metrics(stage_parse: float, stall_events: float = 0.0) -> dict:
+        return {
+            "schema": "repro.run.metrics/1",
+            "meta": {},
+            "counters": {"parse.uncompressed_bytes": 1_000_000},
+            "gauges": {"pipeline.depth": 4},
+            "histograms": {},
+            "timings": {
+                "stage.parse": stage_parse,
+                "wall_seconds": stage_parse * 2,
+                "pipeline.stall.backpressure.events": stall_events,
+            },
+        }
+
+    def test_metrics_regressions_fires_on_stage_slowdown(self):
+        from repro.obs.stats import metrics_regressions
+
+        lines = metrics_regressions(self._metrics(1.0), self._metrics(1.5))
+        assert any("stage.parse" in ln for ln in lines)
+
+    def test_metrics_regressions_noise_floor(self):
+        from repro.obs.stats import metrics_regressions
+
+        # +50% on a microsecond stage sits under the absolute floor.
+        assert metrics_regressions(self._metrics(1e-4), self._metrics(1.5e-4)) == []
+
+    def test_metrics_regressions_stall_counter(self):
+        from repro.obs.stats import metrics_regressions
+
+        lines = metrics_regressions(
+            self._metrics(1.0, stall_events=0.0),
+            self._metrics(1.0, stall_events=12.0),
+        )
+        assert any("pipeline.stall.backpressure" in ln for ln in lines)
+
+    def test_cli_fail_on_regress_exit_codes(self, tmp_path, capsys):
+        before = tmp_path / "before.json"
+        after = tmp_path / "after.json"
+        before.write_text(json.dumps(self._metrics(1.0)))
+        after.write_text(json.dumps(self._metrics(2.0)))
+        assert main(["stats", "--diff", str(before), str(after),
+                     "--fail-on-regress", "10"]) == 1
+        assert "regression(s) past 10%" in capsys.readouterr().out
+        assert main(["stats", "--diff", str(before), str(before),
+                     "--fail-on-regress", "10"]) == 0
+        assert "no regressions past 10%" in capsys.readouterr().out
+
+    def test_cli_fail_on_regress_requires_diff(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path), "--fail-on-regress", "10"]) == 2
+        assert "--diff" in capsys.readouterr().err
+
+
+class TestEmptyCollectionBuild:
+    """Satellite bugfix pin: a zero-document build must degrade cleanly."""
+
+    def test_zero_wall_throughput_and_summary(self, tmp_path):
+        from repro.core.config import PlatformConfig
+        from repro.core.engine import IndexingEngine
+        from repro.corpus.collection import Collection
+        from repro.obs.schema import load_metrics
+        from repro.obs.stats import render_metrics_summary
+
+        coll_dir = tmp_path / "empty"
+        coll_dir.mkdir()
+        coll = Collection(name="empty", directory=str(coll_dir), files=[])
+        coll.save_manifest()
+
+        result = IndexingEngine(PlatformConfig(sample_fraction=0.5)).build(
+            Collection.load("empty", str(coll_dir)), str(tmp_path / "out")
+        )
+        assert result.document_count == 0
+        assert result.measured_throughput_mbps == 0.0  # never a division error
+
+        assert result.metrics_path is not None
+        summary = render_metrics_summary(load_metrics(result.metrics_path))
+        assert "derived measured throughput: 0.00 MB/s" in summary
+        assert "empty or zero-wall build" in summary
+
+    def test_summary_tolerates_sparse_payload(self):
+        from repro.obs.stats import render_metrics_summary
+
+        # Histogram entries missing keys, no timings, no counters.
+        out = render_metrics_summary({
+            "schema": "repro.run.metrics/1",
+            "histograms": {"h": {}},
+        })
+        assert "n=0" in out
+
+
+class TestBenchContext:
+    def test_data_dirs_are_scale_and_seed_specific(self, tmp_path):
+        a = BenchContext(str(tmp_path), scale=0.25, seed=1)
+        b = BenchContext(str(tmp_path), scale=0.5, seed=1)
+        c = BenchContext(str(tmp_path), scale=0.25, seed=2)
+        roots = {a._root(), b._root(), c._root()}
+        assert len(roots) == 3
+
+    def test_fresh_dir_is_empty(self, tmp_path):
+        ctx = BenchContext(str(tmp_path))
+        path = ctx.fresh_dir("scratch")
+        assert not os.path.exists(path)
+        os.makedirs(path)
+        (lambda p: open(p, "w").close())(os.path.join(path, "f"))
+        assert not os.path.exists(ctx.fresh_dir("scratch"))

@@ -76,6 +76,53 @@ class TestCommands:
         assert "4 parsers" in capsys.readouterr().out
 
 
+class TestTraceDegenerate:
+    """``repro trace`` on degenerate-but-legal trace.json artifacts."""
+
+    @staticmethod
+    def _write(tmp_path, events):
+        import json
+
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"traceEvents": events}))
+        return str(path)
+
+    def test_empty_trace_file(self, tmp_path, capsys):
+        path = self._write(tmp_path, [])
+        assert main(["trace", path]) == 0
+        assert "(empty trace)" in capsys.readouterr().out
+
+    def test_single_lane_trace_file(self, tmp_path, capsys):
+        path = self._write(tmp_path, [
+            {"ph": "M", "name": "thread_name", "tid": 1, "pid": 1,
+             "args": {"name": "main"}},
+            {"ph": "X", "name": "build", "ts": 0, "dur": 1_000_000,
+             "tid": 1, "pid": 1},
+            {"ph": "X", "name": "parse", "ts": 0, "dur": 1_000_000,
+             "tid": 1, "pid": 1},
+        ])
+        assert main(["trace", path]) == 0
+        out = capsys.readouterr().out
+        assert "lane utilization" in out and "main" in out
+
+    def test_all_zero_duration_spans_file(self, tmp_path, capsys):
+        path = self._write(tmp_path, [
+            {"ph": "X", "name": "build", "ts": 0, "dur": 0, "tid": 1, "pid": 1},
+            {"ph": "X", "name": "parse", "ts": 0, "dur": 0, "tid": 2, "pid": 1},
+        ])
+        assert main(["trace", path]) == 0
+        out = capsys.readouterr().out
+        assert "0.000s wall" in out and "stage totals:" in out
+
+    def test_damaged_trace_file_rejected(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"not_trace_events": []}))
+        assert main(["trace", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestErrorHandling:
     def test_missing_collection_dir(self, tmp_path, capsys):
         code = main(["stats", str(tmp_path / "nope")])

@@ -54,6 +54,7 @@ RULE_FIXTURES = [
     ("RPR006", fixture("rpr006_defaults.py"), 2),
     ("RPR007", fixture("core", "rpr007_annotations.py"), 2),
     ("RPR008", fixture("rpr008_clocks.py"), 3),
+    ("RPR008", fixture("rpr008_bench_timeit.py"), 3),
     ("RPR101", fixture("rpr101_races.py"), 2),
     ("RPR102", fixture("rpr102_deadlock.py"), 1),
 ]
@@ -61,7 +62,8 @@ RULE_FIXTURES = [
 
 class TestRuleFixtures:
     @pytest.mark.parametrize("code,path,expected", RULE_FIXTURES,
-                             ids=[c for c, _, _ in RULE_FIXTURES])
+                             ids=[f"{c}-{os.path.splitext(os.path.basename(p))[0]}"
+                                  for c, p, _ in RULE_FIXTURES])
     def test_rule_fires_and_suppression_holds(self, code, path, expected):
         run = lint_paths([path], select=[code])
         assert run.files_checked == 1
@@ -134,6 +136,13 @@ class TestSelfCheck:
         proc = run_cli("src", "--mypy", "off")
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "0 finding(s)" in proc.stdout
+
+    def test_benchmarks_clock_fence_clean(self):
+        """``benchmarks/`` honors the RPR008 clock fence (the bench
+        scripts time through util/timing or the ``repro bench`` harness,
+        never ad-hoc time/timeit clocks)."""
+        run = lint_paths([os.path.join(REPO, "benchmarks")], select=["RPR008"])
+        assert run.findings == []
 
     def test_race_analyzer_clean_on_engine_paths(self):
         """Zero unallowlisted unguarded shared writes in core/ + indexers/."""
