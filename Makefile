@@ -1,6 +1,6 @@
 # Canonical workflows for the reproduction.
 
-.PHONY: install test test-fast test-pipelined chaos lint bench bench-pytest bench-gate report examples trace-demo pipeline-demo clean
+.PHONY: install test test-fast test-pipelined test-mp chaos chaos-mp lint bench bench-pytest bench-gate report examples trace-demo pipeline-demo clean
 
 install:
 	python setup.py develop
@@ -16,8 +16,20 @@ test-fast:
 test-pipelined:
 	REPRO_PIPELINE_DEPTH=3 pytest tests/
 
+# The full suite once more with every engine build routed through the
+# supervised worker-process backend (docs/ROBUSTNESS.md, "Process
+# supervision") — the whole tier-1 suite doubles as a byte-identity
+# check for the shared-memory execution path.
+test-mp:
+	REPRO_EXEC_BACKEND=multiprocess pytest tests/
+
 chaos:
 	pytest tests/ -m chaos -v
+
+# Process-level chaos: SIGKILLed workers, heartbeat stalls, poison
+# sub-batches, shm-leak checks against the multiprocess backend.
+chaos-mp:
+	pytest tests/test_chaos_mp.py tests/test_supervise.py tests/test_shm_ring.py -v
 
 # Paper-invariant lint pack + race analyzer + typing gate
 # (docs/STATIC_ANALYSIS.md).  mypy runs when installed (dev extra).
@@ -28,14 +40,14 @@ lint:
 	python -m repro lint benchmarks --select RPR008
 
 # The declared benchmark suite under the pinned protocol
-# (docs/OBSERVABILITY.md, "Benchmark protocol") → BENCH_PR5.json at the
+# (docs/OBSERVABILITY.md, "Benchmark protocol") → BENCH_PR6.json at the
 # repo root, one point in the perf trajectory.
 bench:
 	python -m repro bench
 
 # Noise-aware regression gate + trajectory table; exits 1 on regression.
 bench-gate: bench
-	python -m repro bench --compare BENCH_BASELINE.json BENCH_PR5.json
+	python -m repro bench --compare BENCH_BASELINE.json BENCH_PR6.json
 
 # The original pytest-benchmark path (free-text reports per script).
 bench-pytest:

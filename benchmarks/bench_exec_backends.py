@@ -1,0 +1,112 @@
+"""Execution-backend sweep: one full build per ``--exec`` mode.
+
+The fig10 sweep asks "how many parsers"; this one asks "which execution
+substrate" — the same mini-ClueWeb build through the ``serial``,
+``threaded`` and ``multiprocess`` backends, as three scenarios so the
+perf trajectory tracks each backend's build time per PR.  Byte-identity
+across the three is asserted by the tier-1 suite
+(``tests/test_exec_backend.py``); here only the clock differs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+
+from conftest import report
+
+from repro.core.config import PlatformConfig
+from repro.core.engine import IndexingEngine
+from repro.obs.bench import BenchOp, scenario
+from repro.util.fmt import render_table
+
+BACKENDS = ("serial", "threaded", "multiprocess")
+
+
+def _build_op(ctx, backend: str):
+    coll = ctx.mini_collection()
+    out = os.path.join(ctx.fresh_dir(f"exec_{backend}_scratch"), "idx")
+    cfg_kwargs = dict(sample_fraction=ctx.sample_fraction,
+                      files_per_run=8, exec_backend=backend)
+
+    def op():
+        shutil.rmtree(out, ignore_errors=True)
+        cfg = PlatformConfig(**cfg_kwargs)
+        return IndexingEngine(cfg).build(coll, out)
+
+    return BenchOp(
+        op=op,
+        bytes_processed=coll.uncompressed_bytes,
+        stage_timings=ctx.build_stage_timings,
+    )
+
+
+@scenario("build_exec_serial", group="exec")
+def bench_exec_serial(ctx):
+    """Mini-ClueWeb build through the inline serial loop."""
+    return _build_op(ctx, "serial")
+
+
+@scenario("build_exec_threaded", group="exec")
+def bench_exec_threaded(ctx):
+    """Same build through the worker-thread pipeline."""
+    return _build_op(ctx, "threaded")
+
+
+@scenario("build_exec_multiprocess", group="exec")
+def bench_exec_multiprocess(ctx):
+    """Same build through supervised worker processes + shm rings."""
+    return _build_op(ctx, "multiprocess")
+
+
+def _digest(out_dir: str) -> str:
+    skip = {"build.manifest", "checkpoint.bin", "run.metrics.json", "trace.json"}
+    h = hashlib.sha256()
+    for name in sorted(os.listdir(out_dir)):
+        path = os.path.join(out_dir, name)
+        if name in skip or os.path.isdir(path):
+            continue
+        h.update(name.encode())
+        with open(path, "rb") as fh:
+            h.update(fh.read())
+    return h.hexdigest()
+
+
+def test_backend_sweep_report(benchmark, cw_mini, data_dir):
+    """One build per backend: wall-clock table + byte-identity check."""
+    results = {}
+    digests = set()
+
+    def build(backend: str):
+        out = os.path.join(data_dir, f"exec_sweep_{backend}")
+        shutil.rmtree(out, ignore_errors=True)
+        cfg = PlatformConfig(sample_fraction=0.05, files_per_run=8,
+                             exec_backend=backend)
+        res = IndexingEngine(cfg).build(cw_mini, out)
+        digests.add(_digest(out))
+        return res
+
+    for backend in BACKENDS[:-1]:
+        results[backend] = build(backend)
+    results["multiprocess"] = benchmark.pedantic(
+        build, args=("multiprocess",), rounds=1, iterations=1
+    )
+
+    rows = []
+    for backend in BACKENDS:
+        res = results[backend]
+        sup = res.supervisor
+        rows.append([
+            backend,
+            f"{res.wall_seconds:.2f}",
+            str(res.pipeline.workers) if res.pipeline else "-",
+            f"{sup.workers} procs" if sup else "-",
+        ])
+    report(
+        "exec_backends",
+        render_table(["Backend", "wall s", "indexer lanes", "processes"], rows),
+        data={b: results[b].wall_seconds for b in BACKENDS},
+    )
+    assert len(digests) == 1  # all three backends: same bytes
+    assert results["multiprocess"].supervisor.clean

@@ -28,7 +28,7 @@ Commands mirror the library's workflow:
   (docs/STATIC_ANALYSIS.md): AST rules, race analyzer, typing gate;
 - ``bench`` — run the declared benchmark suite under the pinned
   protocol (docs/OBSERVABILITY.md, "Benchmark protocol") and write
-  ``BENCH_PR5.json``; ``--compare OLD NEW`` is the noise-aware
+  ``BENCH_PR6.json``; ``--compare OLD NEW`` is the noise-aware
   regression gate plus the perf-trajectory table.
 """
 
@@ -120,6 +120,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        help="force the classic inline engine loop, "
                             "overriding --pipeline-depth and "
                             "REPRO_PIPELINE_DEPTH")
+    build.add_argument("--exec", dest="exec_backend",
+                       choices=["auto", "serial", "threaded", "multiprocess"],
+                       default=None,
+                       help="execution backend: serial (inline loop), "
+                            "threaded (worker threads), multiprocess "
+                            "(parser/indexer worker processes over "
+                            "shared-memory rings, supervised with "
+                            "restart/degrade recovery); output is "
+                            "byte-identical across all three (default: "
+                            "REPRO_EXEC_BACKEND env or auto)")
     build.add_argument("--files-per-run", type=int, default=None,
                        help="container files per output run (run boundaries "
                             "quiesce the pipeline, so larger runs overlap "
@@ -141,6 +151,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     verify.add_argument("--keep-going", action="store_true",
                         help="report every inconsistency instead of "
                              "stopping at the first")
+    verify.add_argument("--check-shm", action="store_true",
+                        help="also fail on orphaned repro_* shared-memory "
+                             "segments left behind by a dead multiprocess "
+                             "build")
 
     query = sub.add_parser("query", help="search an index directory")
     query.add_argument("index", help="index directory")
@@ -181,7 +195,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     bench.add_argument("--suite-dir", default="benchmarks",
                        help="directory holding the bench_*.py suite")
     bench.add_argument("--out", default=None,
-                       help="result file to write (default: BENCH_PR5.json "
+                       help="result file to write (default: BENCH_PR6.json "
                             "in the current directory)")
     bench.add_argument("--data-dir", default=".bench_data",
                        help="cache for generated corpora and builds")
@@ -353,8 +367,11 @@ def _cmd_build(args) -> int:
     overrides = {}
     if args.serial:
         overrides["pipeline_depth"] = 0
+        overrides["exec_backend"] = "serial"
     elif args.pipeline_depth is not None:
         overrides["pipeline_depth"] = args.pipeline_depth
+    if args.exec_backend is not None:
+        overrides["exec_backend"] = args.exec_backend
     if args.files_per_run is not None:
         overrides["files_per_run"] = args.files_per_run
     config = PlatformConfig(
@@ -381,9 +398,22 @@ def _cmd_build(args) -> int:
     print(f"CPU/GPU token split: {result.split.cpu_tokens:,} / {result.split.gpu_tokens:,}")
     if result.pipeline is not None:
         p = result.pipeline
-        print(f"pipelined: depth {p.depth}, {p.workers} indexer workers, "
+        print(f"pipelined ({p.backend}): depth {p.depth}, "
+              f"{p.workers} indexer workers, "
               f"{p.tasks} sub-batches over {p.files} files "
               f"(max {p.max_inflight} in flight)")
+    sup = result.supervisor
+    if sup is not None:
+        line = (f"supervisor: {sup.workers} worker processes, "
+                f"{sup.restarts} restart(s), {sup.requeued} requeued task(s)")
+        if sup.degraded:
+            line += f", {sup.degraded} slot(s) degraded to inline"
+        if sup.poisoned:
+            line += f", {sup.poisoned} poisoned task(s)"
+        print(line)
+        for failure in sup.failures:
+            print(f"  {failure.worker} incarnation {failure.incarnation} "
+                  f"{failure.kind}: {failure.detail} → {failure.action}")
     if result.metrics_path is not None:
         print(f"telemetry: {result.metrics_path} (repro stats) + "
               f"{result.trace_path} (repro trace / Perfetto)")
@@ -424,19 +454,35 @@ def _cmd_verify(args) -> int:
     result = verify_index(args.index, keep_going=args.keep_going)
     for issue in result.issues:
         print(str(issue), file=sys.stderr)
-    if result.ok:
+    shm_ok = True
+    if args.check_shm:
+        from repro.core.shm_ring import orphan_segments
+
+        orphans = orphan_segments()
+        if orphans:
+            shm_ok = False
+            for name in orphans:
+                print(f"orphaned shared-memory segment: /dev/shm/{name} "
+                      f"(creator process is gone)", file=sys.stderr)
+    if result.ok and shm_ok:
         print(f"ok: {result.runs_checked} run(s), {result.docs_checked} doc(s), "
               f"{result.terms_checked} term(s) verified")
         metrics_path = os.path.join(args.index, METRICS_FILENAME)
         if os.path.exists(metrics_path):
             counters = load_metrics(metrics_path).get("counters", {})
-            robustness = {k: v for k, v in sorted(counters.items())
-                          if k.startswith("robustness.")}
-            if robustness:
-                print("robustness counters from the build:")
-                for name, value in robustness.items():
-                    print(f"  {name:32s} {value}")
+            for prefix, title in (("robustness.", "robustness"),
+                                  ("supervisor.", "supervisor")):
+                section = {k: v for k, v in sorted(counters.items())
+                           if k.startswith(prefix)}
+                if section:
+                    print(f"{title} counters from the build:")
+                    for name, value in section.items():
+                        print(f"  {name:32s} {value}")
         return 0
+    if not shm_ok:
+        print("orphaned repro_* shared-memory segment(s) found "
+              "(repro verify --check-shm)", file=sys.stderr)
+        return 1
     print(f"{len(result.issues)} inconsistenc"
           f"{'y' if len(result.issues) == 1 else 'ies'} found", file=sys.stderr)
     return 1

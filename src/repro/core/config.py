@@ -18,14 +18,32 @@ from repro.gpusim.costmodel import GPUSpec, TESLA_C1060
 from repro.indexers.assignment import PopularityPolicy
 from repro.robustness.policy import ON_ERROR_POLICIES
 from repro.robustness.retry import RetryPolicy
+from repro.robustness.supervise import SupervisorPolicy
 
-__all__ = ["PlatformConfig", "PIPELINE_DEPTH_ENV"]
+__all__ = [
+    "PlatformConfig",
+    "PIPELINE_DEPTH_ENV",
+    "EXEC_BACKEND_ENV",
+    "EXEC_BACKENDS",
+]
 
 #: Environment override for :attr:`PlatformConfig.pipeline_depth` — lets
 #: CI force the pipelined engine on for the whole tier-1 suite without
 #: touching any test's config construction.  Explicit constructor
 #: arguments and ``--serial`` still win over the environment.
 PIPELINE_DEPTH_ENV = "REPRO_PIPELINE_DEPTH"
+
+#: Environment override for :attr:`PlatformConfig.exec_backend` — CI's
+#: backend matrix forces the whole tier-1 suite through one backend the
+#: same way ``REPRO_PIPELINE_DEPTH`` forces pipelining.  Explicit
+#: constructor arguments still win over the environment.
+EXEC_BACKEND_ENV = "REPRO_EXEC_BACKEND"
+
+#: Valid values of :attr:`PlatformConfig.exec_backend`.  ``auto``
+#: resolves to ``threaded`` when ``pipeline_depth > 0`` and ``serial``
+#: otherwise (the pre-seam behavior); see
+#: :func:`repro.core.exec_backend.resolve_backend_name`.
+EXEC_BACKENDS = ("auto", "serial", "threaded", "multiprocess")
 
 
 def _default_pipeline_depth() -> int:
@@ -38,6 +56,17 @@ def _default_pipeline_depth() -> int:
         raise ValueError(
             f"{PIPELINE_DEPTH_ENV} must be an integer, got {raw!r}"
         ) from None
+
+
+def _default_exec_backend() -> str:
+    raw = os.environ.get(EXEC_BACKEND_ENV, "").strip().lower()
+    if not raw:
+        return "auto"
+    if raw not in EXEC_BACKENDS:
+        raise ValueError(
+            f"{EXEC_BACKEND_ENV} must be one of {EXEC_BACKENDS}, got {raw!r}"
+        )
+    return raw
 
 
 @dataclass(frozen=True)
@@ -87,6 +116,19 @@ class PlatformConfig:
     #: from hiding I/O latency (slow or remote storage); on small
     #: hot-cache corpora the build is Python-bound and serial is as fast.
     pipeline_depth: int = field(default_factory=_default_pipeline_depth)
+    #: Which execution backend runs the build (docs/ARCHITECTURE.md,
+    #: "Execution backends"): ``"serial"`` (inline reference loop),
+    #: ``"threaded"`` (worker-thread pool), ``"multiprocess"``
+    #: (supervised OS processes over shared-memory rings — the only mode
+    #: that escapes the GIL), or ``"auto"`` (default: ``threaded`` when
+    #: ``pipeline_depth > 0``, else ``serial``).  All backends produce
+    #: byte-identical output.  Overridable fleet-wide via
+    #: ``REPRO_EXEC_BACKEND``; explicit values win over the environment.
+    exec_backend: str = field(default_factory=_default_exec_backend)
+    #: Supervision knobs for the multiprocess backend: restart budgets,
+    #: heartbeat timeout, poison threshold, ring sizing (see
+    #: :mod:`repro.robustness.supervise`).
+    supervisor: SupervisorPolicy = field(default_factory=SupervisorPolicy)
 
     # --- load balancing (Section III.E) -------------------------------- #
     sample_fraction: float = 0.001
@@ -146,6 +188,11 @@ class PlatformConfig:
             raise ValueError("parse_prefetch must be >= 0")
         if self.pipeline_depth < 0:
             raise ValueError("pipeline_depth must be >= 0 (0 = serial)")
+        if self.exec_backend not in EXEC_BACKENDS:
+            raise ValueError(
+                f"exec_backend must be one of {EXEC_BACKENDS}, "
+                f"got {self.exec_backend!r}"
+            )
         if self.num_cpu_indexers < 0 or self.num_gpus < 0:
             raise ValueError("indexer counts must be non-negative")
         if self.num_cpu_indexers == 0 and self.num_gpus == 0:
@@ -187,7 +234,10 @@ class PlatformConfig:
             if self.pipeline_depth
             else ""
         )
+        backend = (
+            f" / exec {self.exec_backend}" if self.exec_backend != "auto" else ""
+        )
         return (
             f"{self.num_parsers} parsers / {self.num_cpu_indexers} CPU "
-            f"indexers / {gpu}{pipeline}"
+            f"indexers / {gpu}{pipeline}{backend}"
         )

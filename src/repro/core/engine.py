@@ -29,18 +29,19 @@ from __future__ import annotations
 import hashlib
 import os
 from collections import deque
-from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator
+from typing import Any, Iterator
 
 from repro.core.config import PlatformConfig
 from repro.core.costs import CostConstants, StageCosts
-from repro.core.pipeline import BuildReport, simulate_full_build
-from repro.core.pipeline_exec import (
-    QUEUE_DEPTH_BUCKETS,
-    IndexerPool,
-    PipelineStats,
+from repro.core.exec_backend import (
+    BuildHooks,
+    ExecutionBackend,
+    create_backend,
+    resolve_backend_name,
 )
+from repro.core.pipeline import BuildReport, simulate_full_build
+from repro.core.pipeline_exec import PipelineStats
 from repro.core.workload import FileWork, GroupWork
 from repro.corpus.collection import Collection
 from repro.corpus.warc import CorruptContainerError
@@ -73,6 +74,7 @@ from repro.robustness.checkpoint import (
 from repro.robustness.errors import RetryExhausted
 from repro.robustness.policy import GpuFailover, RobustnessReport, SkippedFile
 from repro.robustness.retry import RetryOutcome, retry_call
+from repro.robustness.supervise import SupervisorReport
 from repro.util.timing import Stopwatch, now
 
 __all__ = ["IndexingEngine", "EngineResult", "WorkSplit"]
@@ -93,23 +95,6 @@ class WorkSplit:
     gpu_tokens: int = 0
     gpu_terms: int = 0
     gpu_characters: int = 0
-
-
-@dataclass
-class _InflightFile:
-    """One parsed file dispatched to the worker pool, awaiting its drain.
-
-    The engine keeps these in a FIFO window of at most ``pipeline_depth``
-    entries and always drains the oldest first, so per-file bookkeeping
-    happens in file order even though sub-batches complete out of order.
-    """
-
-    file_index: int
-    parsed: ParsedFile
-    outcome: RetryOutcome | None
-    #: ``(kind, indexer_index, is_popular, sub_batch)`` in dispatch order.
-    tasks: list[tuple[str, int, bool, ParsedBatch]]
-    futures: list["Future[Any]"]
 
 
 @dataclass
@@ -146,6 +131,10 @@ class EngineResult:
     #: Pipelined-mode execution summary (``None`` for serial builds):
     #: dispatch counts, backpressure/quiesce stalls, per-worker idle time.
     pipeline: PipelineStats | None = None
+    #: What the multiprocess backend's supervisor saw: worker restarts,
+    #: requeued sub-batches, heartbeat misses, degraded slots (``None``
+    #: for serial/threaded builds, which have no processes to supervise).
+    supervisor: SupervisorReport | None = None
 
     @property
     def simulated_total_seconds(self) -> float:
@@ -387,17 +376,18 @@ class IndexingEngine:
         def close_run(k: int) -> None:
             """Drain accumulators → run file → manifest → checkpoint.
 
-            Engine-thread only.  In pipelined mode the caller quiesces the
-            worker pool first, so the drain and the checkpoint pickle see
-            settled indexer state with empty queues.
+            Engine-thread only.  Concurrent backends quiesce their
+            in-flight window first, so the drain and the checkpoint
+            pickle see settled indexer state with empty queues; the
+            multiprocess backend's ``drain_run_postings`` additionally
+            pulls refreshed indexer objects out of its workers so the
+            checkpoint and the dictionary epilogue stay authoritative.
             """
             nonlocal posting_count, run_count, run_file_indices, run_first_doc, run_docs
             with watch.measure("write_runs"), tel.tracer.span(
                 "write_run", cat="output"
             ) as run_tags:
-                run_lists: dict[int, PostingsList] = {}
-                for indexer in [*cpu_indexers, *gpu_indexers]:
-                    run_lists.update(indexer.drain_postings())
+                run_lists: dict[int, PostingsList] = backend.drain_run_postings()
                 run_postings = sum(len(p) for p in run_lists.values())
                 posting_count += run_postings
                 run_id = k // cfg.files_per_run
@@ -458,58 +448,81 @@ class IndexingEngine:
             run_first_doc = doc_offset
             run_docs = 0
 
-        depth = cfg.pipeline_depth
-        # Pipelined builds reuse the depth as parse lookahead when no
-        # explicit prefetch is configured, so the parse stage actually
-        # runs ahead of the indexer workers instead of starving them.
-        prefetch = cfg.parse_prefetch if cfg.parse_prefetch > 0 else depth
-        parsed_stream = self._parsed_files(
-            collection, trie, watch, tel,
-            start=start_file, robustness=robustness, prefetch=prefetch,
-        )
-        with tel.tracer.span("run_loop", start_file=start_file, pipelined=bool(depth)):
-            if depth > 0:
-                pipeline_stats = self._run_pipelined(
-                    parsed_stream,
-                    injector=injector,
-                    collection=collection,
-                    assignment=assignment,
-                    popular_set=popular_set,
-                    cpu_indexers=cpu_indexers,
-                    gpu_indexers=gpu_indexers,
-                    robustness=robustness,
-                    depth=depth,
-                    doc_offset=doc_offset,
-                    watch=watch,
-                    tel=tel,
-                    record_file=record_file,
-                    close_run=close_run,
-                    is_run_boundary=is_run_boundary,
+        inline_parser: list[Parser] = []
+
+        def parse_file_inline(
+            k: int,
+        ) -> tuple[int, ParsedFile | None, Exception | None, RetryOutcome | None]:
+            """Parse one file on the engine thread (mp degraded-slot path)."""
+            if not inline_parser:
+                inline_parser.append(
+                    Parser(
+                        parser_id=0, trie=trie, strip_html=cfg.strip_html,
+                        regroup=cfg.regroup, positional=cfg.positional,
+                    )
                 )
-            else:
-                for k, parsed, error, outcome in parsed_stream:
-                    if injector is not None:
-                        for ordinal in injector.gpu_failures(k):
-                            self._fail_gpu(
-                                ordinal, k, gpu_indexers, assignment, robustness
-                            )
+            parser = inline_parser[0]
+            path = collection.files[k]
 
-                    if error is not None:
-                        self._handle_read_failure(collection, k, error, robustness)
-                    else:
-                        batch = parsed.batch
-                        with watch.measure("index"), tel.tracer.span(
-                            "index", cat="index", file=k,
-                            docs=batch.num_docs, tokens=batch.total_tokens,
-                        ):
-                            pop_work, unpop_work = self._index_batch(
-                                batch, doc_offset, assignment, popular_set,
-                                cpu_indexers, gpu_indexers,
-                            )
-                        record_file(k, parsed, outcome, pop_work, unpop_work)
+            def call() -> ParsedFile:
+                parser.parser_id = k % cfg.num_parsers
+                return parser.parse_file(path, sequence=k)
 
-                    if is_run_boundary(k):
-                        close_run(k)
+            try:
+                parsed, outcome = retry_call(call, cfg.retry, path)
+            except _PERMANENT_READ_ERRORS as exc:
+                return k, None, exc, None
+            robustness.merge_outcome(outcome.retries, outcome.backoff_s)
+            return k, parsed, None, outcome
+
+        hooks = BuildHooks(
+            config=cfg,
+            collection=collection,
+            assignment=assignment,
+            popular_set=popular_set,
+            cpu_indexers=cpu_indexers,
+            gpu_indexers=gpu_indexers,
+            trie=trie,
+            robustness=robustness,
+            injector=injector,
+            watch=watch,
+            tel=tel,
+            start_file=start_file,
+            doc_offset=doc_offset,
+            split_batch=lambda batch: self._split_batch(
+                batch, assignment, popular_set
+            ),
+            index_batch=lambda batch, offset: self._index_batch(
+                batch, offset, assignment, popular_set, cpu_indexers, gpu_indexers
+            ),
+            aggregate_group_work=self._aggregate_group_work,
+            record_file=record_file,
+            close_run=close_run,
+            is_run_boundary=is_run_boundary,
+            handle_read_failure=lambda k, err: self._handle_read_failure(
+                collection, k, err, robustness
+            ),
+            fail_gpu=lambda ordinal, k: self._fail_gpu(
+                ordinal, k, gpu_indexers, assignment, robustness
+            ),
+            make_parsed_stream=lambda prefetch: self._parsed_files(
+                collection, trie, watch, tel,
+                start=start_file, robustness=robustness, prefetch=prefetch,
+            ),
+            parse_file_inline=parse_file_inline,
+        )
+        # close_run above late-binds this name: by the time any backend
+        # reaches a run boundary, the backend exists.
+        backend: ExecutionBackend = create_backend(resolve_backend_name(cfg), hooks)
+        supervisor_report: SupervisorReport | None = None
+        with tel.tracer.span(
+            "run_loop", start_file=start_file, backend=backend.name
+        ):
+            try:
+                pipeline_stats = backend.run()
+            finally:
+                supervisor_report = backend.supervisor_report()
+                backend.close()
 
         # ---- 4. dictionary epilogue (Table VI) ------------------------ #
         with watch.measure("dict_combine"), tel.tracer.span("dict.combine"):
@@ -563,6 +576,7 @@ class IndexingEngine:
             },
             robustness=robustness,
             pipeline=pipeline_stats,
+            supervisor=supervisor_report,
         )
         return result
 
@@ -693,143 +707,6 @@ class IndexingEngine:
             t.tracer.instant(
                 "gpu_failover", cat="robustness", gpu=ordinal, file=file_index
             )
-
-    # ------------------------------------------------------------------ #
-    # Pipelined execution (Fig 8/9, executed for real)
-    # ------------------------------------------------------------------ #
-
-    def _run_pipelined(
-        self,
-        parsed_stream: Iterator[
-            tuple[int, ParsedFile | None, Exception | None, RetryOutcome | None]
-        ],
-        *,
-        injector: faults.FaultInjector | None,
-        collection: Collection,
-        assignment: WorkAssignment,
-        popular_set: set[int],
-        cpu_indexers: list[CPUIndexer],
-        gpu_indexers: list[Any],
-        robustness: RobustnessReport,
-        depth: int,
-        doc_offset: int,
-        watch: Stopwatch,
-        tel: Telemetry,
-        record_file: Callable[
-            [int, ParsedFile, RetryOutcome | None, GroupWork, GroupWork], None
-        ],
-        close_run: Callable[[int], None],
-        is_run_boundary: Callable[[int], bool],
-    ) -> PipelineStats:
-        """The pipelined run loop: dispatch to workers, drain in order.
-
-        One :class:`~repro.core.pipeline_exec.IndexerWorker` thread per
-        indexer slot consumes that slot's bounded queue; the engine thread
-        splits each parsed file into per-(indexer, group) sub-batches,
-        dispatches them, and keeps at most ``depth`` files in flight.
-        Draining always collects the *oldest* file first and runs the
-        shared ``record_file`` bookkeeping, so doc table, range map and
-        counters advance in file order exactly as in the serial loop.
-
-        Run boundaries, GPU failovers and error-policy decisions quiesce
-        the window first (every in-flight file drained, every queue empty),
-        giving ``close_run``'s accumulator drain / checkpoint pickle and
-        ``_fail_gpu``'s indexer swap a settled, single-threaded view.
-
-        Determinism: everything recorded to the metrics registry here
-        (dispatch counts, in-flight depth) is a pure function of the file
-        sequence and the config; wall-clock stalls go to the trace and the
-        quarantined ``timings`` section via :class:`PipelineStats`.
-        """
-        cfg = self.config
-        metrics = tel.metrics
-        pool = IndexerPool(cfg.num_cpu_indexers, cfg.num_gpus, depth).start()
-        stats = pool.stats
-        metrics.set_gauge("pipeline.depth", depth)
-        metrics.set_gauge("pipeline.workers", len(pool.workers))
-        inflight: deque[_InflightFile] = deque()
-        # Dispatch-side doc-ID cursor: runs ahead of the drain-side
-        # ``doc_offset`` (advanced by ``record_file``) by exactly the
-        # documents currently in flight.
-        next_offset = doc_offset
-
-        def collect_oldest(reason: str) -> None:
-            item = inflight.popleft()
-            t0 = now()
-            with tel.tracer.span(
-                "pipeline.wait", cat="pipeline", file=item.file_index, reason=reason
-            ):
-                results = [future.result() for future in item.futures]
-            waited = now() - t0
-            watch.charge("pipeline.wait", waited)
-            (stats.backpressure if reason == "backpressure" else stats.quiesce).add(
-                waited
-            )
-            pop_work, unpop_work = self._aggregate_group_work(
-                item.parsed.batch, item.tasks, results
-            )
-            record_file(item.file_index, item.parsed, item.outcome, pop_work, unpop_work)
-
-        def quiesce(reason: str) -> None:
-            while inflight:
-                collect_oldest(reason)
-
-        try:
-            for k, parsed, error, outcome in parsed_stream:
-                if injector is not None:
-                    failures = injector.gpu_failures(k)
-                    if failures:
-                        # The failover swaps the indexer object in its
-                        # slot; drain everything dispatched to the old
-                        # object first so its accumulator state is final.
-                        quiesce("quiesce")
-                        for ordinal in failures:
-                            self._fail_gpu(
-                                ordinal, k, gpu_indexers, assignment, robustness
-                            )
-
-                if error is not None:
-                    # Error-policy decisions happen on the engine thread
-                    # in file order; a "strict" abort propagates through
-                    # the finally below with the pool shut down.
-                    self._handle_read_failure(collection, k, error, robustness)
-                else:
-                    assert parsed is not None
-                    while len(inflight) >= depth:
-                        collect_oldest("backpressure")
-                    batch = parsed.batch
-                    tasks = self._split_batch(batch, assignment, popular_set)
-                    with tel.tracer.span(
-                        "pipeline.dispatch", cat="pipeline", file=k, tasks=len(tasks)
-                    ):
-                        futures = [
-                            pool.submit(
-                                kind,
-                                idx,
-                                cpu_indexers[idx] if kind == "cpu" else gpu_indexers[idx],
-                                sub,
-                                next_offset,
-                            )
-                            for kind, idx, _is_popular, sub in tasks
-                        ]
-                    inflight.append(_InflightFile(k, parsed, outcome, tasks, futures))
-                    next_offset += batch.num_docs
-                    stats.files += 1
-                    stats.max_inflight = max(stats.max_inflight, len(inflight))
-                    metrics.set_gauge("pipeline.queue_depth", len(inflight))
-                    metrics.observe(
-                        "pipeline.inflight", len(inflight), buckets=QUEUE_DEPTH_BUCKETS
-                    )
-
-                if is_run_boundary(k):
-                    quiesce("quiesce")
-                    close_run(k)
-        finally:
-            pool.shutdown()
-        metrics.set_gauge("pipeline.queue_depth", 0)
-        for key, tasks_done in sorted(stats.worker_tasks.items()):
-            metrics.set_gauge(f"pipeline.tasks.{key}", tasks_done)
-        return stats
 
     # ------------------------------------------------------------------ #
 

@@ -84,6 +84,9 @@ class PipelineStats:
 
     depth: int
     workers: int
+    #: Which execution backend produced these stats ("threaded" or
+    #: "multiprocess"); serial builds carry no stats at all.
+    backend: str = "threaded"
     files: int = 0
     tasks: int = 0
     max_inflight: int = 0

@@ -63,6 +63,12 @@ class CorruptContainerError(ValueError):
         self.offset = offset
         self.detail = detail
 
+    def __reduce__(self) -> "tuple[object, ...]":
+        # Default exception pickling replays ``args`` (the formatted
+        # message) into ``__init__``; rebuild from the real fields so
+        # the error survives the worker→engine process boundary.
+        return (type(self), (self.path, self.detail, self.offset))
+
 
 @dataclass(frozen=True)
 class PackedDocument:

@@ -1,4 +1,4 @@
-"""Paper-invariant lint rules (RPR001–RPR008).
+"""Paper-invariant lint rules (RPR001–RPR008, RPR110).
 
 Each rule documents the invariant it protects and the paper section the
 invariant comes from.  Rules are pure AST checks over one
@@ -9,7 +9,7 @@ are handled by the framework.
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.lint.framework import Finding, SourceFile, rule
 
@@ -476,3 +476,82 @@ def check_adhoc_clocks(sf: SourceFile) -> Iterator[Finding]:
                 "ad-hoc timeit.default_timer() call; benchmark clocks go "
                 "through the repro bench harness / repro.util.timing",
             )
+
+
+# ---------------------------------------------------------------------- #
+# RPR110 — multiprocessing entry points are fork-bomb-safe
+# ---------------------------------------------------------------------- #
+
+#: Constructors that create OS processes (or a pool of them).
+_PROCESS_CTORS = {"Process", "Pool", "ProcessPoolExecutor"}
+
+
+def _is_main_guard(node: ast.If) -> bool:
+    """True for ``if __name__ == "__main__":`` (either operand order)."""
+    test = node.test
+    if not (isinstance(test, ast.Compare) and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)):
+        return False
+    operands = [test.left, *test.comparators]
+    names = {o.id for o in operands if isinstance(o, ast.Name)}
+    consts = {o.value for o in operands if isinstance(o, ast.Constant)}
+    return "__name__" in names and "__main__" in consts
+
+
+def _ctor_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+@rule("RPR110", "unsafe-mp-entry")
+def check_mp_entry_points(sf: SourceFile) -> Iterator[Finding]:
+    """Process-spawning code must be fork-bomb-safe under ``spawn``.
+
+    The ``spawn`` start method re-imports the ``__main__`` module in
+    every child, so a ``Process``/``Pool``/``ProcessPoolExecutor``
+    constructed at module top level (outside a function or an
+    ``if __name__ == "__main__"`` guard) re-executes in each child and
+    forks without bound.  The multiprocess execution backend keeps every
+    worker entry point a module-level function in a leaf module
+    (``core/mp_worker.py``); this rule holds the rest of the tree to the
+    same layout.  A ``lambda`` target is flagged too: it does not pickle
+    under ``spawn``, so code relying on it silently becomes
+    fork-start-method-only.
+    """
+    # Nodes whose subtree may construct processes freely: function bodies
+    # (only run when called) and ``__main__``-guarded blocks.
+    safe: set[int] = set()
+    for node in ast.walk(sf.tree):
+        inner: Iterable[ast.AST] = ()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            inner = ast.walk(node)
+        elif isinstance(node, ast.If) and _is_main_guard(node):
+            inner = (n for stmt in node.body for n in ast.walk(stmt))
+        for sub in inner:
+            if isinstance(sub, ast.Call):
+                safe.add(id(sub))
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _ctor_name(node.func)
+        if name not in _PROCESS_CTORS:
+            continue
+        if id(node) not in safe:
+            yield sf.finding(
+                "RPR110",
+                node,
+                f"{name}(...) at module top level re-executes on import in "
+                "every spawn-start-method child (fork bomb); move it inside "
+                'a function or an ``if __name__ == "__main__"`` guard',
+            )
+        for kw in node.keywords:
+            if kw.arg == "target" and isinstance(kw.value, ast.Lambda):
+                yield sf.finding(
+                    "RPR110",
+                    kw.value,
+                    f"lambda target for {name}(...) does not pickle under "
+                    "the spawn start method; use a module-level function",
+                )

@@ -13,7 +13,7 @@ pinned measurement protocol and a machine-readable perf trajectory:
   / IQR over the repetitions (median and IQR because indexing times on
   shared machines are skewed — a mean would let one page-cache hiccup
   fake a regression).
-- **Results** — one ``BENCH_PR5.json`` per run (schema
+- **Results** — one ``BENCH_PR6.json`` per run (schema
   ``repro.bench.result/1``, :mod:`repro.obs.bench_schema`), carrying
   the machine fingerprint in the same shape pytest-benchmark wrote into
   ``BENCH_BASELINE.json`` and, per scenario, the build's
@@ -76,6 +76,7 @@ DEFAULT_SUITE = (
     "bench_fig10_parsers",
     "bench_fig11_scalability",
     "bench_fig12_comparison",
+    "bench_exec_backends",
     "bench_merge",
     "bench_search",
 )

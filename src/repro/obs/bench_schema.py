@@ -49,7 +49,7 @@ __all__ = [
 
 BENCH_SCHEMA_VERSION = "repro.bench.result/1"
 #: The artifact this PR's ``make bench`` writes at the repo root.
-BENCH_FILENAME = "BENCH_PR5.json"
+BENCH_FILENAME = "BENCH_PR6.json"
 
 #: Top-level sections: name → (required, expected container type).
 BENCH_SCHEMA: dict[str, tuple[bool, type]] = {

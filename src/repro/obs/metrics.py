@@ -237,13 +237,18 @@ class MetricsRegistry:
         Counters diff numerically; gauges report the new value when it
         changed; histograms diff per-bucket counts.  Metrics absent from
         ``before`` diff against zero, so a delta over a freshly created
-        region reads as that region's absolute work.
+        region reads as that region's absolute work.  A metric that
+        newly *appeared* is reported even at zero: the multiprocess
+        backend replays deltas into the engine registry, and a
+        zero-valued counter (``btree.node_splits`` on a split-free
+        build) must still materialize there for the metrics file to be
+        backend-independent.
         """
         out: dict[str, dict[str, object]] = {"counters": {}, "gauges": {}, "histograms": {}}
         b_counters = before.get("counters", {})
         for name, value in after.get("counters", {}).items():
             diff = value - b_counters.get(name, 0)
-            if diff:
+            if diff or name not in b_counters:
                 out["counters"][name] = diff
         b_gauges = before.get("gauges", {})
         for name, value in after.get("gauges", {}).items():
@@ -255,7 +260,7 @@ class MetricsRegistry:
                 name, {"counts": [0] * len(h["counts"]), "count": 0, "sum": 0}
             )
             counts = [a - b for a, b in zip(h["counts"], prev["counts"])]
-            if any(counts):
+            if any(counts) or name not in b_hists:
                 out["histograms"][name] = {
                     "buckets": list(h["buckets"]),
                     "counts": counts,

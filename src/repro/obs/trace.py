@@ -31,8 +31,8 @@ import json
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable, Iterator
 
 __all__ = ["Span", "Tracer", "NullTracer", "load_chrome_trace"]
 
@@ -119,6 +119,38 @@ class Tracer:
         )
         with self._lock:
             self.spans.append(record)
+
+    # ------------------------------------------------------------------ #
+    # Cross-process span shipping (the multiprocess backend)
+    # ------------------------------------------------------------------ #
+
+    def drain_spans(self) -> list[Span]:
+        """Remove and return every finished span recorded so far.
+
+        Worker processes drain their local tracer on each reply and ship
+        the spans to the engine, which :meth:`absorb`\\ s them — so a
+        multiprocess build's trace still shows per-worker lanes.
+        """
+        with self._lock:
+            out = self.spans
+            self.spans = []
+        return out
+
+    def absorb(self, spans: Iterable[Span], epoch: float) -> None:
+        """Adopt spans recorded by another tracer on the *same clock*.
+
+        ``epoch`` is the foreign tracer's epoch on that shared clock
+        (``time.perf_counter`` is ``CLOCK_MONOTONIC`` on Linux, so
+        engine and worker processes agree); spans are re-based onto this
+        tracer's epoch so lanes line up on one timeline.
+        """
+        shift = epoch - self.epoch
+        rebased = [
+            replace(s, start_s=s.start_s + shift, end_s=s.end_s + shift)
+            for s in spans
+        ]
+        with self._lock:
+            self.spans.extend(rebased)
 
     # ------------------------------------------------------------------ #
     # Queries (used by repro trace / the tests)

@@ -1,0 +1,279 @@
+"""Compact binary encoding of the parsed stream for cross-process handoff.
+
+The multiprocess execution backend (:mod:`repro.core.mp_backend`) moves
+parser output between OS processes over shared-memory ring buffers.  The
+payload is the same :class:`~repro.parsing.regroup.ParsedBatch` the
+thread pool passes by reference — but across an address-space boundary it
+has to travel as bytes.  Pickle would work; this codec is smaller (term
+suffixes dominate and are stored verbatim, everything else is varints),
+has no code-execution surface, and — the property the engine actually
+relies on — **round-trips exactly**: decoding preserves dict insertion
+order, so an indexer consuming a decoded batch allocates term ids in the
+same order as one consuming the original, which is what keeps the
+multiprocess backend byte-identical to serial execution.
+
+Wire format (all integers LEB128 varints, all strings UTF-8
+length-prefixed):
+
+- ``encode_batch`` / ``decode_batch``: one ``ParsedBatch`` — the
+  sub-batch unit dispatched to indexer workers.
+- ``encode_parsed_file`` / ``decode_parsed_file``: one
+  :class:`~repro.parsing.parser.ParsedFile` (batch + doc-table rows +
+  parse metrics) — the unit parse workers send back to the engine.
+
+The format is internal to one build on one host (both ends run the same
+code), so there is no versioning beyond the magic byte.
+"""
+
+from __future__ import annotations
+
+from repro.parsing.docio import DocTableEntry
+from repro.parsing.parser import ParsedFile, ParseMetrics
+from repro.parsing.regroup import ParsedBatch
+
+__all__ = [
+    "encode_batch",
+    "decode_batch",
+    "encode_parsed_file",
+    "decode_parsed_file",
+]
+
+_BATCH_MAGIC = 0xB1
+_FILE_MAGIC = 0xF1
+
+#: ``ParseMetrics`` travels as one varint per field, in declaration order.
+_METRIC_FIELDS = tuple(ParseMetrics.__dataclass_fields__)
+
+
+class _Writer:
+    """Append-only varint/bytes buffer."""
+
+    __slots__ = ("_parts",)
+
+    def __init__(self) -> None:
+        self._parts = bytearray()
+
+    def u(self, value: int) -> None:
+        """LEB128 unsigned varint."""
+        if value < 0:
+            raise ValueError(f"stream codec only carries non-negative ints, got {value}")
+        parts = self._parts
+        while value > 0x7F:
+            parts.append((value & 0x7F) | 0x80)
+            value >>= 7
+        parts.append(value)
+
+    def raw(self, data: bytes) -> None:
+        self.u(len(data))
+        self._parts += data
+
+    def s(self, text: str) -> None:
+        self.raw(text.encode("utf-8"))
+
+    def getvalue(self) -> bytes:
+        return bytes(self._parts)
+
+
+class _Reader:
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def u(self) -> int:
+        data, pos = self._data, self._pos
+        shift = 0
+        value = 0
+        while True:
+            try:
+                byte = data[pos]
+            except IndexError:
+                raise ValueError("truncated varint in parsed-stream payload") from None
+            pos += 1
+            value |= (byte & 0x7F) << shift
+            if byte < 0x80:
+                break
+            shift += 7
+        self._pos = pos
+        return value
+
+    def raw(self) -> bytes:
+        n = self.u()
+        data = self._data[self._pos : self._pos + n]
+        if len(data) != n:
+            raise ValueError("truncated bytes field in parsed-stream payload")
+        self._pos += n
+        return data
+
+    def s(self) -> str:
+        return self.raw().decode("utf-8")
+
+    def done(self) -> bool:
+        return self._pos == len(self._data)
+
+
+# ---------------------------------------------------------------------- #
+# ParsedBatch
+# ---------------------------------------------------------------------- #
+
+
+def _write_batch(w: _Writer, batch: ParsedBatch) -> None:
+    w.u(_BATCH_MAGIC)
+    w.u(batch.parser_id)
+    w.u(batch.sequence)
+    w.s(batch.source_file)
+    w.u(batch.num_docs)
+    w.u(batch.uncompressed_bytes)
+    w.u(batch.compressed_bytes)
+    flags = (1 if batch.positions is not None else 0) | (
+        2 if batch.ungrouped is not None else 0
+    )
+    w.u(flags)
+
+    # Collections in dict insertion order — the order indexers iterate,
+    # hence the order term ids are allocated.  Never sort here.
+    w.u(len(batch.collections))
+    for cidx, stream in batch.collections.items():
+        w.u(cidx)
+        w.u(len(stream))
+        for doc_id, suffixes in stream:
+            w.u(doc_id)
+            w.u(len(suffixes))
+            for suffix in suffixes:
+                w.raw(suffix)
+
+    if batch.positions is not None:
+        w.u(len(batch.positions))
+        for cidx, per_doc in batch.positions.items():
+            w.u(cidx)
+            w.u(len(per_doc))
+            for ordinals in per_doc:
+                w.u(len(ordinals))
+                for ordinal in ordinals:
+                    w.u(ordinal)
+
+    if batch.ungrouped is not None:
+        w.u(len(batch.ungrouped))
+        for doc_id, doc_tokens in batch.ungrouped:
+            w.u(doc_id)
+            w.u(len(doc_tokens))
+            for cidx, suffix in doc_tokens:
+                w.u(cidx)
+                w.raw(suffix)
+
+    for counts in (batch.tokens_per_collection, batch.chars_per_collection):
+        w.u(len(counts))
+        for cidx, count in counts.items():
+            w.u(cidx)
+            w.u(count)
+
+
+def _read_batch(r: _Reader) -> ParsedBatch:
+    if r.u() != _BATCH_MAGIC:
+        raise ValueError("not a parsed-stream batch payload")
+    parser_id = r.u()
+    sequence = r.u()
+    source_file = r.s()
+    num_docs = r.u()
+    uncompressed = r.u()
+    compressed = r.u()
+    flags = r.u()
+
+    collections: dict[int, list[tuple[int, list[bytes]]]] = {}
+    for _ in range(r.u()):
+        cidx = r.u()
+        stream: list[tuple[int, list[bytes]]] = []
+        for _ in range(r.u()):
+            doc_id = r.u()
+            stream.append((doc_id, [r.raw() for _ in range(r.u())]))
+        collections[cidx] = stream
+
+    positions: dict[int, list[list[int]]] | None = None
+    if flags & 1:
+        positions = {}
+        for _ in range(r.u()):
+            cidx = r.u()
+            positions[cidx] = [
+                [r.u() for _ in range(r.u())] for _ in range(r.u())
+            ]
+
+    ungrouped: list[tuple[int, list[tuple[int, bytes]]]] | None = None
+    if flags & 2:
+        ungrouped = []
+        for _ in range(r.u()):
+            doc_id = r.u()
+            ungrouped.append(
+                (doc_id, [(r.u(), r.raw()) for _ in range(r.u())])
+            )
+
+    tokens_per_collection = {r.u(): r.u() for _ in range(r.u())}
+    chars_per_collection = {r.u(): r.u() for _ in range(r.u())}
+    return ParsedBatch(
+        parser_id=parser_id,
+        sequence=sequence,
+        source_file=source_file,
+        num_docs=num_docs,
+        collections=collections,
+        positions=positions,
+        ungrouped=ungrouped,
+        tokens_per_collection=tokens_per_collection,
+        chars_per_collection=chars_per_collection,
+        uncompressed_bytes=uncompressed,
+        compressed_bytes=compressed,
+    )
+
+
+def encode_batch(batch: ParsedBatch) -> bytes:
+    """Serialize one :class:`ParsedBatch` (order-preserving, exact)."""
+    w = _Writer()
+    _write_batch(w, batch)
+    return w.getvalue()
+
+
+def decode_batch(data: bytes) -> ParsedBatch:
+    """Exact inverse of :func:`encode_batch`; rejects trailing bytes."""
+    r = _Reader(data)
+    batch = _read_batch(r)
+    if not r.done():
+        raise ValueError("trailing bytes after parsed-stream batch payload")
+    return batch
+
+
+# ---------------------------------------------------------------------- #
+# ParsedFile
+# ---------------------------------------------------------------------- #
+
+
+def encode_parsed_file(parsed: ParsedFile) -> bytes:
+    """Serialize one :class:`ParsedFile` — batch, doc table, metrics."""
+    w = _Writer()
+    w.u(_FILE_MAGIC)
+    _write_batch(w, parsed.batch)
+    w.u(len(parsed.doc_table))
+    for entry in parsed.doc_table:
+        w.u(entry.local_doc_id)
+        w.s(entry.source_file)
+        w.s(entry.uri)
+        w.u(entry.offset)
+    for name in _METRIC_FIELDS:
+        w.u(getattr(parsed.metrics, name))
+    return w.getvalue()
+
+
+def decode_parsed_file(data: bytes) -> ParsedFile:
+    """Exact inverse of :func:`encode_parsed_file`; checks the magic."""
+    r = _Reader(data)
+    if r.u() != _FILE_MAGIC:
+        raise ValueError("not a parsed-stream file payload")
+    batch = _read_batch(r)
+    doc_table = [
+        DocTableEntry(
+            local_doc_id=r.u(), source_file=r.s(), uri=r.s(), offset=r.u()
+        )
+        for _ in range(r.u())
+    ]
+    metrics = ParseMetrics(**{name: r.u() for name in _METRIC_FIELDS})
+    if not r.done():
+        raise ValueError("trailing bytes after parsed-stream file payload")
+    return ParsedFile(batch=batch, doc_table=doc_table, metrics=metrics)

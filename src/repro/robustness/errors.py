@@ -36,6 +36,11 @@ class ChecksumError(ValueError):
         self.expected = expected
         self.actual = actual
 
+    def __reduce__(self) -> "tuple[object, ...]":
+        # Rebuild from the real fields, not the formatted ``args``, so
+        # the error survives the worker→engine process boundary.
+        return (type(self), (self.path, self.expected, self.actual))
+
 
 class TransientReadError(OSError):
     """An injected (or real) transient I/O failure; retrying may succeed."""
@@ -43,6 +48,10 @@ class TransientReadError(OSError):
     def __init__(self, path: str, message: str = "transient read error") -> None:
         super().__init__(f"{message}: {path}")
         self.path = path
+        self.message = message
+
+    def __reduce__(self) -> "tuple[object, ...]":
+        return (type(self), (self.path, self.message))
 
 
 class RetryExhausted(RuntimeError):
@@ -62,6 +71,12 @@ class RetryExhausted(RuntimeError):
         self.elapsed_s = elapsed_s
         self.last_error = last_error
 
+    def __reduce__(self) -> "tuple[object, ...]":
+        return (
+            type(self),
+            (self.path, self.attempts, self.elapsed_s, self.last_error),
+        )
+
 
 class FatalFault(RuntimeError):
     """An injected crash: bypasses retry and every ``on_error`` policy."""
@@ -69,3 +84,6 @@ class FatalFault(RuntimeError):
     def __init__(self, path: str) -> None:
         super().__init__(f"injected fatal fault while reading {path}")
         self.path = path
+
+    def __reduce__(self) -> "tuple[object, ...]":
+        return (type(self), (self.path,))

@@ -34,7 +34,9 @@ sampling pre-pass; the engine advertises the current stage via
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 import threading
 import time
 import zlib
@@ -64,7 +66,14 @@ KINDS = (
     "flip_raw",   # flip one byte of the compressed stream (CRC/zlib error)
     "fatal",      # raise FatalFault (simulated crash; no policy catches it)
     "gpu_fail",   # kill GPU `gpu_index` before indexing file `file_index`
+    # Process-level faults, fired from *inside* a multiprocess-backend
+    # worker via `worker_event` (see "Worker-context faults" below):
+    "worker_crash",  # SIGKILL the worker process before it runs a task
+    "worker_stall",  # sleep `delay_s` inside the worker without heartbeating
 )
+
+#: Kinds that only fire inside worker processes (`worker_event`).
+WORKER_KINDS = ("worker_crash", "worker_stall")
 
 
 @dataclass(frozen=True)
@@ -82,10 +91,17 @@ class FaultSpec:
     path_substring: str | None = None
     stage: str | None = None  # "sampling" | "build" | None (any)
     times: int = 1
-    delay_s: float = 0.0          # slow reads
+    delay_s: float = 0.0          # slow reads / worker stalls
     truncate_bytes: int = 16      # how much tail to chop
     gpu_index: int = 0            # gpu_fail: which GPU ordinal dies
     file_index: int = 0           # gpu_fail: before which file it dies
+    #: Worker faults only: substring of the worker slot key ("cpu-0",
+    #: "gpu-1", "parser-2"); ``None`` matches any worker.  For worker
+    #: kinds ``times`` bounds the *incarnation* that still fires — a
+    #: restarted worker (incarnation ``times``+1) survives, which is what
+    #: lets one spec express both "crash once, recover" (``times=1``) and
+    #: "poison task that kills every incarnation" (large ``times``).
+    worker: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -131,6 +147,10 @@ class FaultInjector:
         #: (kind, path) log, in injection order.
         self.events: list[tuple[str, str]] = []
         self.stage = "build"
+        #: Worker-context identity, set inside multiprocess-backend
+        #: worker processes (never in the engine process).
+        self.worker_key: str | None = None
+        self.worker_incarnation = 1
 
     # ------------------------------------------------------------------ #
 
@@ -202,6 +222,76 @@ class FaultInjector:
                 self._record("flip", path)
                 data = _flip_one(data, self._rng_for(path))
         return data
+
+    # ------------------------------------------------------------------ #
+    # Worker-context faults (multiprocess backend)
+    # ------------------------------------------------------------------ #
+
+    def set_worker_context(self, worker_key: str, incarnation: int) -> None:
+        """Identify the current process as worker ``worker_key``.
+
+        Called once at worker startup by
+        :func:`repro.core.mp_worker.worker_main`; the incarnation number
+        (1 for the original process, +1 per supervisor restart) is what
+        ``times`` bounds for worker fault kinds.
+        """
+        self.worker_key = worker_key
+        self.worker_incarnation = incarnation
+
+    def _claim_once(self, spec_pos: int, tag: str) -> bool:
+        """At most one firing per (spec, tag) within this process.
+
+        Worker kinds bound firings by *incarnation* (each restart is a
+        fresh process with a fresh injector), not by the `times` budget
+        the read-path kinds consume via :meth:`_claim`.
+        """
+        with self._lock:
+            key = (spec_pos, tag)
+            if self._hits.get(key, 0):
+                return False
+            self._hits[key] = 1
+            return True
+
+    def worker_event(self, tag: str) -> None:
+        """Stall or kill this worker before it runs the task tagged ``tag``.
+
+        Called by worker processes only, between dequeue and execution —
+        so a crash always leaves the in-flight task unacknowledged and the
+        supervisor must requeue it.  ``worker_crash`` uses ``SIGKILL``:
+        no atexit hooks, no finally blocks, exactly the failure mode the
+        shared-memory reclamation sweep has to survive.
+        """
+        if self.worker_key is None:
+            return
+        for kind in WORKER_KINDS:
+            for pos, spec in self._matching(tag, kind):
+                if spec.worker is not None and spec.worker not in self.worker_key:
+                    continue
+                if self.worker_incarnation > spec.times:
+                    continue
+                if not self._claim_once(pos, tag):
+                    continue
+                self._record(kind, tag)
+                if kind == "worker_stall":
+                    self._sleep(spec.delay_s)
+                else:
+                    os.kill(os.getpid(), signal.SIGKILL)
+
+    def merge_child_counts(
+        self, counts: dict[str, int], events: list[tuple[str, str]]
+    ) -> None:
+        """Fold a worker process's injector activity into this injector.
+
+        The multiprocess backend ships each worker a copy of the plan;
+        faults the copy injects (retries it caused, bytes it flipped) are
+        invisible to the engine-side injector until the worker reports
+        its counter deltas back.  Merging keeps chaos-test assertions
+        backend-agnostic.
+        """
+        with self._lock:
+            for kind, n in counts.items():
+                self.counts[kind] = self.counts.get(kind, 0) + n
+            self.events.extend(events)
 
     # ------------------------------------------------------------------ #
     # Hook called from the engine's run loop

@@ -1,0 +1,35 @@
+"""RPR110 fixture: process construction outside fork-bomb-safe layouts."""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import Pool
+
+
+def work() -> None:
+    pass
+
+
+# Violation 1: Process at module top level (spawn children re-run this).
+proc = multiprocessing.Process(target=work)
+
+# Violation 2: Pool at module top level.
+pool = Pool(2)
+
+# Violation 3: executor at module top level.
+executor = ProcessPoolExecutor(max_workers=2)
+
+
+def start_with_lambda() -> None:
+    # Violation 4: lambda target never pickles under spawn.
+    multiprocessing.Process(target=lambda: None).start()
+
+
+def safe_inside_function() -> None:
+    multiprocessing.Process(target=work).start()  # fine: only runs when called
+
+
+# Suppressed twin of violation 1.
+suppressed = multiprocessing.Process(target=work)  # repro-lint: disable=RPR110
+
+if __name__ == "__main__":
+    multiprocessing.Process(target=work).start()  # fine: guarded

@@ -1,0 +1,252 @@
+"""Chaos tests for the multiprocess backend: crash, stall, poison, leaks.
+
+Each scenario injects a process-level fault (``worker_crash`` SIGKILLs
+the worker from inside, ``worker_stall`` wedges it past the heartbeat
+timeout), then asserts the core robustness contract: the build completes
+**byte-identical to a serial build**, ``repro verify`` passes, the
+supervisor's account of events lands in ``run.metrics.json``, and no
+shared-memory segment outlives the build.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+import pytest
+
+from repro.core.config import PlatformConfig
+from repro.core.engine import IndexingEngine
+from repro.core.shm_ring import SHM_PREFIX, ShmRing, list_repro_segments
+from repro.obs.schema import METRICS_FILENAME, TRACE_FILENAME, load_metrics
+from repro.robustness.checkpoint import CHECKPOINT_FILENAME, MANIFEST_FILENAME
+from repro.robustness.faults import FaultPlan, FaultSpec, inject
+from repro.robustness.supervise import SupervisorPolicy
+from repro.robustness.verify import verify_index
+
+pytestmark = pytest.mark.chaos
+
+_BUILD_LOGS = {MANIFEST_FILENAME, CHECKPOINT_FILENAME,
+               METRICS_FILENAME, TRACE_FILENAME}
+
+#: Tight supervision so stall detection fits in test time.
+_POLICY = SupervisorPolicy(heartbeat_timeout_s=0.4, supervise_interval_s=0.05)
+
+
+def _cfg(**overrides) -> PlatformConfig:
+    defaults = dict(
+        num_parsers=3, num_cpu_indexers=2, num_gpus=2,
+        sample_fraction=0.2, files_per_run=2, pipeline_depth=0,
+        exec_backend="multiprocess", supervisor=_POLICY,
+    )
+    defaults.update(overrides)
+    return PlatformConfig(**defaults)
+
+
+def _digest(out_dir: str) -> str:
+    h = hashlib.sha256()
+    for name in sorted(os.listdir(out_dir)):
+        if name in _BUILD_LOGS or os.path.isdir(os.path.join(out_dir, name)):
+            continue
+        h.update(name.encode())
+        with open(os.path.join(out_dir, name), "rb") as fh:
+            h.update(fh.read())
+    return h.hexdigest()
+
+
+@pytest.fixture(scope="module")
+def serial_reference(tiny_collection, tmp_path_factory):
+    out = str(tmp_path_factory.mktemp("chaos_ref") / "idx")
+    IndexingEngine(_cfg(exec_backend="serial")).build(tiny_collection, out)
+    return out
+
+
+def _chaos_build(spec: FaultSpec, tiny_collection, out: str):
+    with inject(FaultPlan(seed=11, specs=(spec,))):
+        return IndexingEngine(_cfg()).build(tiny_collection, out)
+
+
+def _assert_recovered(out: str, serial_reference: str) -> dict:
+    assert _digest(out) == _digest(serial_reference)
+    assert verify_index(out).ok
+    assert list_repro_segments() == []
+    return load_metrics(os.path.join(out, METRICS_FILENAME))["counters"]
+
+
+class TestWorkerCrash:
+    def test_sigkilled_indexer_is_restarted_and_replayed(
+            self, tiny_collection, serial_reference, tmp_path):
+        out = str(tmp_path / "idx")
+        result = _chaos_build(
+            FaultSpec(kind="worker_crash", worker="cpu-0",
+                      path_substring="file_00001", stage="build"),
+            tiny_collection, out,
+        )
+        sup = result.supervisor
+        assert sup.restarts == 1
+        assert sup.requeued >= 1
+        assert [f.kind for f in sup.failures] == ["crash"]
+        assert [f.action for f in sup.failures] == ["restart"]
+        counters = _assert_recovered(out, serial_reference)
+        assert counters["supervisor.restarts"] == 1
+        assert counters["supervisor.requeued"] >= 1
+
+    def test_sigkilled_gpu_worker_recovers(self, tiny_collection,
+                                           serial_reference, tmp_path):
+        out = str(tmp_path / "idx")
+        result = _chaos_build(
+            FaultSpec(kind="worker_crash", worker="gpu-1",
+                      path_substring="file_00002", stage="build"),
+            tiny_collection, out,
+        )
+        assert result.supervisor.restarts == 1
+        _assert_recovered(out, serial_reference)
+
+    def test_sigkilled_parser_requeues_its_files(self, tiny_collection,
+                                                 serial_reference, tmp_path):
+        out = str(tmp_path / "idx")
+        result = _chaos_build(
+            FaultSpec(kind="worker_crash", worker="parser-0",
+                      path_substring="file_00003", stage="build"),
+            tiny_collection, out,
+        )
+        sup = result.supervisor
+        assert sup.restarts == 1
+        assert sup.failures[0].worker == "parser-0"
+        _assert_recovered(out, serial_reference)
+
+
+class TestWorkerStall:
+    def test_stalled_parser_trips_heartbeat_and_restarts(
+            self, tiny_collection, serial_reference, tmp_path):
+        out = str(tmp_path / "idx")
+        result = _chaos_build(
+            FaultSpec(kind="worker_stall", worker="parser-1", delay_s=1.5,
+                      path_substring="file_00001", stage="build"),
+            tiny_collection, out,
+        )
+        sup = result.supervisor
+        assert sup.heartbeat_misses == 1
+        assert [f.kind for f in sup.failures] == ["stall"]
+        counters = _assert_recovered(out, serial_reference)
+        assert counters["supervisor.heartbeat_misses"] == 1
+
+    def test_short_stall_under_timeout_is_not_a_failure(
+            self, tiny_collection, serial_reference, tmp_path):
+        out = str(tmp_path / "idx")
+        result = _chaos_build(
+            FaultSpec(kind="worker_stall", worker="cpu-1", delay_s=0.05,
+                      path_substring="file_00002", stage="build"),
+            tiny_collection, out,
+        )
+        assert result.supervisor.clean
+        _assert_recovered(out, serial_reference)
+
+
+class TestPoison:
+    def test_repeat_killer_task_degrades_the_slot(
+            self, tiny_collection, serial_reference, tmp_path):
+        """A sub-batch that kills every incarnation must not loop forever:
+        after ``poison_threshold`` kills the slot finishes inline."""
+        out = str(tmp_path / "idx")
+        result = _chaos_build(
+            FaultSpec(kind="worker_crash", worker="cpu-1",
+                      path_substring="file_00004", stage="build", times=3),
+            tiny_collection, out,
+        )
+        sup = result.supervisor
+        assert sup.poisoned == 1
+        assert sup.degraded == 1
+        assert sup.degraded_slots == ["cpu-1"]
+        assert any(f.action == "degrade" for f in sup.failures)
+        counters = _assert_recovered(out, serial_reference)
+        assert counters["supervisor.degraded"] == 1
+        assert counters["supervisor.poisoned"] == 1
+
+    def test_restart_budget_exhaustion_degrades(
+            self, tiny_collection, serial_reference, tmp_path):
+        """Crashes on *different* tasks exhaust the per-slot budget."""
+        out = str(tmp_path / "idx")
+        plan = FaultPlan(seed=11, specs=(
+            FaultSpec(kind="worker_crash", worker="cpu-0",
+                      path_substring="file_00000", stage="build"),
+            FaultSpec(kind="worker_crash", worker="cpu-0",
+                      path_substring="file_00002", stage="build", times=2),
+            FaultSpec(kind="worker_crash", worker="cpu-0",
+                      path_substring="file_00004", stage="build", times=3),
+        ))
+        with inject(plan):
+            result = IndexingEngine(
+                _cfg(supervisor=SupervisorPolicy(
+                    max_restarts=2,
+                    heartbeat_timeout_s=_POLICY.heartbeat_timeout_s,
+                    supervise_interval_s=_POLICY.supervise_interval_s,
+                ))
+            ).build(tiny_collection, out)
+        sup = result.supervisor
+        assert sup.restarts == 2
+        assert sup.degraded == 1
+        _assert_recovered(out, serial_reference)
+
+
+class TestShmLeaks:
+    def test_no_segments_after_crashy_build(self, tiny_collection, tmp_path):
+        out = str(tmp_path / "idx")
+        _chaos_build(
+            FaultSpec(kind="worker_crash", worker="cpu-0",
+                      path_substring="file_00001", stage="build"),
+            tiny_collection, out,
+        )
+        assert list_repro_segments() == []
+
+    def test_backend_close_is_reentrant_after_abort(self, tiny_collection,
+                                                    tmp_path):
+        """A build-fatal fault mid-run still reclaims every segment."""
+        from repro.robustness.errors import FatalFault
+
+        out = str(tmp_path / "idx")
+        plan = FaultPlan(seed=5, specs=(
+            FaultSpec(kind="fatal", path_substring="file_00002",
+                      stage="build"),
+        ))
+        with inject(plan):
+            with pytest.raises(FatalFault):
+                IndexingEngine(_cfg()).build(tiny_collection, out)
+        assert list_repro_segments() == []
+
+    def test_verify_check_shm_flags_orphans(self, tiny_collection,
+                                            serial_reference, capsys):
+        """``repro verify --check-shm`` fails on a dead-pid segment and
+        passes once it is gone."""
+        from multiprocessing import shared_memory
+
+        from repro.cli import main
+
+        assert main([
+            "verify", serial_reference, "--check-shm"
+        ]) == 0
+        fake = f"{SHM_PREFIX}_999999999_0_ghost"
+        seg = shared_memory.SharedMemory(name=fake, create=True, size=64)
+        try:
+            assert main([
+                "verify", serial_reference, "--check-shm"
+            ]) == 1
+            err = capsys.readouterr().err
+            assert "ghost" in err
+        finally:
+            seg.close()
+            seg.unlink()
+        assert main(["verify", serial_reference, "--check-shm"]) == 0
+
+    def test_orphans_do_not_fail_verify_without_flag(self, serial_reference):
+        from multiprocessing import shared_memory
+
+        from repro.cli import main
+
+        fake = f"{SHM_PREFIX}_999999999_1_ghost2"
+        seg = shared_memory.SharedMemory(name=fake, create=True, size=64)
+        try:
+            assert main(["verify", serial_reference]) == 0
+        finally:
+            seg.close()
+            seg.unlink()

@@ -1,0 +1,206 @@
+"""The execution-backend seam: resolution, and byte-identity across modes.
+
+The engine's contract (docs/ARCHITECTURE.md, "Execution backends"): the
+``serial``, ``threaded`` and ``multiprocess`` backends produce
+byte-identical index artifacts and identical deterministic metrics —
+only the ``pipeline.*`` / ``supervisor.*`` instruments (absent in serial
+builds) and the wall-clock ``timings`` quarantine may differ.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+import pytest
+
+from repro.core.config import EXEC_BACKEND_ENV, PlatformConfig
+from repro.core.engine import IndexingEngine
+from repro.core.exec_backend import resolve_backend_name
+from repro.core.shm_ring import list_repro_segments
+from repro.obs.schema import METRICS_FILENAME, TRACE_FILENAME, load_metrics
+from repro.robustness.checkpoint import CHECKPOINT_FILENAME, MANIFEST_FILENAME
+from repro.robustness.supervise import SupervisorPolicy
+
+_BUILD_LOGS = {MANIFEST_FILENAME, CHECKPOINT_FILENAME,
+               METRICS_FILENAME, TRACE_FILENAME}
+
+BACKENDS = ("serial", "threaded", "multiprocess")
+
+
+def _cfg(**overrides) -> PlatformConfig:
+    defaults = dict(
+        num_parsers=3, num_cpu_indexers=2, num_gpus=2,
+        sample_fraction=0.2, files_per_run=2, pipeline_depth=0,
+        supervisor=SupervisorPolicy(supervise_interval_s=0.02),
+    )
+    defaults.update(overrides)
+    return PlatformConfig(**defaults)
+
+
+def _digest(out_dir: str) -> str:
+    h = hashlib.sha256()
+    for name in sorted(os.listdir(out_dir)):
+        if name in _BUILD_LOGS or os.path.isdir(os.path.join(out_dir, name)):
+            continue
+        h.update(name.encode())
+        with open(os.path.join(out_dir, name), "rb") as fh:
+            h.update(fh.read())
+    return h.hexdigest()
+
+
+def _metric_sections(index_dir: str) -> dict:
+    """Deterministic metric sections, with the backend-specific extras cut.
+
+    ``pipeline.*`` and ``supervisor.*`` only exist for the concurrent
+    backends, and ``checkpoint.bytes`` tracks the output directory's
+    path length; everything else must match exactly across backends.
+    """
+    payload = load_metrics(os.path.join(index_dir, METRICS_FILENAME))
+    sections = {}
+    for section in ("counters", "gauges", "histograms"):
+        sections[section] = {
+            k: v for k, v in payload[section].items()
+            if not k.startswith(("pipeline.", "supervisor."))
+        }
+    sections["histograms"].pop("checkpoint.bytes", None)
+    return sections
+
+
+class TestResolution:
+    @pytest.fixture(autouse=True)
+    def _hermetic_env(self, monkeypatch):
+        # The CI matrix exports REPRO_EXEC_BACKEND suite-wide; these
+        # tests pin the *default* resolution, so clear it first (the
+        # env-specific tests below re-set it explicitly).
+        monkeypatch.delenv(EXEC_BACKEND_ENV, raising=False)
+
+    def test_auto_is_serial_at_depth_zero(self):
+        assert resolve_backend_name(_cfg()) == "serial"
+
+    def test_auto_is_threaded_with_depth(self):
+        assert resolve_backend_name(_cfg(pipeline_depth=2)) == "threaded"
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_explicit_name_wins(self, name):
+        assert resolve_backend_name(_cfg(exec_backend=name,
+                                         pipeline_depth=2)) == name
+
+    def test_env_sets_default(self, monkeypatch):
+        monkeypatch.setenv(EXEC_BACKEND_ENV, "multiprocess")
+        assert _cfg().exec_backend == "multiprocess"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(EXEC_BACKEND_ENV, "multiprocess")
+        assert _cfg(exec_backend="serial").exec_backend == "serial"
+
+    def test_bad_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(EXEC_BACKEND_ENV, "warp")
+        with pytest.raises(ValueError):
+            _cfg()
+
+    def test_bad_config_value_rejected(self):
+        with pytest.raises(ValueError):
+            _cfg(exec_backend="warp")
+
+    def test_describe_mentions_non_auto_backend(self):
+        assert "multiprocess" in _cfg(exec_backend="multiprocess").describe()
+        assert "exec" not in _cfg().describe()
+
+
+class TestByteIdentity:
+    @pytest.fixture(scope="class")
+    def reference(self, tiny_collection, tmp_path_factory):
+        out = str(tmp_path_factory.mktemp("ref") / "idx")
+        IndexingEngine(_cfg(exec_backend="serial")).build(tiny_collection, out)
+        return out
+
+    @pytest.mark.parametrize("backend", ["threaded", "multiprocess"])
+    def test_backend_matches_serial(self, backend, reference,
+                                    tiny_collection, tmp_path):
+        out = str(tmp_path / backend)
+        result = IndexingEngine(_cfg(exec_backend=backend)).build(
+            tiny_collection, out
+        )
+        assert _digest(out) == _digest(reference)
+        assert _metric_sections(out) == _metric_sections(reference)
+        if backend == "multiprocess":
+            assert result.supervisor is not None
+            assert result.supervisor.clean
+            assert result.supervisor.workers > 0
+            assert result.pipeline.backend == "multiprocess"
+
+    def test_multiprocess_leaves_no_segments(self, reference,
+                                             tiny_collection, tmp_path):
+        out = str(tmp_path / "mp")
+        IndexingEngine(_cfg(exec_backend="multiprocess")).build(
+            tiny_collection, out
+        )
+        assert list_repro_segments() == []
+
+    def test_env_override_reaches_the_build(self, monkeypatch, reference,
+                                            tiny_collection, tmp_path):
+        monkeypatch.setenv(EXEC_BACKEND_ENV, "multiprocess")
+        out = str(tmp_path / "env")
+        result = IndexingEngine(_cfg()).build(tiny_collection, out)
+        assert result.supervisor is not None  # only the mp backend reports
+        assert _digest(out) == _digest(reference)
+
+
+class TestErrorPickling:
+    def test_errors_survive_the_process_boundary(self):
+        """Workers ship exceptions home pickled; every custom error must
+        unpickle to an equal instance (default exception pickling replays
+        the formatted message into ``__init__`` and breaks multi-arg
+        signatures)."""
+        import pickle
+
+        from repro.corpus.warc import CorruptContainerError
+        from repro.robustness.errors import (
+            ChecksumError,
+            FatalFault,
+            RetryExhausted,
+            TransientReadError,
+        )
+
+        errors = [
+            CorruptContainerError("f.warc.gz", "bad magic", offset=12),
+            CorruptContainerError("f.warc.gz", "bad crc"),
+            ChecksumError("run_00001.post", 1, 2),
+            TransientReadError("f.warc.gz"),
+            TransientReadError("f.warc.gz", "injected"),
+            FatalFault("f.warc.gz"),
+            RetryExhausted("f.warc.gz", 3, 0.5, OSError("disk sneeze")),
+        ]
+        for err in errors:
+            back = pickle.loads(pickle.dumps(err))
+            assert type(back) is type(err)
+            assert str(back) == str(err)
+            assert back.path == err.path
+
+
+class TestResume:
+    def test_resume_under_multiprocess_matches_serial(self, tiny_collection,
+                                                      tmp_path):
+        """Interrupt after the first run, resume with the mp backend."""
+        from repro.robustness.faults import FaultPlan, FaultSpec, inject
+        from repro.robustness.errors import FatalFault
+
+        ref = str(tmp_path / "ref")
+        IndexingEngine(_cfg(exec_backend="serial")).build(tiny_collection, ref)
+
+        out = str(tmp_path / "resumed")
+        plan = FaultPlan(seed=5, specs=(
+            FaultSpec(kind="fatal", path_substring="file_00003",
+                      stage="build"),
+        ))
+        with inject(plan):
+            with pytest.raises(FatalFault):
+                IndexingEngine(_cfg(exec_backend="multiprocess")).build(
+                    tiny_collection, out
+                )
+        assert list_repro_segments() == []  # the abort path swept its rings
+        IndexingEngine(_cfg(exec_backend="multiprocess")).build(
+            tiny_collection, out, resume=True
+        )
+        assert _digest(out) == _digest(ref)

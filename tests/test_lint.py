@@ -57,6 +57,7 @@ RULE_FIXTURES = [
     ("RPR008", fixture("rpr008_bench_timeit.py"), 3),
     ("RPR101", fixture("rpr101_races.py"), 2),
     ("RPR102", fixture("rpr102_deadlock.py"), 1),
+    ("RPR110", fixture("rpr110_mp_entry.py"), 4),
 ]
 
 
@@ -157,7 +158,7 @@ class TestSelfCheck:
         codes = set(registered_rules())
         assert codes == {
             "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
-            "RPR007", "RPR008", "RPR101", "RPR102",
+            "RPR007", "RPR008", "RPR101", "RPR102", "RPR110",
         }
         for reg in registered_rules().values():
             assert reg.description, f"{reg.code} has no description"

@@ -125,7 +125,11 @@ class TestByteIdentical:
 class TestPipelineStats:
     def test_stats_surfaced_and_exported(self, tiny_collection, tmp_path):
         out = str(tmp_path / "idx")
-        result = IndexingEngine(_cfg(pipeline_depth=3)).build(tiny_collection, out)
+        # Pin the threaded backend: the idle accounting asserted below is
+        # the worker-*thread* pool's (REPRO_EXEC_BACKEND may say otherwise).
+        result = IndexingEngine(
+            _cfg(pipeline_depth=3, exec_backend="threaded")
+        ).build(tiny_collection, out)
         p = result.pipeline
         assert p is not None
         assert p.depth == 3
@@ -144,7 +148,9 @@ class TestPipelineStats:
 
     def test_serial_build_has_no_pipeline(self, tiny_collection, tmp_path):
         out = str(tmp_path / "idx")
-        result = IndexingEngine(_cfg()).build(tiny_collection, out)
+        result = IndexingEngine(_cfg(exec_backend="serial")).build(
+            tiny_collection, out
+        )
         assert result.pipeline is None
         payload = load_metrics(os.path.join(out, METRICS_FILENAME))
         assert not any(k.startswith("pipeline.") for k in payload["gauges"])

@@ -90,9 +90,14 @@ class TestTraceLanes:
         from repro.obs.trace import load_chrome_trace
 
         out = str(tmp_path / "lanes")
-        IndexingEngine(_cfg(parse_prefetch=3, num_parsers=2)).build(
-            tiny_collection, out
-        )
+        # Pin the in-process engine loop: the parser-w* thread-lane
+        # discipline under test is the prefetch pool's.  (The
+        # multiprocess backend gives each parser *process* its own
+        # residue-class lane, so overlap is impossible there by
+        # construction.)
+        IndexingEngine(
+            _cfg(parse_prefetch=3, num_parsers=2, exec_backend="serial")
+        ).build(tiny_collection, out)
         spans = spans_from_chrome(
             load_chrome_trace(os.path.join(out, TRACE_FILENAME))
         )

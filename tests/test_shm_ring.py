@@ -1,0 +1,173 @@
+"""The SPSC shared-memory ring: framing, liveness, and leak hygiene.
+
+The multiprocess backend's correctness argument leans on three ring
+properties pinned here: frames roundtrip exactly (including frames
+larger than the ring, which stream through in chunks), a timed-out
+``get_frame`` loses no bytes (partial frames resume), and every created
+segment is registered so sweeps and orphan scans can find it.
+"""
+
+from __future__ import annotations
+
+import threading
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.core.shm_ring import (
+    SHM_PREFIX,
+    RingTimeout,
+    ShmRing,
+    forget_inherited_segments,
+    list_repro_segments,
+    orphan_segments,
+    sweep_created_segments,
+)
+
+
+@pytest.fixture
+def ring():
+    r = ShmRing.create("test", capacity=256)
+    yield r
+    r.unlink()
+
+
+class TestFraming:
+    def test_small_frame_roundtrip(self, ring):
+        ring.put_frame(b"hello")
+        assert ring.get_frame() == b"hello"
+
+    def test_empty_frame(self, ring):
+        ring.put_frame(b"")
+        assert ring.get_frame() == b""
+
+    def test_fifo_order(self, ring):
+        for i in range(10):
+            ring.put_frame(f"msg-{i}".encode())
+        for i in range(10):
+            assert ring.get_frame() == f"msg-{i}".encode()
+
+    def test_frame_larger_than_capacity_streams_through(self, ring):
+        """A 64 KiB frame through a 256-byte ring: chunked, exact."""
+        big = bytes(range(256)) * 256
+        consumer_got = []
+
+        def consume():
+            consumer_got.append(ring.get_frame())
+
+        t = threading.Thread(target=consume)
+        t.start()
+        ring.put_frame(big)  # blocks until the consumer drains chunks
+        t.join(timeout=30)
+        assert not t.is_alive()
+        assert consumer_got == [big]
+
+    def test_wraparound_many_frames(self, ring):
+        """Total bytes ≫ capacity exercises the circular arithmetic."""
+        attached = ShmRing.attach(ring.spec())
+        try:
+            payloads = [bytes([i % 251]) * (i % 97) for i in range(300)]
+
+            def produce():
+                for p in payloads:
+                    ring.put_frame(p)
+
+            t = threading.Thread(target=produce)
+            t.start()
+            for p in payloads:
+                assert attached.get_frame(timeout=30) == p
+            t.join(timeout=30)
+        finally:
+            attached.close()
+
+
+class TestTimeouts:
+    def test_get_times_out_to_none(self, ring):
+        assert ring.get_frame(timeout=0.05) is None
+
+    def test_partial_frame_survives_timeout(self, ring):
+        """Bytes received before a timeout resume on the next call."""
+        # Write only the first chunk of a frame bigger than the ring:
+        # the consumer times out mid-frame, then the producer finishes.
+        big = b"x" * 600
+        t = threading.Thread(target=ring.put_frame, args=(big,))
+        t.start()
+        pieces = None
+        deadline = 100
+        while pieces is None and deadline:
+            pieces = ring.get_frame(timeout=0.01)
+            deadline -= 1
+        t.join(timeout=30)
+        assert pieces == big
+
+    def test_put_times_out_when_full(self, ring):
+        ring.put_frame(b"y" * 200)  # fills most of the 256-byte ring
+        with pytest.raises(RingTimeout):
+            ring.put_frame(b"z" * 200, timeout=0.05)
+
+    def test_on_wait_callback_runs_while_polling(self, ring):
+        calls = []
+        ring.get_frame(timeout=0.05, on_wait=lambda: calls.append(1))
+        assert calls
+
+
+class TestHeartbeats:
+    def test_beats_are_independent_counters(self, ring):
+        assert ring.beats("producer") == 0
+        assert ring.beats("consumer") == 0
+        ring.beat("producer")
+        ring.beat("producer")
+        ring.beat("consumer")
+        assert ring.beats("producer") == 2
+        assert ring.beats("consumer") == 1
+
+    def test_beats_visible_across_attach(self, ring):
+        attached = ShmRing.attach(ring.spec())
+        try:
+            attached.beat("producer")
+            assert ring.beats("producer") == 1
+        finally:
+            attached.close()
+
+
+class TestSegmentHygiene:
+    def test_created_segment_is_listed_then_unlinked(self):
+        r = ShmRing.create("hygiene", capacity=64)
+        assert r.name in list_repro_segments()
+        r.unlink()
+        assert r.name not in list_repro_segments()
+
+    def test_sweep_reclaims_unclosed_segment(self):
+        r = ShmRing.create("leak", capacity=64)
+        name = r.name
+        swept = sweep_created_segments()
+        assert name in swept
+        assert name not in list_repro_segments()
+        assert sweep_created_segments() == []  # idempotent
+
+    def test_forget_inherited_makes_sweep_a_noop(self):
+        """What a forked worker does: disown, never unlink."""
+        r = ShmRing.create("inherit", capacity=64)
+        try:
+            forget_inherited_segments()
+            assert sweep_created_segments() == []
+            assert r.name in list_repro_segments()  # segment untouched
+        finally:
+            # Re-acquire ownership path: unlink directly.
+            r.unlink()
+
+    def test_orphan_scan_flags_dead_pid(self):
+        fake = f"{SHM_PREFIX}_999999999_0_ghost"
+        seg = shared_memory.SharedMemory(name=fake, create=True, size=64)
+        try:
+            assert fake in orphan_segments()
+        finally:
+            seg.close()
+            seg.unlink()
+
+    def test_live_pid_segment_is_not_an_orphan(self):
+        r = ShmRing.create("alive", capacity=64)
+        try:
+            assert r.name not in orphan_segments()
+        finally:
+            r.unlink()

@@ -1,0 +1,120 @@
+"""The compact parsed-stream codec must be lossless and order-preserving.
+
+The multiprocess backend ships every parsed file through
+:mod:`repro.parsing.stream_codec` — any field it drops or reorders breaks
+the byte-identity guarantee between backends, so these tests pin exact
+roundtrips (including dict insertion order, which *is* term-id
+allocation order downstream).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parsing.docio import DocTableEntry
+from repro.parsing.parser import ParseMetrics, ParsedFile
+from repro.parsing.regroup import ParsedBatch
+from repro.parsing.stream_codec import (
+    decode_batch,
+    decode_parsed_file,
+    encode_batch,
+    encode_parsed_file,
+)
+
+
+def _batch(**overrides) -> ParsedBatch:
+    fields = dict(
+        parser_id=2,
+        sequence=7,
+        source_file="/corpus/file_00007.warc.gz",
+        num_docs=3,
+        collections={
+            4: [(0, [b"pple", b"xe"]), (2, [b"pple"])],
+            0: [(1, [b"", b"zz"])],
+        },
+        tokens_per_collection={4: 3, 0: 2},
+        chars_per_collection={4: 6, 0: 2},
+        uncompressed_bytes=4096,
+        compressed_bytes=512,
+    )
+    fields.update(overrides)
+    return ParsedBatch(**fields)
+
+
+def _parsed_file() -> ParsedFile:
+    return ParsedFile(
+        batch=_batch(),
+        doc_table=[
+            DocTableEntry(0, "/corpus/file_00007.warc.gz", "http://a/0", 0),
+            DocTableEntry(1, "/corpus/file_00007.warc.gz", "http://a/1", 900),
+        ],
+        metrics=ParseMetrics(
+            compressed_bytes=512, uncompressed_bytes=4096, num_docs=3,
+            chars_scanned=4000, tokens_raw=20, tokens_stopped=5,
+            tokens_emitted=15, suffix_chars=80, stem_cache_misses=2,
+            collections_touched=2,
+        ),
+    )
+
+
+class TestBatchRoundtrip:
+    def test_grouped_batch_roundtrips_exactly(self):
+        batch = _batch()
+        assert decode_batch(encode_batch(batch)) == batch
+
+    def test_collection_insertion_order_is_preserved(self):
+        """dict order is term-id allocation order — it must survive."""
+        batch = _batch(collections={9: [(0, [b"a"])], 1: [(0, [b"b"])]},
+                       tokens_per_collection={9: 1, 1: 1},
+                       chars_per_collection={9: 1, 1: 1})
+        out = decode_batch(encode_batch(batch))
+        assert list(out.collections) == [9, 1]
+        assert list(out.tokens_per_collection) == [9, 1]
+
+    def test_positional_batch_roundtrips(self):
+        batch = _batch(positions={4: [[0, 5], [11]], 0: [[2, 3]]})
+        out = decode_batch(encode_batch(batch))
+        assert out.positions == batch.positions
+        assert out == batch
+
+    def test_ungrouped_batch_roundtrips(self):
+        batch = _batch(collections={}, tokens_per_collection={},
+                       chars_per_collection={},
+                       ungrouped=[(0, [(4, b"pple"), (0, b"zz")]),
+                                  (1, [(2, b"")])])
+        out = decode_batch(encode_batch(batch))
+        assert out.ungrouped == batch.ungrouped
+        assert out == batch
+
+    def test_empty_batch(self):
+        batch = ParsedBatch(parser_id=0, sequence=0, source_file="f")
+        assert decode_batch(encode_batch(batch)) == batch
+
+    def test_large_values_use_multibyte_varints(self):
+        batch = _batch(uncompressed_bytes=1 << 40, compressed_bytes=1 << 33,
+                       num_docs=300)
+        assert decode_batch(encode_batch(batch)) == batch
+
+
+class TestParsedFileRoundtrip:
+    def test_full_parsed_file_roundtrips(self):
+        parsed = _parsed_file()
+        out = decode_parsed_file(encode_parsed_file(parsed))
+        assert out == parsed
+
+    def test_metrics_fields_all_survive(self):
+        """Every ParseMetrics field rides along (cost model inputs)."""
+        parsed = _parsed_file()
+        out = decode_parsed_file(encode_parsed_file(parsed))
+        for name in ParseMetrics.__dataclass_fields__:
+            assert getattr(out.metrics, name) == getattr(parsed.metrics, name)
+
+    def test_doc_table_order_and_fields(self):
+        out = decode_parsed_file(encode_parsed_file(_parsed_file()))
+        assert [e.local_doc_id for e in out.doc_table] == [0, 1]
+        assert out.doc_table[1].offset == 900
+
+    def test_truncated_payload_raises(self):
+        data = encode_parsed_file(_parsed_file())
+        with pytest.raises(Exception):
+            decode_parsed_file(data[: len(data) // 2])
