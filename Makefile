@@ -1,6 +1,6 @@
 # Canonical workflows for the reproduction.
 
-.PHONY: install test test-fast test-pipelined test-mp chaos chaos-mp lint bench bench-pytest bench-gate report examples trace-demo pipeline-demo clean
+.PHONY: install test test-fast test-pipelined test-mp chaos chaos-mp chaos-mp-san lint bench bench-pytest bench-gate report examples trace-demo pipeline-demo clean
 
 install:
 	python setup.py develop
@@ -31,12 +31,20 @@ chaos:
 chaos-mp:
 	pytest tests/test_chaos_mp.py tests/test_supervise.py tests/test_shm_ring.py -v
 
-# Paper-invariant lint pack + race analyzer + typing gate
-# (docs/STATIC_ANALYSIS.md).  mypy runs when installed (dev extra).
-# The second pass holds benchmarks/ to the RPR008 clock fence: bench
-# timing flows through the `repro bench` harness / util/timing.py.
+# The same process-level chaos suite with the ring sanitizer armed:
+# every shm frame stamped with (sequence, crc32) and verified on
+# receipt (docs/STATIC_ANALYSIS.md, "The ring sanitizer").  Builds must
+# stay byte-identical; shm_san.* counters land in run.metrics.json.
+chaos-mp-san:
+	REPRO_SANITIZE=ring pytest tests/test_chaos_mp.py tests/test_supervise.py tests/test_shm_ring.py -v
+
+# Paper-invariant lint pack + race analyzer + interprocedural layer +
+# typing gate + protocol model checker (docs/STATIC_ANALYSIS.md).
+# mypy runs when installed (dev extra).  The second pass holds
+# benchmarks/ to the RPR008 clock fence: bench timing flows through
+# the `repro bench` harness / util/timing.py.
 lint:
-	python -m repro lint src
+	python -m repro lint src --protocol
 	python -m repro lint benchmarks --select RPR008
 
 # The declared benchmark suite under the pinned protocol

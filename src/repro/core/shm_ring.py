@@ -52,6 +52,7 @@ from dataclasses import dataclass
 from typing import Callable
 from multiprocessing import resource_tracker, shared_memory
 
+from repro.core import shm_san
 from repro.util.timing import now
 
 __all__ = [
@@ -242,6 +243,8 @@ class ShmRing:
         self._acc = bytearray()
         self._need_header = True
         self._frame_len = 0
+        # None unless REPRO_SANITIZE=ring; see repro.core.shm_san.
+        self._san = shm_san.maybe_sanitizer(shm.name)
 
     # -- lifecycle ------------------------------------------------------ #
 
@@ -275,6 +278,8 @@ class ShmRing:
         if self._closed:
             return
         self._closed = True
+        if self._san is not None:
+            self._san.on_close()
         self._buf = None  # type: ignore[assignment]
         try:
             self._shm.close()
@@ -292,6 +297,8 @@ class ShmRing:
             self._shm.unlink()
         except FileNotFoundError:
             pass
+        if self._san is not None:
+            self._san.on_unlink()
 
     # -- header words --------------------------------------------------- #
 
@@ -336,29 +343,43 @@ class ShmRing:
         out producer must treat the ring as poisoned (the backend
         recreates rings rather than resuming them).
         """
+        san = self._san
+        if san is not None:
+            san.check_usable("put_frame")
+            san.begin_put()
+            data = san.stamp(data)
         payload = _FRAME_LEN.pack(len(data)) + data
         deadline = None if timeout is None else now() + timeout
         capacity = self._capacity
         tail = self._load(_TAIL_OFF)
         sent = 0
         poll_s = _POLL_MIN_S
-        while sent < len(payload):
-            free = capacity - (tail - self._load(_HEAD_OFF))
-            if free <= 0:
-                poll_s = self._wait(deadline, on_wait, poll_s)
-                continue
-            poll_s = _POLL_MIN_S
-            n = min(free, len(payload) - sent)
-            pos = tail % capacity
-            first = min(n, capacity - pos)
-            self._buf[_HEADER + pos : _HEADER + pos + first] = payload[sent : sent + first]
-            if n > first:
-                self._buf[_HEADER : _HEADER + n - first] = payload[
-                    sent + first : sent + n
-                ]
-            sent += n
-            tail += n
-            self._store(_TAIL_OFF, tail)  # publish *after* the copy
+        ok = False
+        try:
+            while sent < len(payload):
+                free = capacity - (tail - self._load(_HEAD_OFF))
+                if free <= 0:
+                    poll_s = self._wait(deadline, on_wait, poll_s)
+                    continue
+                poll_s = _POLL_MIN_S
+                n = min(free, len(payload) - sent)
+                pos = tail % capacity
+                first = min(n, capacity - pos)
+                self._buf[_HEADER + pos : _HEADER + pos + first] = payload[sent : sent + first]
+                if n > first:
+                    self._buf[_HEADER : _HEADER + n - first] = payload[
+                        sent + first : sent + n
+                    ]
+                sent += n
+                tail += n
+                self._store(_TAIL_OFF, tail)  # publish *after* the copy
+            ok = True
+        finally:
+            if san is not None:
+                # An aborted write (timeout, crash injection) leaves a
+                # partial frame pending; poison the endpoint so a later
+                # put is caught as an overlapping write.
+                san.end_put(ok)
 
     # -- consumer side --------------------------------------------------- #
 
@@ -372,6 +393,8 @@ class ShmRing:
         leaves the consumer returning ``None`` forever (which is exactly
         the signal the supervisor acts on).
         """
+        if self._san is not None:
+            self._san.check_usable("get_frame")
         deadline = None if timeout is None else now() + timeout
         capacity = self._capacity
         poll_s = _POLL_MIN_S
@@ -405,4 +428,6 @@ class ShmRing:
             frame = bytes(self._acc)
             self._acc = bytearray()
             self._need_header = True
+            if self._san is not None:
+                frame = self._san.verify(frame)
             return frame

@@ -1,0 +1,175 @@
+"""Runtime sanitizer for the shm ring transport (``REPRO_SANITIZE=ring``).
+
+The static layers — the protocol model checker and the RPR12x
+conformance rules in :mod:`repro.lint` — prove the *modeled* ring
+discipline sound and pin the source to it.  This module is the runtime
+counterpart: when the ``REPRO_SANITIZE`` environment variable contains
+``ring``, every :class:`repro.core.shm_ring.ShmRing` stamps an 8-byte
+``(sequence, crc32)`` trailer onto each outgoing frame and verifies it
+on receipt, so a torn frame, a replayed/skipped frame, or a write that
+overlaps a timed-out predecessor turns into a loud
+:class:`RingSanitizerError` at the exact frame instead of a corrupt
+pickle somewhere downstream.
+
+The trailer travels *inside* the length-prefixed frame, so the ring
+wire format is unchanged — both sides of a ring read the same
+environment (workers inherit it), so either both stamp/verify or
+neither does.  Frames are stripped back to their original bytes before
+the caller sees them: a sanitized build's output is byte-identical to
+an unsanitized (and to a serial) build.
+
+Everything the sanitizer observes is counted through
+:mod:`repro.obs.runtime` under the ``shm_san.`` prefix
+(``frames_stamped``, ``frames_verified``, ``seq_errors``,
+``crc_errors``, ``use_after_unlink``, ``overlapping_writes``), so a
+chaos run's ``run.metrics.json`` records both that the sanitizer was
+live and that it found nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+
+from repro.obs import runtime as obs
+
+__all__ = [
+    "RingSanitizerError",
+    "RingSanitizer",
+    "maybe_sanitizer",
+    "sanitize_rings_enabled",
+    "TRAILER_LEN",
+]
+
+#: Per-frame trailer: little-endian (sequence number, CRC-32 of payload).
+_TRAILER = struct.Struct("<II")
+TRAILER_LEN = _TRAILER.size
+
+_ENV_VAR = "REPRO_SANITIZE"
+_SEQ_MOD = 1 << 32
+
+
+def sanitize_rings_enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` lists the ``ring`` mode."""
+    modes = os.environ.get(_ENV_VAR, "")
+    return "ring" in {m.strip() for m in modes.split(",")}
+
+
+def maybe_sanitizer(name: str) -> "RingSanitizer | None":
+    """A sanitizer for ring ``name``, or ``None`` when the mode is off.
+
+    Called from ``ShmRing.__init__`` so the check is per-ring, not
+    per-frame: the unsanitized hot path costs one attribute test.
+    """
+    return RingSanitizer(name) if sanitize_rings_enabled() else None
+
+
+class RingSanitizerError(RuntimeError):
+    """The sanitizer observed a ring protocol violation.
+
+    Raised at the faulting call site; deliberately *not* a subclass of
+    the transport's timeout so supervision treats it as a real fault,
+    never as backpressure.
+    """
+
+
+class RingSanitizer:
+    """Per-ring-endpoint frame stamping, verification, and use checks.
+
+    One instance is owned by one :class:`ShmRing` object, i.e. one side
+    of one SPSC ring in one process — so producer and consumer sequence
+    counters both start at zero for a fresh ring, and a recreated ring
+    (worker restart) naturally restarts its numbering with the new
+    objects on both sides.
+    """
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._put_seq = 0
+        self._expect_seq = 0
+        self._in_put = False
+        self._poisoned = False
+        self._closed = False
+        self._unlinked = False
+
+    # -- lifecycle observation ------------------------------------------ #
+
+    def on_close(self) -> None:
+        self._closed = True
+
+    def on_unlink(self) -> None:
+        self._closed = True
+        self._unlinked = True
+
+    def check_usable(self, op: str) -> None:
+        """Fail fast on use-after-close / use-after-unlink."""
+        if self._closed or self._unlinked:
+            obs.count("shm_san.use_after_unlink")
+            state = "unlinked" if self._unlinked else "closed"
+            raise RingSanitizerError(
+                f"shm_san: {op} on {state} ring {self._name!r}"
+            )
+
+    # -- producer side --------------------------------------------------- #
+
+    def begin_put(self) -> None:
+        """Guard frame-write exclusivity on this endpoint.
+
+        Two hazards collapse into one check: a reentrant ``put_frame``
+        (e.g. from an ``on_wait`` callback) and a ``put_frame`` after a
+        timed-out predecessor left a partial frame pending — both would
+        interleave bytes of two frames in the stream.
+        """
+        if self._in_put or self._poisoned:
+            obs.count("shm_san.overlapping_writes")
+            why = (
+                "a timed-out put_frame left a partial frame pending"
+                if self._poisoned
+                else "another put_frame is still in progress"
+            )
+            raise RingSanitizerError(
+                f"shm_san: overlapping write on ring {self._name!r}: {why}"
+            )
+        self._in_put = True
+
+    def stamp(self, data: bytes) -> bytes:
+        """Append the ``(seq, crc32)`` trailer to an outgoing payload."""
+        seq = self._put_seq
+        self._put_seq = (self._put_seq + 1) % _SEQ_MOD
+        obs.count("shm_san.frames_stamped")
+        return data + _TRAILER.pack(seq, zlib.crc32(data) & 0xFFFFFFFF)
+
+    def end_put(self, ok: bool) -> None:
+        """Close the write guard; an aborted write poisons the endpoint."""
+        self._in_put = False
+        if not ok:
+            self._poisoned = True
+
+    # -- consumer side --------------------------------------------------- #
+
+    def verify(self, frame: bytes) -> bytes:
+        """Check and strip the trailer of one received frame."""
+        if len(frame) < TRAILER_LEN:
+            obs.count("shm_san.crc_errors")
+            raise RingSanitizerError(
+                f"shm_san: frame on ring {self._name!r} too short for a "
+                f"trailer ({len(frame)} bytes) — peer not sanitized?"
+            )
+        data = frame[:-TRAILER_LEN]
+        seq, crc = _TRAILER.unpack_from(frame, len(data))
+        problems = []
+        if seq != self._expect_seq:
+            obs.count("shm_san.seq_errors")
+            problems.append(f"sequence {seq}, expected {self._expect_seq}")
+        if zlib.crc32(data) & 0xFFFFFFFF != crc:
+            obs.count("shm_san.crc_errors")
+            problems.append("payload CRC mismatch (torn or corrupted frame)")
+        if problems:
+            raise RingSanitizerError(
+                f"shm_san: bad frame on ring {self._name!r}: "
+                + "; ".join(problems)
+            )
+        self._expect_seq = (seq + 1) % _SEQ_MOD
+        obs.count("shm_san.frames_verified")
+        return data

@@ -23,6 +23,9 @@ assert this.
 """
 
 from repro.lint.framework import Finding, lint_paths, registered_rules
-from repro.lint import races, rules  # noqa: F401  (importing registers the rules)
+from repro.lint import interproc, protocol, races, rules  # noqa: F401  (importing registers the rules)
 
-__all__ = ["Finding", "lint_paths", "registered_rules", "races", "rules"]
+__all__ = [
+    "Finding", "lint_paths", "registered_rules", "interproc", "protocol",
+    "races", "rules",
+]

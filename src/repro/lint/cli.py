@@ -11,9 +11,10 @@ import argparse
 import sys
 from typing import Sequence
 
-# Importing rules/races registers every rule with the framework.
-from repro.lint import races, rules  # noqa: F401
+# Importing rules/races/interproc/protocol registers every rule.
+from repro.lint import interproc, protocol, races, rules  # noqa: F401
 from repro.lint.framework import (
+    LintCache,
     format_json,
     format_text,
     lint_paths,
@@ -50,6 +51,18 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--list-rules", action="store_true",
         help="print every registered rule and exit",
     )
+    parser.add_argument(
+        "--protocol", action="store_true",
+        help="also model-check the shm ring / supervisor / segment protocols",
+    )
+    parser.add_argument(
+        "--max-states", type=int, default=500_000, metavar="N",
+        help="state budget per protocol model (with --protocol)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the incremental cache (.repro-lint-cache/)",
+    )
 
 
 def run(args: argparse.Namespace) -> int:
@@ -63,11 +76,27 @@ def run(args: argparse.Namespace) -> int:
     select = None
     if args.select:
         select = [c.strip() for c in args.select.split(",") if c.strip()]
+    cache = None if args.no_cache else LintCache()
     try:
-        lint_run = lint_paths(args.paths, select=select)
+        lint_run = lint_paths(args.paths, select=select, cache=cache)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+
+    # Allowlist self-validation (RPR103): an entry whose file was analyzed
+    # but that no RPR101 hit consumed is stale and must be pruned.  Like
+    # the mypy gate, this is a CLI-layer pass — it only makes sense over a
+    # full run, so --select skips it.
+    if select is None:
+        used = set(lint_run.facts.get(races.USED_ALLOWLIST_FACT, []))
+        stale = races.stale_allowlist_findings(lint_run.files, used)
+        if stale:
+            lint_run.findings.extend(stale)
+            lint_run.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+
+    protocol_reports = None
+    if args.protocol:
+        protocol_reports = protocol.verify_protocol(max_states=args.max_states)
 
     mypy_state = "skipped"
     if args.mypy != "off" and select is None:
@@ -87,12 +116,41 @@ def run(args: argparse.Namespace) -> int:
             mypy_state = "unavailable"
 
     if args.format == "json":
-        print(format_json(lint_run, extra={"mypy": mypy_state}))
+        extra: dict[str, object] = {
+            "mypy": mypy_state,
+            "cache_hits": lint_run.cache_hits,
+            "cache_misses": lint_run.cache_misses,
+        }
+        if protocol_reports is not None:
+            extra["protocol"] = [r.to_dict() for r in protocol_reports]
+        print(format_json(lint_run, extra=extra))
     else:
         print(format_text(lint_run))
         if mypy_state != "ran":
             print(f"mypy: {mypy_state}")
-    return 1 if (lint_run.findings or lint_run.parse_errors) else 0
+        if protocol_reports is not None:
+            for report in protocol_reports:
+                res = report.result
+                families = ", ".join(
+                    f"{name}={'ok' if held else 'VIOLATED'}"
+                    for name, held in sorted(report.families.items())
+                )
+                status = "ok" if report.ok else "FAILED"
+                budget = "" if res.complete else " (state budget exhausted)"
+                print(
+                    f"protocol: {report.name}: {status}{budget} — "
+                    f"{res.states} states, {res.transitions} transitions "
+                    f"in {res.elapsed_s:.2f}s; {families}"
+                )
+                for violation in res.violations:
+                    print(violation.render())
+
+    protocol_failed = protocol_reports is not None and any(
+        not r.ok for r in protocol_reports
+    )
+    return 1 if (
+        lint_run.findings or lint_run.parse_errors or protocol_failed
+    ) else 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -15,6 +15,7 @@ This module is stdlib-only by design — see :mod:`repro.lint`.
 from __future__ import annotations
 
 import ast
+import hashlib
 import json
 import os
 import re
@@ -25,7 +26,9 @@ __all__ = [
     "Finding",
     "Rule",
     "SourceFile",
+    "LintCache",
     "rule",
+    "register_project_builder",
     "registered_rules",
     "lint_paths",
     "format_text",
@@ -64,27 +67,48 @@ class Finding:
 
 @dataclass(frozen=True)
 class Rule:
-    """A registered check."""
+    """A registered check.
+
+    ``scope`` is ``"file"`` for rules that only look at one file, or
+    ``"project"`` for rules whose verdict on a file depends on *other*
+    files in the run (the interprocedural analyses).  The cache stores
+    the two finding sets separately: file-scope findings survive as long
+    as the file's content hash does, project-scope findings only as long
+    as the whole tree's hash does.
+    """
 
     code: str
     name: str
     check: Callable[["SourceFile"], Iterable[Finding]]
     description: str
+    scope: str = "file"
 
 
 _REGISTRY: dict[str, Rule] = {}
 
+#: Hooks run once per lint invocation, before any project-scope rule,
+#: with every parsed file of the run — this is how the interprocedural
+#: layer builds its cross-module model without the framework importing it.
+_PROJECT_BUILDERS: list[Callable[[list["SourceFile"]], None]] = []
 
-def rule(code: str, name: str) -> Callable[[Callable[["SourceFile"], Iterable[Finding]]], Callable[["SourceFile"], Iterable[Finding]]]:
+
+def rule(code: str, name: str, scope: str = "file") -> Callable[[Callable[["SourceFile"], Iterable[Finding]]], Callable[["SourceFile"], Iterable[Finding]]]:
     """Register ``check`` under ``code``; the docstring is the description."""
+    if scope not in ("file", "project"):
+        raise ValueError(f"bad rule scope {scope!r}")
 
     def decorate(check: Callable[["SourceFile"], Iterable[Finding]]) -> Callable[["SourceFile"], Iterable[Finding]]:
         if code in _REGISTRY:
             raise ValueError(f"duplicate lint rule code {code}")
-        _REGISTRY[code] = Rule(code, name, check, (check.__doc__ or "").strip())
+        _REGISTRY[code] = Rule(code, name, check, (check.__doc__ or "").strip(), scope)
         return check
 
     return decorate
+
+
+def register_project_builder(builder: Callable[[list["SourceFile"]], None]) -> None:
+    """Register a once-per-run hook fed every parsed file (see above)."""
+    _PROJECT_BUILDERS.append(builder)
 
 
 def registered_rules() -> dict[str, Rule]:
@@ -108,6 +132,15 @@ class SourceFile:
         self.tree = ast.parse(text, filename=path)
         self._line_disables: dict[int, set[str]] | None = None
         self._file_disables: set[str] | None = None
+        #: Side-channel facts rules record while checking (e.g. which race
+        #: allowlist entries actually matched).  Facts are cached alongside
+        #: findings, so a cache hit replays them — analyses built on facts
+        #: (allowlist staleness) stay sound under incremental runs.
+        self.facts: dict[str, list[str]] = {}
+
+    def record_fact(self, kind: str, value: str) -> None:
+        """Record a JSON-serializable fact for this file (see ``facts``)."""
+        self.facts.setdefault(kind, []).append(value)
 
     # -- suppressions ------------------------------------------------- #
 
@@ -189,35 +222,190 @@ class LintRun:
     findings: list[Finding] = field(default_factory=list)
     files_checked: int = 0
     parse_errors: int = 0
+    #: Normalized paths of every file the run covered (hits and misses).
+    files: list[str] = field(default_factory=list)
+    #: Aggregated :attr:`SourceFile.facts` across the run.
+    facts: dict[str, list[str]] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+# ---------------------------------------------------------------------- #
+# Incremental cache
+# ---------------------------------------------------------------------- #
+
+_CACHE_VERSION = 1
+
+
+class LintCache:
+    """Per-file findings keyed by content hash under ``.repro-lint-cache/``.
+
+    An entry is valid when the *salt* (lint-package sources, allowlist
+    content, selected codes) and the file's content hash both match;
+    file-scope findings and facts are then reused without parsing.  The
+    entry additionally remembers the whole run's *tree hash* — the hash
+    of every ``(path, content-hash)`` pair — and project-scope findings
+    are reused only while that matches, since an interprocedural verdict
+    on an unchanged file can change when a *different* file changes.  On
+    a fully unchanged tree nothing is parsed at all.
+    """
+
+    DEFAULT_DIR = ".repro-lint-cache"
+
+    def __init__(self, root: str | None = None) -> None:
+        self.root = root or self.DEFAULT_DIR
+
+    # -- keys ---------------------------------------------------------- #
+
+    @staticmethod
+    def salt(codes: Iterable[str], extra: Iterable[str] = ()) -> str:
+        """Hash of everything besides file content that affects findings."""
+        h = hashlib.sha256(f"v{_CACHE_VERSION}".encode())
+        for code in sorted(codes):
+            h.update(code.encode())
+        lint_dir = os.path.dirname(os.path.abspath(__file__))
+        for name in sorted(os.listdir(lint_dir)):
+            if not name.endswith((".py", ".txt")):
+                continue
+            h.update(name.encode())
+            with open(os.path.join(lint_dir, name), "rb") as fh:
+                h.update(hashlib.sha256(fh.read()).digest())
+        for item in extra:
+            h.update(item.encode())
+        return h.hexdigest()
+
+    def _entry_path(self, salt: str, path: str) -> str:
+        digest = hashlib.sha256(f"{salt}:{path}".encode()).hexdigest()
+        return os.path.join(self.root, f"{digest}.json")
+
+    # -- IO ------------------------------------------------------------- #
+
+    def load(self, salt: str, path: str, content_sha: str) -> dict | None:
+        try:
+            with open(self._entry_path(salt, path), "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if entry.get("content_sha") != content_sha:
+            return None
+        return entry
+
+    def store(self, salt: str, path: str, entry: dict) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        tmp = self._entry_path(salt, path) + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh)
+        os.replace(tmp, self._entry_path(salt, path))  # repro-lint: disable=RPR004 - cache entries are disposable, not durable state
+
+
+def _findings_to_json(findings: list[Finding]) -> list[dict[str, object]]:
+    return [f.to_dict() for f in findings]
+
+
+def _findings_from_json(raw: list[dict]) -> list[Finding]:
+    return [
+        Finding(str(d["code"]), str(d["path"]), int(d["line"]),  # type: ignore[arg-type]
+                int(d["col"]), str(d["message"]))  # type: ignore[arg-type]
+        for d in raw
+    ]
 
 
 def lint_paths(
     paths: Iterable[str],
     select: Iterable[str] | None = None,
+    cache: LintCache | None = None,
 ) -> LintRun:
     """Run the selected rules (default: all registered) over ``paths``."""
     codes = sorted(select) if select is not None else sorted(_REGISTRY)
     unknown = [c for c in codes if c not in _REGISTRY]
     if unknown:
         raise KeyError(f"unknown lint rule code(s): {', '.join(unknown)}")
+    file_codes = [c for c in codes if _REGISTRY[c].scope == "file"]
+    project_codes = [c for c in codes if _REGISTRY[c].scope == "project"]
     run = LintRun()
+
+    # Phase 1: read + hash everything (the tree hash needs all of it).
+    contents: list[tuple[str, str, str]] = []  # (path, text, content_sha)
+    tree = hashlib.sha256()
     for path in iter_python_files(paths):
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        sha = hashlib.sha256(text.encode()).hexdigest()
+        contents.append((path, text, sha))
+        tree.update(path.replace(os.sep, "/").encode())
+        tree.update(sha.encode())
+    tree_sha = tree.hexdigest()
+    salt = cache.salt(codes) if cache is not None else ""
+
+    def _apply(sf: SourceFile, rule_codes: list[str]) -> list[Finding]:
+        found: list[Finding] = []
+        for code in rule_codes:
+            for finding in _REGISTRY[code].check(sf):
+                if not sf.suppressed(finding.code, finding.line):
+                    found.append(finding)
+        return found
+
+    # Phase 2: serve what we can from the cache; parse the rest.
+    parsed: list[tuple[SourceFile, str, dict | None]] = []
+    for path, text, sha in contents:
+        norm = path.replace(os.sep, "/")
+        entry = cache.load(salt, path, sha) if cache is not None else None
+        if entry is not None and (
+            not project_codes or entry.get("tree_sha") == tree_sha
+        ):
+            run.cache_hits += 1
+            run.files_checked += 1
+            run.files.append(norm)
+            run.findings.extend(_findings_from_json(entry["local"]))
+            run.findings.extend(_findings_from_json(entry.get("project", [])))
+            for kind, values in entry.get("facts", {}).items():
+                run.facts.setdefault(kind, []).extend(values)
+            continue
         try:
-            with open(path, "r", encoding="utf-8") as fh:
-                text = fh.read()
             sf = SourceFile(path, text)
         except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
             run.parse_errors += 1
             lineno = getattr(exc, "lineno", None) or 1
             run.findings.append(
-                Finding("RPR000", path.replace(os.sep, "/"), lineno, 1, f"cannot parse: {exc}")
+                Finding("RPR000", norm, lineno, 1, f"cannot parse: {exc}")
             )
             continue
+        run.cache_misses += 1
         run.files_checked += 1
-        for code in codes:
-            for finding in _REGISTRY[code].check(sf):
-                if not sf.suppressed(finding.code, finding.line):
-                    run.findings.append(finding)
+        run.files.append(norm)
+        parsed.append((sf, sha, entry))
+
+    # Phase 3: file-scope rules (reusing content-valid entries), then the
+    # project model over every parsed file, then project-scope rules.
+    results: list[tuple[SourceFile, str, list[Finding], list[Finding]]] = []
+    for sf, sha, entry in parsed:
+        if entry is not None:
+            local = _findings_from_json(entry["local"])
+            for kind, values in entry.get("facts", {}).items():
+                sf.facts.setdefault(kind, []).extend(values)
+        else:
+            local = _apply(sf, file_codes)
+        results.append((sf, sha, local, []))
+    if project_codes and parsed:
+        for builder in _PROJECT_BUILDERS:
+            builder([sf for sf, _, _ in parsed])
+    for i, (sf, sha, local, _) in enumerate(results):
+        project = _apply(sf, project_codes) if project_codes else []
+        results[i] = (sf, sha, local, project)
+        run.findings.extend(local)
+        run.findings.extend(project)
+        for kind, values in sf.facts.items():
+            run.facts.setdefault(kind, []).extend(values)
+        if cache is not None:
+            cache.store(salt, sf.path, {
+                "content_sha": sha,
+                "tree_sha": tree_sha,
+                "local": _findings_to_json(local),
+                "project": _findings_to_json(project),
+                "facts": sf.facts,
+            })
+
+    run.files.sort()
     run.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return run
 

@@ -1,0 +1,183 @@
+"""Bounded explicit-state model checker for the protocol verifier.
+
+``repro lint --protocol`` proves cross-process invariants (no torn
+frame, no lost frame under replay, no double unlink, heartbeat
+monotonicity) by *exhaustive exploration*: the protocols in
+:mod:`repro.lint.protocol` are encoded as small transition systems, and
+this module enumerates every reachable interleaving of their actions —
+including injected crash points — with state hashing so each state is
+visited once.
+
+The checker is deliberately tiny and stdlib-only (the lint package must
+never import the engine):
+
+- a *model* is any object with ``name``, ``initial_states()``,
+  ``actions(state)``, ``invariants()`` and ``is_terminal(state)``;
+- states are hashable values (tuples of tuples all the way down);
+- :func:`explore` runs a breadth-first sweep, checks every invariant in
+  every state, records predecessor links, and reconstructs a minimal
+  counterexample trace for the first violation of each invariant;
+- a non-terminal state with no enabled action is reported as a
+  *deadlock* — that is how the bounded-wait family of properties is
+  checked (a correct SPSC ring can never wedge both sides at once).
+
+Exhaustiveness is the point: a chaos test samples a handful of
+schedules, the checker visits all of them (within the model's bounds),
+so "the invariant held" means *no* interleaving breaks it, not "none of
+the ones we happened to run".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Protocol
+
+__all__ = [
+    "Model",
+    "Violation",
+    "ExploreResult",
+    "explore",
+]
+
+State = Hashable
+
+
+class Model(Protocol):
+    """What :func:`explore` needs from a transition system."""
+
+    name: str
+
+    def initial_states(self) -> Iterable[State]:
+        """All starting states (usually one)."""
+        ...
+
+    def actions(self, state: State) -> Iterable[tuple[str, State]]:
+        """Enabled ``(label, successor)`` pairs in ``state``."""
+        ...
+
+    def invariants(self) -> "list[tuple[str, Callable[[State], str | None]]]":
+        """``(family, check)`` pairs; ``check`` returns an error or None."""
+        ...
+
+    def is_terminal(self, state: State) -> bool:
+        """True when ``state`` is an *expected* quiescent end state."""
+        ...
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant failure with its minimal counterexample."""
+
+    invariant: str
+    detail: str
+    trace: tuple[str, ...]
+    state: State
+
+    def render(self) -> str:
+        steps = " -> ".join(self.trace) if self.trace else "<initial>"
+        return f"{self.invariant}: {self.detail}\n  trace: {steps}"
+
+
+@dataclass
+class ExploreResult:
+    """Everything one exhaustive sweep established."""
+
+    model: str
+    states: int = 0
+    transitions: int = 0
+    elapsed_s: float = 0.0
+    #: True when the frontier drained before hitting ``max_states``.
+    complete: bool = True
+    violations: list[Violation] = field(default_factory=list)
+    deadlocks: list[Violation] = field(default_factory=list)
+    terminal_states: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.deadlocks and self.complete
+
+    def invariant_families(self, model: Model) -> dict[str, bool]:
+        """Family → held?, over the model's declared invariants."""
+        broken = {v.invariant for v in self.violations}
+        return {name: name not in broken for name, _ in model.invariants()}
+
+
+def _trace_to(
+    state: State, parents: "dict[State, tuple[State, str] | None]"
+) -> tuple[str, ...]:
+    labels: list[str] = []
+    cursor: State | None = state
+    while cursor is not None:
+        link = parents[cursor]
+        if link is None:
+            break
+        cursor, label = link
+        labels.append(label)
+    return tuple(reversed(labels))
+
+
+def explore(
+    model: Model,
+    max_states: int = 500_000,
+    first_violation_only: bool = True,
+) -> ExploreResult:
+    """Breadth-first exhaustive exploration with state hashing.
+
+    Visits every state reachable from the initial states (bounded by
+    ``max_states`` as a runaway backstop — a completed sweep reports
+    ``complete=True``), evaluates every invariant in every state, and
+    flags non-terminal states with no enabled action as deadlocks.  With
+    ``first_violation_only`` each invariant family reports only its
+    shortest counterexample (BFS order makes the first one minimal).
+    """
+    t0 = time.perf_counter()  # repro-lint: disable=RPR008 - checker self-timing, never a build artifact
+    result = ExploreResult(model=model.name)
+    invariants = model.invariants()
+    seen_families: set[str] = set()
+    parents: "dict[State, tuple[State, str] | None]" = {}
+    frontier: list[State] = []
+    for init in model.initial_states():
+        if init not in parents:
+            parents[init] = None
+            frontier.append(init)
+    cursor = 0
+    deadlock_reported = False
+    while cursor < len(frontier):
+        state = frontier[cursor]
+        cursor += 1
+        result.states += 1
+        for family, check in invariants:
+            if first_violation_only and family in seen_families:
+                continue
+            detail = check(state)
+            if detail is not None:
+                seen_families.add(family)
+                result.violations.append(
+                    Violation(family, detail, _trace_to(state, parents), state)
+                )
+        enabled = 0
+        for label, succ in model.actions(state):
+            enabled += 1
+            result.transitions += 1
+            if succ not in parents:
+                parents[succ] = (state, label)
+                frontier.append(succ)
+        if enabled == 0:
+            if model.is_terminal(state):
+                result.terminal_states += 1
+            elif not (first_violation_only and deadlock_reported):
+                deadlock_reported = True
+                result.deadlocks.append(
+                    Violation(
+                        "bounded-wait",
+                        "non-terminal state with no enabled action (deadlock)",
+                        _trace_to(state, parents),
+                        state,
+                    )
+                )
+        if result.states >= max_states:
+            result.complete = False
+            break
+    result.elapsed_s = time.perf_counter() - t0  # repro-lint: disable=RPR008 - checker self-timing
+    return result

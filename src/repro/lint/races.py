@@ -38,7 +38,15 @@ from typing import Iterator
 
 from repro.lint.framework import Finding, SourceFile, rule
 
-__all__ = ["set_allowlist_path", "load_allowlist", "DEFAULT_ALLOWLIST_PATH"]
+__all__ = [
+    "set_allowlist_path",
+    "load_allowlist",
+    "load_allowlist_lines",
+    "stale_allowlist_findings",
+    "allowlist_path",
+    "DEFAULT_ALLOWLIST_PATH",
+    "USED_ALLOWLIST_FACT",
+]
 
 DEFAULT_ALLOWLIST_PATH = os.path.join(os.path.dirname(__file__), "race_allowlist.txt")
 
@@ -47,20 +55,31 @@ _LOCKISH_RE = re.compile(r"lock|mutex", re.IGNORECASE)
 _POOL_DISPATCH = ("submit", "map", "apply_async")
 
 
+#: Fact kind under which RPR101 records every allowlist entry that
+#: actually suppressed (or would suppress) a finding — the staleness
+#: check consumes these, and the cache replays them on hits.
+USED_ALLOWLIST_FACT = "race-allowlist-used"
+
+
 def set_allowlist_path(path: str | None) -> None:
     """Point the analyzer at a different allowlist (``None`` = default)."""
     global _allowlist_path
     _allowlist_path = path if path is not None else DEFAULT_ALLOWLIST_PATH
 
 
-def load_allowlist(path: str | None = None) -> list[tuple[str, str]]:
-    """Parse ``<path-suffix>::<key>`` lines; ``#`` starts a comment."""
+def allowlist_path() -> str:
+    """The allowlist file the analyzer currently consults."""
+    return _allowlist_path
+
+
+def load_allowlist_lines(path: str | None = None) -> list[tuple[int, str, str]]:
+    """Parse ``<path-suffix>::<key>`` lines as ``(lineno, suffix, key)``."""
     target = path if path is not None else _allowlist_path
-    entries: list[tuple[str, str]] = []
+    entries: list[tuple[int, str, str]] = []
     if not os.path.exists(target):
         return entries
     with open(target, "r", encoding="utf-8") as fh:
-        for raw in fh:
+        for lineno, raw in enumerate(fh, start=1):
             line = raw.split("#", 1)[0].strip()
             if not line:
                 continue
@@ -70,18 +89,59 @@ def load_allowlist(path: str | None = None) -> list[tuple[str, str]]:
                     "(expected <path-suffix>::<Class.attr | global>)"
                 )
             suffix, key = line.split("::", 1)
-            entries.append((suffix.strip(), key.strip()))
+            entries.append((lineno, suffix.strip(), key.strip()))
     return entries
 
 
-def _allowlisted(path: str, key: str, entries: list[tuple[str, str]]) -> bool:
+def load_allowlist(path: str | None = None) -> list[tuple[str, str]]:
+    """Parse ``<path-suffix>::<key>`` lines; ``#`` starts a comment."""
+    return [(suffix, key) for _, suffix, key in load_allowlist_lines(path)]
+
+
+def _allowlisted(
+    path: str, key: str, entries: list[tuple[str, str]]
+) -> tuple[str, str] | None:
+    """The matching allowlist entry, or ``None``."""
     short = key.rsplit(".", 1)[-1]
     for suffix, entry_key in entries:
         if not path.endswith(suffix):
             continue
         if key == entry_key or short == entry_key.rsplit(".", 1)[-1]:
-            return True
-    return False
+            return (suffix, entry_key)
+    return None
+
+
+def stale_allowlist_findings(
+    files: list[str], used: set[str], path: str | None = None
+) -> list[Finding]:
+    """RPR103 findings for entries that no longer match any source.
+
+    An entry is *stale* when its file suffix matched a file the run
+    actually analyzed, yet the entry never suppressed anything there —
+    the vetted write it documented is gone.  Entries whose file was not
+    part of the run are left alone (nothing can be concluded).  Like the
+    mypy bridge (RPR201), this runs at the CLI layer, not as a
+    registered per-file rule: its input is a whole run, not one file.
+    """
+    target = path if path is not None else _allowlist_path
+    findings: list[Finding] = []
+    for lineno, suffix, key in load_allowlist_lines(target):
+        if not any(f.endswith(suffix) for f in files):
+            continue
+        if f"{suffix}::{key}" in used:
+            continue
+        findings.append(
+            Finding(
+                "RPR103",
+                target.replace(os.sep, "/"),
+                lineno,
+                1,
+                f"stale race-allowlist entry '{suffix}::{key}': no write in "
+                f"the analyzed tree matches it any more — remove the entry "
+                "(or re-vet the code it used to cover)",
+            )
+        )
+    return findings
 
 
 # ---------------------------------------------------------------------- #
@@ -399,7 +459,9 @@ def check_unguarded_writes(sf: SourceFile) -> Iterator[Finding]:
                     continue
                 if _is_locked(node.lineno, spans):
                     continue
-                if _allowlisted(sf.path, key, allow):
+                matched = _allowlisted(sf.path, key, allow)
+                if matched is not None:
+                    sf.record_fact(USED_ALLOWLIST_FACT, f"{matched[0]}::{matched[1]}")
                     continue
                 yield sf.finding(
                     "RPR101",

@@ -1,0 +1,43 @@
+"""Failing fixture for RPR111: parent-only values crossing the fork.
+
+Parsed by ``repro lint``, never imported.
+"""
+
+import threading
+from multiprocessing import Process
+
+
+def spin(guard):
+    with guard:
+        pass
+
+
+def leaky_closure():
+    log = open("/tmp/pump.log", "a")
+
+    def worker():
+        log.write("hi from the child\n")
+
+    Process(target=worker).start()                  # RPR111: captured handle
+
+
+def lock_through_args():
+    guard = threading.Lock()
+    Process(target=spin, args=(guard,)).start()     # RPR111: lock across fork
+
+
+class Pump:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def start(self):
+        Process(target=self._run).start()           # RPR111: bound method
+
+    def _run(self):
+        with self._lock:
+            pass
+
+
+def vetted_twin():
+    guard = threading.Lock()
+    Process(target=spin, args=(guard,)).start()  # repro-lint: disable=RPR111 - fixture twin

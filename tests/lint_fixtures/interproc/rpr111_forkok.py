@@ -1,0 +1,18 @@
+"""Passing fixture for RPR111: the WorkerSpec pattern, cross-module.
+
+The spawn target and the spec class live in ``worker_like.py`` — the
+project model must resolve both through the import edge and conclude
+that only plain data crosses the boundary (a ``.spec()`` descriptor
+call on a live ring is data, not the ring).  Parsed, never imported.
+"""
+
+from multiprocessing import Process
+
+from worker_like import WorkerSpec, worker_main
+
+
+def launch(key, ring):
+    spec = WorkerSpec(key, 4, ring.spec())
+    proc = Process(target=worker_main, args=(spec,), daemon=True)
+    proc.start()
+    return proc

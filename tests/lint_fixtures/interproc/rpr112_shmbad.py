@@ -1,0 +1,23 @@
+"""Failing fixture for RPR112: created segments with no release path.
+
+Parsed by ``repro lint``, never imported.
+"""
+
+
+def leak(capacity):
+    ring = ShmRing.create("repro_mp_demo", capacity)     # RPR112: never released
+    return ring.name()
+
+
+class Pool:
+    def grow(self):
+        self._spare = ShmRing.create("repro_mp_spare", 1024)  # RPR112: no release
+
+
+def dropped(capacity):
+    ShmRing.create("repro_mp_tmp", capacity)             # RPR112: result discarded
+
+
+def vetted_twin(capacity):
+    orphan = ShmRing.create("repro_mp_twin", capacity)  # repro-lint: disable=RPR112 - fixture twin
+    return orphan

@@ -1,0 +1,21 @@
+"""Passing fixture for RPR112: every create is dominated by a release.
+
+Parsed by ``repro lint``, never imported.
+"""
+
+
+def roundtrip(capacity):
+    ring = ShmRing.create("repro_mp_a", capacity)
+    try:
+        return ring.name()
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+class Engine:
+    def open_rings(self, capacity):
+        self._ring = ShmRing.create("repro_mp_b", capacity)
+
+    def shutdown(self):
+        self._ring.unlink()

@@ -1,0 +1,15 @@
+"""Companion module for the RPR111 vetted negative: a plain-data spec
+and a module-level entry, imported by ``rpr111_forkok.py`` so the
+cross-module resolution path is exercised.  Parsed, never imported.
+"""
+
+
+class WorkerSpec:
+    def __init__(self, key, shards, ring_name):
+        self.key = key
+        self.shards = shards
+        self.ring_name = ring_name
+
+
+def worker_main(spec):
+    return spec.key

@@ -1,0 +1,27 @@
+"""Failing conformance fixture: dispatch that sends before journaling.
+
+Named ``mp_backend.py`` on purpose — RPR121 scopes by filename so the
+real backend cannot drift from the supervisor-replay model.  Parsed by
+``repro lint``, never imported.
+"""
+
+
+class SendFirstEngine:
+    def _dispatch(self, slot, task):                 # RPR121: send before journal
+        self._put(slot, task.to_frame())
+        slot.journal.append(task)
+
+    def _top_up(self, slot, task):                   # RPR121: send before record
+        self._put(slot, task.to_frame())
+        slot.outstanding.append(task)
+
+
+class ForgetfulEngine:
+    def _dispatch(self, slot, task):                 # RPR121: journal append gone
+        self._put(slot, task.to_frame())
+
+
+class SuppressedTwinEngine:
+    def _dispatch(self, slot, task):  # repro-lint: disable=RPR121 - fixture twin
+        self._put(slot, task.to_frame())
+        slot.journal.append(task)

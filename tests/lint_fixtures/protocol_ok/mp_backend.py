@@ -1,0 +1,16 @@
+"""Passing conformance fixture: journal-write happens-before ring-send.
+
+The vetted negative for RPR121, shaped like the real
+``core/mp_backend.py`` dispatch path.  Parsed by ``repro lint``, never
+imported.
+"""
+
+
+class GoodEngine:
+    def _dispatch(self, slot, task):
+        slot.journal.append(task)        # record first ...
+        self._put(slot, task.to_frame()) # ... then send
+
+    def _top_up(self, slot, task):
+        slot.outstanding.append(task)
+        self._put(slot, task.to_frame())

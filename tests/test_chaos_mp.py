@@ -189,6 +189,58 @@ class TestPoison:
         _assert_recovered(out, serial_reference)
 
 
+class TestRingSanitizer:
+    """``REPRO_SANITIZE=ring`` must be invisible except in counters.
+
+    The sanitizer stamps a (sequence, crc32) trailer inside every ring
+    frame and strips it on receipt (see ``repro.core.shm_san``); a
+    sanitized build therefore has to stay byte-identical to the serial
+    reference while ``run.metrics.json`` proves the checks actually ran
+    and found nothing.
+    """
+
+    _ERROR_COUNTERS = ("shm_san.seq_errors", "shm_san.crc_errors",
+                       "shm_san.use_after_unlink",
+                       "shm_san.overlapping_writes")
+
+    def test_sanitized_build_is_byte_identical(
+            self, tiny_collection, serial_reference, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "ring")
+        out = str(tmp_path / "idx")
+        result = IndexingEngine(_cfg()).build(tiny_collection, out)
+        assert result.supervisor.clean
+        counters = _assert_recovered(out, serial_reference)
+        assert counters["shm_san.frames_stamped"] > 0
+        assert counters["shm_san.frames_verified"] > 0
+        for key in self._ERROR_COUNTERS:
+            assert counters.get(key, 0) == 0, key
+
+    def test_sanitizer_survives_worker_crash(
+            self, tiny_collection, serial_reference, tmp_path, monkeypatch):
+        """Ring recreation on restart resets the frame numbering on both
+        sides, so replay must not read as a sequence error."""
+        monkeypatch.setenv("REPRO_SANITIZE", "ring")
+        out = str(tmp_path / "idx")
+        result = _chaos_build(
+            FaultSpec(kind="worker_crash", worker="cpu-0",
+                      path_substring="file_00001", stage="build"),
+            tiny_collection, out,
+        )
+        assert result.supervisor.restarts == 1
+        counters = _assert_recovered(out, serial_reference)
+        assert counters["shm_san.frames_stamped"] > 0
+        for key in self._ERROR_COUNTERS:
+            assert counters.get(key, 0) == 0, key
+
+    def test_unsanitized_build_has_no_sanitizer_counters(
+            self, tiny_collection, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        out = str(tmp_path / "idx")
+        IndexingEngine(_cfg()).build(tiny_collection, out)
+        counters = load_metrics(os.path.join(out, METRICS_FILENAME))["counters"]
+        assert not [k for k in counters if k.startswith("shm_san.")]
+
+
 class TestShmLeaks:
     def test_no_segments_after_crashy_build(self, tiny_collection, tmp_path):
         out = str(tmp_path / "idx")

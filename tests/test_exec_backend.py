@@ -53,15 +53,17 @@ def _metric_sections(index_dir: str) -> dict:
     """Deterministic metric sections, with the backend-specific extras cut.
 
     ``pipeline.*`` and ``supervisor.*`` only exist for the concurrent
-    backends, and ``checkpoint.bytes`` tracks the output directory's
-    path length; everything else must match exactly across backends.
+    backends, ``shm_san.*`` only when ``REPRO_SANITIZE=ring`` arms the
+    ring sanitizer, and ``checkpoint.bytes`` tracks the output
+    directory's path length; everything else must match exactly across
+    backends.
     """
     payload = load_metrics(os.path.join(index_dir, METRICS_FILENAME))
     sections = {}
     for section in ("counters", "gauges", "histograms"):
         sections[section] = {
             k: v for k, v in payload[section].items()
-            if not k.startswith(("pipeline.", "supervisor."))
+            if not k.startswith(("pipeline.", "supervisor.", "shm_san."))
         }
     sections["histograms"].pop("checkpoint.bytes", None)
     return sections

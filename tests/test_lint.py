@@ -13,6 +13,7 @@ Three layers of coverage, mirroring docs/STATIC_ANALYSIS.md:
 
 from __future__ import annotations
 
+import json
 import os
 import subprocess
 import sys
@@ -21,6 +22,7 @@ import pytest
 
 from repro.lint import lint_paths, registered_rules
 from repro.lint import races
+from repro.lint.framework import LintCache
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC = os.path.join(REPO, "src")
@@ -58,6 +60,24 @@ RULE_FIXTURES = [
     ("RPR101", fixture("rpr101_races.py"), 2),
     ("RPR102", fixture("rpr102_deadlock.py"), 1),
     ("RPR110", fixture("rpr110_mp_entry.py"), 4),
+    ("RPR111", fixture("interproc", "rpr111_forkbad.py"), 3),
+    ("RPR112", fixture("interproc", "rpr112_shmbad.py"), 3),
+    ("RPR120", fixture("protocol_bad", "shm_ring.py"), 2),
+    ("RPR121", fixture("protocol_bad", "mp_backend.py"), 3),
+    ("RPR122", fixture("protocol_bad", "shm_ring.py"), 2),
+    ("RPR123", fixture("protocol_bad", "shm_ring.py"), 3),
+]
+
+# Vetted negatives: fixture sets that must produce zero findings for the
+# given codes (the interproc rows exercise cross-module resolution).
+OK_FIXTURES = [
+    (["RPR120", "RPR121", "RPR122", "RPR123"],
+     [fixture("protocol_ok", "shm_ring.py"),
+      fixture("protocol_ok", "mp_backend.py")]),
+    (["RPR111", "RPR112"],
+     [fixture("interproc", "rpr111_forkok.py"),
+      fixture("interproc", "worker_like.py"),
+      fixture("interproc", "rpr112_shmok.py")]),
 ]
 
 
@@ -92,6 +112,13 @@ class TestRuleFixtures:
 
     def test_file_level_suppression(self):
         run = lint_paths([fixture("rpr102_suppressed.py")], select=["RPR102"])
+        assert run.findings == []
+
+    @pytest.mark.parametrize("codes,paths", OK_FIXTURES,
+                             ids=["protocol-ok", "interproc-ok"])
+    def test_vetted_negatives_stay_clean(self, codes, paths):
+        run = lint_paths(paths, select=codes)
+        assert run.files_checked == len(paths)
         assert run.findings == []
 
     def test_unknown_rule_code(self):
@@ -158,10 +185,17 @@ class TestSelfCheck:
         codes = set(registered_rules())
         assert codes == {
             "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
-            "RPR007", "RPR008", "RPR101", "RPR102", "RPR110",
+            "RPR007", "RPR008", "RPR101", "RPR102", "RPR110", "RPR111",
+            "RPR112", "RPR120", "RPR121", "RPR122", "RPR123",
         }
         for reg in registered_rules().values():
             assert reg.description, f"{reg.code} has no description"
+
+    def test_interprocedural_rules_are_project_scoped(self):
+        regs = registered_rules()
+        assert regs["RPR111"].scope == "project"
+        assert regs["RPR112"].scope == "project"
+        assert regs["RPR120"].scope == "file"
 
 
 class TestIsolation:
@@ -198,3 +232,209 @@ class TestIsolation:
         assert run.findings[0].code == "RPR000"
         proc = run_cli(str(broken))
         assert proc.returncode == 1
+
+
+_RACY_MODULE = (
+    "import threading\n"
+    "\n"
+    "\n"
+    "class C:\n"
+    "    def __init__(self):\n"
+    "        self.n = 0\n"
+    "        self._t = threading.Thread(target=self._w)\n"
+    "\n"
+    "    def _w(self):\n"
+    "        self.n += 1\n"
+    "\n"
+    "    def reset(self):\n"
+    "        self.n = 0\n"
+)
+
+
+class TestAllowlistStaleness:
+    """The race allowlist self-validates: entries nothing consumes fail.
+
+    RPR101 records a ``race-allowlist-used`` fact for every entry that
+    actually vets a write; the CLI then flags, as RPR103, any entry whose
+    file was analyzed but whose key was never consumed.
+    """
+
+    def _run(self, allow_text, tmp_path, paths):
+        allow = tmp_path / "allow.txt"
+        allow.write_text(allow_text)
+        races.set_allowlist_path(str(allow))
+        try:
+            run = lint_paths(paths, select=["RPR101"])
+            used = set(run.facts.get(races.USED_ALLOWLIST_FACT, []))
+            stale = races.stale_allowlist_findings(
+                run.files, used, str(allow))
+        finally:
+            races.set_allowlist_path(None)
+        return run, stale
+
+    def test_consumed_entry_is_not_stale(self, tmp_path):
+        run, stale = self._run(
+            "lint_fixtures/rpr101_races.py::Counter.count\n",
+            tmp_path, [fixture("rpr101_races.py")],
+        )
+        assert run.findings == []  # the entry vetted both writes...
+        assert stale == []         # ...so it is live, not stale
+
+    def test_dead_entry_is_flagged_at_its_line(self, tmp_path):
+        run, stale = self._run(
+            "# vetted writes\n"
+            "lint_fixtures/rpr101_races.py::Counter.count\n"
+            "lint_fixtures/rpr101_races.py::Counter.ghost\n",
+            tmp_path, [fixture("rpr101_races.py")],
+        )
+        assert [f.code for f in stale] == ["RPR103"]
+        assert stale[0].line == 3
+        assert "Counter.ghost" in stale[0].message
+        assert stale[0].path.endswith("allow.txt")
+
+    def test_entry_for_unanalyzed_file_is_left_alone(self, tmp_path):
+        """Staleness is only decidable for files in the analyzed set."""
+        _, stale = self._run(
+            "some/other_module.py::Thing.attr\n",
+            tmp_path, [fixture("rpr101_races.py")],
+        )
+        assert stale == []
+
+    def test_cli_fails_on_stale_entry(self, tmp_path):
+        mod = tmp_path / "plain_mod.py"
+        mod.write_text("X = 1\n")
+        allow = tmp_path / "allow.txt"
+        allow.write_text("plain_mod.py::Ghost.attr\n")
+        proc = run_cli(str(mod), "--allowlist", str(allow),
+                       "--mypy", "off", "--no-cache")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "RPR103" in proc.stdout
+
+    def test_shipped_allowlist_has_no_stale_entries(self):
+        """Every entry in the package allowlist is still consumed when
+        linting ``src`` (the CI gate — see test_src_tree_lints_clean)."""
+        run = lint_paths([SRC], select=["RPR101"])
+        used = set(run.facts.get(races.USED_ALLOWLIST_FACT, []))
+        assert races.stale_allowlist_findings(run.files, used) == []
+
+
+class TestLintCache:
+    def test_second_run_hits_and_replays_findings(self, tmp_path):
+        mod = tmp_path / "timed.py"
+        mod.write_text("import time\n\n\ndef t():\n    return time.time()\n")
+        cache = LintCache(str(tmp_path / "cache"))
+        r1 = lint_paths([str(mod)], cache=cache)
+        assert (r1.cache_hits, r1.cache_misses) == (0, 1)
+        assert r1.findings, "expected the RPR008 clock finding"
+        r2 = lint_paths([str(mod)], cache=cache)
+        assert (r2.cache_hits, r2.cache_misses) == (1, 0)
+        assert ([(f.code, f.line) for f in r1.findings]
+                == [(f.code, f.line) for f in r2.findings])
+
+    def test_edit_invalidates_the_entry(self, tmp_path):
+        mod = tmp_path / "timed.py"
+        mod.write_text("import time\n\n\ndef t():\n    return time.time()\n")
+        cache = LintCache(str(tmp_path / "cache"))
+        lint_paths([str(mod)], cache=cache)
+        mod.write_text("def t():\n    return 0\n")
+        r2 = lint_paths([str(mod)], cache=cache)
+        assert (r2.cache_hits, r2.cache_misses) == (0, 1)
+        assert r2.findings == []
+
+    def test_cross_file_edit_reruns_project_rules(self, tmp_path):
+        """A project-scope verdict on an *unchanged* file is recomputed
+        when any other file changes (the tree hash gates reuse)."""
+        leak = tmp_path / "leaky.py"
+        leak.write_text(
+            "def f(c):\n    ring = ShmRing.create('repro_mp_x', c)\n"
+            "    return ring.name()\n"
+        )
+        other = tmp_path / "other.py"
+        other.write_text("A = 1\n")
+        cache = LintCache(str(tmp_path / "cache"))
+        r1 = lint_paths([str(leak), str(other)], select=["RPR112"],
+                        cache=cache)
+        assert [f.code for f in r1.findings] == ["RPR112"]
+        r2 = lint_paths([str(leak), str(other)], select=["RPR112"],
+                        cache=cache)
+        assert (r2.cache_hits, r2.cache_misses) == (2, 0)
+        assert [f.code for f in r2.findings] == ["RPR112"]
+        other.write_text("A = 2\n")
+        r3 = lint_paths([str(leak), str(other)], select=["RPR112"],
+                        cache=cache)
+        assert r3.cache_hits == 0  # tree changed: nothing fully reusable
+        assert [f.code for f in r3.findings] == ["RPR112"]
+
+    def test_allowlist_facts_survive_cache_replay(self, tmp_path):
+        """Incremental runs must not mistake a cached-but-live entry for
+        a stale one: facts are cached with the findings."""
+        mod = tmp_path / "racy_mod.py"
+        mod.write_text(_RACY_MODULE)
+        allow = tmp_path / "allow.txt"
+        allow.write_text("racy_mod.py::C.n\n")
+        races.set_allowlist_path(str(allow))
+        cache = LintCache(str(tmp_path / "cache"))
+        try:
+            r1 = lint_paths([str(mod)], select=["RPR101"], cache=cache)
+            r2 = lint_paths([str(mod)], select=["RPR101"], cache=cache)
+        finally:
+            races.set_allowlist_path(None)
+        assert r2.cache_hits == 1
+        for run in (r1, r2):
+            assert run.findings == []
+            used = set(run.facts.get(races.USED_ALLOWLIST_FACT, []))
+            assert used == {"racy_mod.py::C.n"}
+            assert races.stale_allowlist_findings(
+                run.files, used, str(allow)) == []
+
+    def test_cli_reports_cache_stats_and_no_cache_disables(self, tmp_path):
+        mod = tmp_path / "plain.py"
+        mod.write_text("A = 1\n")
+        proc = run_cli(str(mod), "--select", "RPR008", "--format", "json")
+        payload = json.loads(proc.stdout)
+        assert {"cache_hits", "cache_misses"} <= set(payload)
+        proc2 = run_cli(str(mod), "--select", "RPR008", "--format", "json",
+                        "--no-cache")
+        payload2 = json.loads(proc2.stdout)
+        assert payload2["cache_hits"] == 0
+
+
+class TestProtocolCLI:
+    """``repro lint --protocol`` — the model-checker CLI surface."""
+
+    _OK_PATH = fixture("protocol_ok", "shm_ring.py")
+
+    def test_protocol_reports_every_model_and_family(self):
+        proc = run_cli(self._OK_PATH, "--select", "RPR120", "--protocol")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        out = proc.stdout
+        for name in ("spsc-ring", "supervisor-replay", "segment-ownership"):
+            assert name in out
+        for family in ("torn-frame", "lost-frame-under-replay",
+                       "double-unlink", "heartbeat-monotonicity",
+                       "bounded-wait"):
+            assert family in out
+        assert "states" in out
+        assert "VIOLATED" not in out
+        assert "FAILED" not in out
+
+    def test_protocol_json_artifact(self):
+        proc = run_cli(self._OK_PATH, "--select", "RPR120",
+                       "--format", "json", "--protocol")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        reports = payload["protocol"]
+        assert {r["model"] for r in reports} == {
+            "spsc-ring", "supervisor-replay", "segment-ownership"
+        }
+        for r in reports:
+            assert r["complete"] is True
+            assert r["states"] > 0
+            assert all(r["families"].values()), r
+            assert r["violations"] == []
+
+    def test_exhausted_state_budget_fails_the_run(self):
+        proc = run_cli(self._OK_PATH, "--select", "RPR120",
+                       "--protocol", "--max-states", "10")
+        assert proc.returncode == 1
+        assert "state budget exhausted" in proc.stdout
