@@ -1,6 +1,6 @@
 # Canonical workflows for the reproduction.
 
-.PHONY: install test test-fast test-pipelined test-mp chaos chaos-mp chaos-mp-san lint bench bench-pytest bench-gate report examples trace-demo pipeline-demo clean
+.PHONY: install test test-fast test-pipelined test-mp chaos chaos-mp chaos-mp-san lint bench bench-pytest bench-gate report examples trace-demo pipeline-demo profile-demo clean
 
 install:
 	python setup.py develop
@@ -89,6 +89,22 @@ pipeline-demo:
 	python -m repro trace /tmp/repro_pipeline_demo/index
 	python -m repro stats /tmp/repro_pipeline_demo/index
 	python -m repro verify /tmp/repro_pipeline_demo/index
+
+# Cross-process profiling end to end: a multiprocess build with the
+# sampling profiler on, the merged run.profile.json rendered (top
+# functions + shm codec hot path), and flamegraph/speedscope exports.
+# Open /tmp/repro_profile_demo/profile.speedscope.json at
+# https://www.speedscope.app (docs/OBSERVABILITY.md, "Profiling").
+profile-demo:
+	rm -rf /tmp/repro_profile_demo
+	python -m repro generate congress /tmp/repro_profile_demo --seed 7
+	python -m repro build /tmp/repro_profile_demo/congress_mini \
+		/tmp/repro_profile_demo/index --parsers 2 --cpu-indexers 2 --gpus 1 \
+		--exec multiprocess --profile --profile-interval 0.005
+	python -m repro profile /tmp/repro_profile_demo/index \
+		--folded /tmp/repro_profile_demo/stacks.folded \
+		--speedscope /tmp/repro_profile_demo/profile.speedscope.json
+	python -m repro verify /tmp/repro_profile_demo/index
 
 examples:
 	python examples/quickstart.py /tmp/repro_example_qs

@@ -29,7 +29,14 @@ Commands mirror the library's workflow:
 - ``bench`` — run the declared benchmark suite under the pinned
   protocol (docs/OBSERVABILITY.md, "Benchmark protocol") and write
   ``BENCH_PR6.json``; ``--compare OLD NEW`` is the noise-aware
-  regression gate plus the perf-trajectory table.
+  regression gate plus the perf-trajectory table; ``--profile``
+  additionally samples each scenario so the gate can localize a
+  regression to a function;
+- ``profile`` — report on a ``run.profile.json`` written by ``build
+  --profile`` (top-N self/cumulative table + the shm codec hot-path
+  section); ``--diff A B`` ranks regressed/improved functions between
+  two profiles, ``--folded`` / ``--speedscope`` export flamegraph
+  formats.
 """
 
 from __future__ import annotations
@@ -111,6 +118,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
     build.add_argument("--no-telemetry", action="store_true",
                        help="disable span tracing + metrics (no "
                             "run.metrics.json / trace.json artifacts)")
+    build.add_argument("--profile", action="store_true",
+                       help="sample the engine and every worker process "
+                            "with the deterministic-interval stack "
+                            "profiler and write the merged "
+                            "run.profile.json (repro profile)")
+    build.add_argument("--profile-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="sampler tick for --profile (default 0.01)")
     build.add_argument("--pipeline-depth", type=int, default=None,
                        help="run parse and indexing concurrently with up to "
                             "N parsed files in flight to per-indexer worker "
@@ -219,6 +234,37 @@ def build_arg_parser() -> argparse.ArgumentParser:
                             "(default 1.5)")
     bench.add_argument("--trajectory-root", default=".",
                        help="--compare: where BENCH_*.json history lives")
+    bench.add_argument("--profile", action="store_true",
+                       help="sample each scenario's timed repetitions; "
+                            "per-scenario self-time tables land in the "
+                            "result file and --compare localizes "
+                            "regressions to functions")
+
+    profile = sub.add_parser(
+        "profile",
+        help="report on a run.profile.json written by build --profile",
+    )
+    profile.add_argument(
+        "target", nargs="?", default=None,
+        help="index directory (containing run.profile.json) or a profile "
+             "file; omit only with --diff",
+    )
+    profile.add_argument("--top", type=int, default=10,
+                         help="rows in the function table (default 10)")
+    profile.add_argument("--mode", choices=["self", "cum"], default="self",
+                         help="rank by self time (leaf samples) or "
+                              "cumulative time (anywhere on the stack)")
+    profile.add_argument(
+        "--diff", nargs=2, metavar=("OLD", "NEW"), default=None,
+        help="rank regressed/improved functions between two profiles "
+             "instead of reporting on one",
+    )
+    profile.add_argument("--folded", default=None, metavar="PATH",
+                         help="also write collapsed-stack text "
+                              "(flamegraph.pl / speedscope import)")
+    profile.add_argument("--speedscope", default=None, metavar="PATH",
+                         help="also write speedscope JSON "
+                              "(https://speedscope.app)")
 
     lint = sub.add_parser(
         "lint", help="paper-invariant lint pack + race analyzer + typing gate"
@@ -374,6 +420,11 @@ def _cmd_build(args) -> int:
         overrides["exec_backend"] = args.exec_backend
     if args.files_per_run is not None:
         overrides["files_per_run"] = args.files_per_run
+    if args.profile:
+        overrides["profile"] = True
+    if args.profile_interval is not None:
+        overrides["profile"] = True
+        overrides["profile_interval_s"] = args.profile_interval
     config = PlatformConfig(
         num_parsers=args.parsers,
         num_cpu_indexers=args.cpu_indexers,
@@ -417,6 +468,8 @@ def _cmd_build(args) -> int:
     if result.metrics_path is not None:
         print(f"telemetry: {result.metrics_path} (repro stats) + "
               f"{result.trace_path} (repro trace / Perfetto)")
+    if result.profile_path is not None:
+        print(f"profile: {result.profile_path} (repro profile)")
     rb = result.robustness
     if rb.resumed_runs:
         print(f"resumed: {rb.resumed_runs} run(s) recovered from the manifest")
@@ -601,6 +654,7 @@ def _cmd_bench(args) -> int:
         scale=args.scale if args.scale is not None else bench.DEFAULT_SCALE,
         only=args.only,
         progress=print,
+        profile=args.profile,
     )
     out = args.out or os.path.join(os.curdir, BENCH_FILENAME)
     bench.write_results(out, payload)
@@ -612,6 +666,61 @@ def _cmd_bench(args) -> int:
               f"min {stats['min'] * 1e3:9.3f} ms  "
               f"IQR {stats['iqr'] * 1e3:8.3f} ms{thpt}")
     print(f"\nwrote {len(payload['scenarios'])} scenario(s) to {out}")
+    return 0
+
+
+def _profile_path_of(target: str) -> str:
+    """Resolve a profile target: an index directory or the file itself."""
+    import os
+
+    from repro.obs.profile_schema import PROFILE_FILENAME
+
+    if os.path.isdir(target):
+        return os.path.join(target, PROFILE_FILENAME)
+    return target
+
+
+def _cmd_profile(args) -> int:
+    import json
+    import os
+
+    from repro.obs.profile import (
+        render_profile_diff,
+        render_profile_report,
+        to_folded,
+        to_speedscope,
+    )
+    from repro.obs.profile_schema import load_profile
+    from repro.obs.schema import METRICS_FILENAME, load_metrics
+
+    if args.diff is not None:
+        old, new = (load_profile(_profile_path_of(t)) for t in args.diff)
+        print(render_profile_diff(old, new, top=args.top, mode=args.mode))
+        return 0
+    if args.target is None:
+        print("error: profile needs an index directory / run.profile.json "
+              "(or --diff OLD NEW)", file=sys.stderr)
+        return 2
+
+    path = _profile_path_of(args.target)
+    payload = load_profile(path)
+    # The hot-path section cross-references ring-wait counters when the
+    # build's metrics artifact sits next to the profile.
+    metrics = None
+    metrics_path = os.path.join(os.path.dirname(path) or ".", METRICS_FILENAME)
+    if os.path.exists(metrics_path):
+        metrics = load_metrics(metrics_path)
+    print(render_profile_report(payload, metrics, top=args.top, mode=args.mode))
+    if args.folded is not None:
+        with open(args.folded, "w", encoding="utf-8") as fh:
+            fh.write(to_folded(payload))
+        print(f"wrote folded stacks to {args.folded}")
+    if args.speedscope is not None:
+        name = os.path.basename(os.path.normpath(args.target))
+        with open(args.speedscope, "w", encoding="utf-8") as fh:
+            json.dump(to_speedscope(payload, name=name), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote speedscope JSON to {args.speedscope}")
     return 0
 
 
@@ -631,6 +740,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "lint": _cmd_lint,
         "bench": _cmd_bench,
+        "profile": _cmd_profile,
     }[args.command]
     try:
         return handler(args)

@@ -155,6 +155,18 @@ class PlatformConfig:
     #: when off, the engine runs with the null tracer/registry (near-zero
     #: overhead) and writes no ``run.metrics.json`` / ``trace.json``.
     telemetry: bool = True
+    #: Sampling profiler (``repro build --profile``): the engine and
+    #: every worker process run a deterministic-interval stack sampler
+    #: whose merged view is written as ``run.profile.json`` (see
+    #: docs/OBSERVABILITY.md, "Profiling").  Independent of
+    #: ``telemetry`` — a profiled build with telemetry off still
+    #: collects samples (it just lacks the ``shm.ring.*`` wait
+    #: counters the hot-path report cross-references).
+    profile: bool = False
+    #: Sampler tick in seconds; smaller = finer attribution, more
+    #: overhead.  The default 10ms keeps profiled builds within the
+    #: ≤ 5% overhead gate pinned by ``tests/test_profile.py``.
+    profile_interval_s: float = 0.01
 
     # --- robustness (docs/ROBUSTNESS.md) -------------------------------- #
     #: What to do with a permanently unreadable container file:
@@ -200,6 +212,8 @@ class PlatformConfig:
                 "need at least one indexer (CPU or GPU); use the pipeline "
                 "simulator's parse_only mode for the Fig 10 parse-only series"
             )
+        if self.profile_interval_s <= 0:
+            raise ValueError("profile_interval_s must be > 0")
         if self.on_error not in ON_ERROR_POLICIES:
             raise ValueError(
                 f"on_error must be one of {ON_ERROR_POLICIES}, got {self.on_error!r}"

@@ -54,6 +54,8 @@ from repro.indexers.base import IndexerReport
 from repro.indexers.cpu import CPUIndexer
 from repro.indexers.gpu import GPUIndexer
 from repro.obs import runtime as obs
+from repro.obs.profile import Profile, SamplingProfiler
+from repro.obs.profile_schema import PROFILE_FILENAME, write_profile
 from repro.obs.runtime import Telemetry
 from repro.obs.schema import METRICS_FILENAME, TRACE_FILENAME, build_payload, write_metrics
 from repro.parsing.parser import ParsedFile, Parser
@@ -128,6 +130,9 @@ class EngineResult:
     telemetry: Telemetry | None = None
     metrics_path: str | None = None
     trace_path: str | None = None
+    #: Merged cross-process ``run.profile.json`` (``None`` unless the
+    #: build ran with ``config.profile``).
+    profile_path: str | None = None
     #: Pipelined-mode execution summary (``None`` for serial builds):
     #: dispatch counts, backpressure/quiesce stalls, per-worker idle time.
     pipeline: PipelineStats | None = None
@@ -194,6 +199,14 @@ class IndexingEngine:
         (see docs/OBSERVABILITY.md).
         """
         tel = Telemetry.create(self.config.telemetry)
+        profiler: SamplingProfiler | None = None
+        if self.config.profile:
+            # Merge target for the engine's own sampler and every worker
+            # delta (mp_backend._merge_delta absorbs into tel.profile).
+            tel.profile = Profile(self.config.profile_interval_s)
+            profiler = SamplingProfiler(
+                self.config.profile_interval_s, lane="engine"
+            )
         t_start = now()
         with obs.session(tel), tel.tracer.span(
             "build",
@@ -201,13 +214,33 @@ class IndexingEngine:
             files=len(collection.files),
             resume=resume,
         ):
-            result = self._build(collection, output_dir, resume, tel)
+            if profiler is not None:
+                profiler.start()
+            try:
+                result = self._build(collection, output_dir, resume, tel)
+            finally:
+                if profiler is not None:
+                    profiler.stop()
+                    assert tel.profile is not None
+                    tel.profile.absorb(profiler.drain_delta())
         result.wall_seconds = now() - t_start
         result.cpu_seconds = result.stopwatch.total()
         result.telemetry = tel
         if tel.enabled:
             result.metrics_path, result.trace_path = self._write_telemetry(
                 tel, result, collection, output_dir
+            )
+        if tel.profile is not None:
+            # Written even with telemetry off: profiling was requested
+            # explicitly and has its own artifact.
+            result.profile_path = write_profile(
+                os.path.join(output_dir, PROFILE_FILENAME),
+                tel.profile.to_payload(
+                    meta={
+                        "collection": collection.name,
+                        "config": self.config.describe(),
+                    }
+                ),
             )
         return result
 

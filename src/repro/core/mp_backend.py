@@ -318,13 +318,13 @@ class MultiprocessBackend(ExecutionBackend):
             cmd = pickle.loads(msg)
             op = cmd[0]
             if op == "done":
-                _, rtid, result, fc, fe, md, sp = cmd
+                _, rtid, result, fc, fe, md, sp, pf = cmd
                 if rtid in slot.discard:
                     # Duplicate completion of a replayed, already-
                     # collected task; its effects were counted once.
                     slot.discard.discard(rtid)
                     continue
-                self._merge_delta(fc, fe, md, sp)
+                self._merge_delta(fc, fe, md, sp, pf)
                 if rtid != tid:
                     raise RuntimeError(
                         f"{slot.key}: expected reply for task {tid}, got {rtid}"
@@ -334,8 +334,8 @@ class MultiprocessBackend(ExecutionBackend):
                     entry.collected = True
                 return result
             if op == "error":
-                _, _rtid, exc_blob, fc, fe, md, sp = cmd
-                self._merge_delta(fc, fe, md, sp)
+                _, _rtid, exc_blob, fc, fe, md, sp, pf = cmd
+                self._merge_delta(fc, fe, md, sp, pf)
                 raise pickle.loads(exc_blob)
             raise RuntimeError(f"{slot.key}: unexpected reply {op!r}")
 
@@ -384,8 +384,8 @@ class MultiprocessBackend(ExecutionBackend):
             cmd = self._collect_control(slot, tid, "boundary", tag)
             if cmd is None:
                 continue
-            _, _, postings_blob, state_blob, fc, fe, md, sp = cmd
-            self._merge_delta(fc, fe, md, sp)
+            _, _, postings_blob, state_blob, fc, fe, md, sp, pf = cmd
+            self._merge_delta(fc, fe, md, sp, pf)
             self._install_state(slot, state_blob)
             return pickle.loads(postings_blob)
         return self.hooks.indexer_for(slot.kind, slot.idx).drain_postings()
@@ -400,8 +400,8 @@ class MultiprocessBackend(ExecutionBackend):
             cmd = self._collect_control(slot, tid, "snapshot", tag)
             if cmd is None:
                 continue
-            _, _, state_blob, fc, fe, md, sp = cmd
-            self._merge_delta(fc, fe, md, sp)
+            _, _, state_blob, fc, fe, md, sp, pf = cmd
+            self._merge_delta(fc, fe, md, sp, pf)
             self._install_state(slot, state_blob)
             return
 
@@ -486,25 +486,25 @@ class MultiprocessBackend(ExecutionBackend):
                 cmd = pickle.loads(msg)
                 op = cmd[0]
                 if op == "parsed":
-                    _, rk, payload, attempts, backoff_s, fc, fe, md, sp = cmd
+                    _, rk, payload, attempts, backoff_s, fc, fe, md, sp, pf = cmd
                     if rk != k:
                         raise RuntimeError(
                             f"{slot.key}: expected file {k}, got {rk}"
                         )
                     slot.outstanding.popleft()
-                    self._merge_delta(fc, fe, md, sp)
+                    self._merge_delta(fc, fe, md, sp, pf)
                     outcome = RetryOutcome(attempts=attempts, backoff_s=backoff_s)
                     if h.robustness is not None:
                         h.robustness.merge_outcome(outcome.retries, outcome.backoff_s)
                     return k, decode_parsed_file(payload), None, outcome
                 if op == "parse_error":
-                    _, rk, exc_blob, _att, _bo, fc, fe, md, sp = cmd
+                    _, rk, exc_blob, _att, _bo, fc, fe, md, sp, pf = cmd
                     slot.outstanding.popleft()
-                    self._merge_delta(fc, fe, md, sp)
+                    self._merge_delta(fc, fe, md, sp, pf)
                     return k, None, pickle.loads(exc_blob), None
                 if op == "parse_fatal":
-                    _, _rk, exc_blob, fc, fe, md, sp = cmd
-                    self._merge_delta(fc, fe, md, sp)
+                    _, _rk, exc_blob, fc, fe, md, sp, pf = cmd
+                    self._merge_delta(fc, fe, md, sp, pf)
                     raise pickle.loads(exc_blob)
                 raise RuntimeError(f"{slot.key}: unexpected reply {op!r}")
 
@@ -708,6 +708,7 @@ class MultiprocessBackend(ExecutionBackend):
         fault_events: list[tuple[str, str]],
         metrics_delta: dict[str, dict[str, object]],
         spans: "tuple[float, list[object]] | None" = None,
+        profile: "tuple | None" = None,
     ) -> None:
         inj = self.hooks.injector
         if inj is not None and (fault_counts or fault_events):
@@ -716,6 +717,9 @@ class MultiprocessBackend(ExecutionBackend):
         if spans is not None and tracer.enabled:
             worker_epoch, worker_spans = spans
             tracer.absorb(worker_spans, worker_epoch)
+        tel_profile = self.hooks.tel.profile
+        if profile is not None and tel_profile is not None:
+            tel_profile.absorb(profile)
         if not metrics_delta:
             return
         reg = self.hooks.tel.metrics

@@ -29,17 +29,22 @@ Protocol, parse workers (slot keys ``parser-<w>``)::
                              | ("parse_fatal", k, exc_pickle, delta)
     ("stop",)               -> (worker exits)
 
-``delta`` is ``(fault_counts, fault_events, metrics_delta, spans)`` —
-what the worker-side fault injector, the worker-local metrics registry,
-and the worker-local tracer did since the previous reply.  The engine
-folds all of it into its own injector/registry/tracer, so chaos
-assertions, the deterministic metrics file, and the per-lane trace stay
-backend-agnostic: a multiprocess build reports the same ``parse.*`` /
-``index.*`` / ``btree.*`` counters — and the same ``parse_file`` /
-``index_batch`` lanes — a serial build does.  ``spans`` is
-``(worker_epoch, [Span, ...])`` or ``None``; both tracers read the same
-monotonic clock, so the engine re-bases the epochs and the lanes line
-up on one timeline.
+``delta`` is ``(fault_counts, fault_events, metrics_delta, spans,
+profile)`` — what the worker-side fault injector, the worker-local
+metrics registry, the worker-local tracer, and (under ``--profile``)
+the worker's sampling profiler did since the previous reply.  The
+engine folds all of it into its own injector/registry/tracer/profile,
+so chaos assertions, the deterministic metrics file, the per-lane
+trace, and the merged ``run.profile.json`` stay backend-agnostic: a
+multiprocess build reports the same ``parse.*`` / ``index.*`` /
+``btree.*`` counters — and the same ``parse_file`` / ``index_batch``
+lanes — a serial build does.  ``spans`` is ``(worker_epoch, [Span,
+...])`` or ``None``; both tracers read the same monotonic clock, so the
+engine re-bases the epochs and the lanes line up on one timeline.
+``profile`` is a :data:`repro.obs.profile.ProfileDelta` or ``None``;
+because it rides *every* reply, a worker that is later SIGKILLed has
+already shipped all samples up to its last completed task — profile
+loss on a crash is bounded by one task, exactly like spans.
 
 Failure discipline: the worker heartbeats (a counter in the result
 ring's header) on every transport poll and around every task; it exits
@@ -65,6 +70,7 @@ from repro.corpus.warc import CorruptContainerError
 from repro.dictionary.trie import TrieTable
 from repro.obs import runtime as obs_runtime
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import ProfileDelta, SamplingProfiler
 from repro.obs.trace import Span, Tracer
 from repro.parsing.parser import Parser
 from repro.parsing.stream_codec import decode_batch, encode_parsed_file
@@ -108,10 +114,12 @@ class _WorkerDelta:
         injector: "faults.FaultInjector | None",
         registry: MetricsRegistry | None,
         tracer: Tracer | None = None,
+        profiler: SamplingProfiler | None = None,
     ) -> None:
         self._injector = injector
         self._registry = registry
         self._tracer = tracer
+        self._profiler = profiler
         self._counts: dict[str, int] = {}
         self._events = 0
         self._metrics = registry.snapshot() if registry is not None else None
@@ -123,6 +131,7 @@ class _WorkerDelta:
         list[tuple[str, str]],
         dict[str, dict[str, object]],
         "tuple[float, list[Span]] | None",
+        "ProfileDelta | None",
     ]:
         inj = self._injector
         if inj is None:
@@ -149,7 +158,10 @@ class _WorkerDelta:
             drained = self._tracer.drain_spans()
             if drained:
                 spans = (self._tracer.epoch, drained)
-        return counts_delta, events, metrics_delta, spans
+        profile: "ProfileDelta | None" = None
+        if self._profiler is not None:
+            profile = self._profiler.drain_delta()
+        return counts_delta, events, metrics_delta, spans, profile
 
 
 def worker_main(spec: WorkerSpec) -> None:
@@ -179,6 +191,14 @@ def worker_main(spec: WorkerSpec) -> None:
         injector = faults.FaultInjector(spec.fault_plan)
         injector.set_worker_context(spec.key, spec.incarnation)
         faults.install(injector)
+    profiler: SamplingProfiler | None = None
+    if spec.config.profile:
+        # Worker-side sampler: lane = slot key, so a restarted worker's
+        # samples merge into the same lane (with a second pid recorded).
+        profiler = SamplingProfiler(
+            spec.config.profile_interval_s, lane=spec.key
+        )
+        profiler.start()
 
     tasks = ShmRing.attach(spec.task_ring)
     results = ShmRing.attach(spec.result_ring)
@@ -194,13 +214,15 @@ def worker_main(spec: WorkerSpec) -> None:
         results.beat("producer")
         results.put_frame(pickle.dumps(msg), on_wait=on_wait)
 
-    delta = _WorkerDelta(injector, registry, tracer)
+    delta = _WorkerDelta(injector, registry, tracer, profiler)
     try:
         if spec.kind == "indexer":
             _indexer_loop(spec, tasks, results, injector, delta, on_wait, reply)
         else:
             _parser_loop(spec, tasks, injector, delta, on_wait, reply)
     finally:
+        if profiler is not None:
+            profiler.stop()
         tasks.close()
         results.close()
 

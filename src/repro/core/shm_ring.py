@@ -26,6 +26,14 @@ only reuses bytes below ``head``, and each side publishes its counter
 GIL-crossing on ``struct.pack_into`` give the needed ordering on every
 platform CPython supports).
 
+When a metrics registry is installed and armed, ``put_frame`` /
+``get_frame`` additionally record cheap ring telemetry —
+``shm.ring.frame_bytes`` / ``shm.ring.occupancy_bytes`` histograms and
+producer/consumer wait-poll counters — which the profile report's
+"shm codec hot path" section ranks against sampled encode/decode cost
+(docs/OBSERVABILITY.md, "Profiling").  With telemetry off the checks
+collapse to one global read; ring bytes are never touched either way.
+
 **No cross-process locks or conditions.**  A crashed peer can never
 leave a mutex held; the survivor just times out.  Heartbeats are plain
 counters — the supervisor compares *change over its own clock*, never
@@ -53,6 +61,7 @@ from typing import Callable
 from multiprocessing import resource_tracker, shared_memory
 
 from repro.core import shm_san
+from repro.obs import runtime as obs_runtime
 from repro.util.timing import now
 
 __all__ = [
@@ -84,6 +93,22 @@ _POLL_MAX_S = 0.002
 
 class RingTimeout(TimeoutError):
     """A bounded ring operation did not complete within its deadline."""
+
+
+def _ring_metrics() -> "obs_runtime.MetricsRegistry | None":
+    """The installed, armed metrics registry — or ``None``.
+
+    The disabled path is one global read plus two attribute tests; ring
+    telemetry never touches the buffer or the header words, so with
+    telemetry off (or a Null registry installed) ``put_frame`` /
+    ``get_frame`` behave byte-for-byte as before the ``shm.ring.*``
+    instrumentation existed (pinned by ``tests/test_shm_ring.py``).
+    """
+    tel = obs_runtime.current()
+    if tel is None:
+        return None
+    m = tel.metrics
+    return m if m.enabled else None
 
 
 @dataclass(frozen=True)
@@ -352,6 +377,15 @@ class ShmRing:
         deadline = None if timeout is None else now() + timeout
         capacity = self._capacity
         tail = self._load(_TAIL_OFF)
+        m = _ring_metrics()
+        if m is not None:
+            # Frame-size and entry-occupancy distributions: the two
+            # inputs to the "batch frames / resize rings" decision the
+            # profile report's hot-path section feeds (ROADMAP).
+            m.observe("shm.ring.frame_bytes", len(data))
+            m.observe("shm.ring.occupancy_bytes", tail - self._load(_HEAD_OFF))
+        wait_polls = 0
+        wait_s = 0.0
         sent = 0
         poll_s = _POLL_MIN_S
         ok = False
@@ -359,6 +393,8 @@ class ShmRing:
             while sent < len(payload):
                 free = capacity - (tail - self._load(_HEAD_OFF))
                 if free <= 0:
+                    wait_polls += 1
+                    wait_s += poll_s
                     poll_s = self._wait(deadline, on_wait, poll_s)
                     continue
                 poll_s = _POLL_MIN_S
@@ -375,6 +411,9 @@ class ShmRing:
                 self._store(_TAIL_OFF, tail)  # publish *after* the copy
             ok = True
         finally:
+            if m is not None and wait_polls:
+                m.count("shm.ring.producer_wait_polls", wait_polls)
+                m.count("shm.ring.producer_wait_s", wait_s)
             if san is not None:
                 # An aborted write (timeout, crash injection) leaves a
                 # partial frame pending; poison the endpoint so a later
@@ -397,6 +436,9 @@ class ShmRing:
             self._san.check_usable("get_frame")
         deadline = None if timeout is None else now() + timeout
         capacity = self._capacity
+        m = _ring_metrics()
+        wait_polls = 0
+        wait_s = 0.0
         poll_s = _POLL_MIN_S
         while True:
             want = (_FRAME_LEN.size if self._need_header else self._frame_len) - len(
@@ -406,9 +448,14 @@ class ShmRing:
                 head = self._load(_HEAD_OFF)
                 avail = self._load(_TAIL_OFF) - head
                 if avail <= 0:
+                    wait_polls += 1
+                    wait_s += poll_s
                     try:
                         poll_s = self._wait(deadline, on_wait, poll_s)
                     except RingTimeout:
+                        if m is not None and wait_polls:
+                            m.count("shm.ring.consumer_wait_polls", wait_polls)
+                            m.count("shm.ring.consumer_wait_s", wait_s)
                         return None
                     continue
                 poll_s = _POLL_MIN_S
@@ -428,6 +475,9 @@ class ShmRing:
             frame = bytes(self._acc)
             self._acc = bytearray()
             self._need_header = True
+            if m is not None and wait_polls:
+                m.count("shm.ring.consumer_wait_polls", wait_polls)
+                m.count("shm.ring.consumer_wait_s", wait_s)
             if self._san is not None:
                 frame = self._san.verify(frame)
             return frame

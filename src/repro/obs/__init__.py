@@ -14,6 +14,10 @@ on the functional build:
   section, so two identical seeded builds produce identical metrics);
 - :mod:`repro.obs.schema` — the ``run.metrics.json`` artifact format and
   its validator (no external jsonschema dependency);
+- :mod:`repro.obs.profile` + :mod:`repro.obs.profile_schema` — a
+  cross-process sampling profiler (``build --profile``) whose merged
+  view lands in ``run.profile.json`` with folded/speedscope exports and
+  a shm-codec hot-path report (``repro profile``);
 - :mod:`repro.obs.runtime` — process-wide installation, mirroring
   :mod:`repro.robustness.faults`, so deep layers (checkpointing, retry)
   can emit counters without threading a registry through every call;
@@ -33,6 +37,21 @@ preserved.
 from __future__ import annotations
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, NullRegistry
+from repro.obs.profile import (
+    Profile,
+    SamplingProfiler,
+    render_profile_diff,
+    render_profile_report,
+    to_folded,
+    to_speedscope,
+)
+from repro.obs.profile_schema import (
+    PROFILE_FILENAME,
+    PROFILE_SCHEMA_VERSION,
+    load_profile,
+    validate_profile,
+    write_profile,
+)
 from repro.obs.runtime import Telemetry, current, install, session, uninstall
 from repro.obs.schema import (
     METRICS_FILENAME,
@@ -54,15 +73,26 @@ __all__ = [
     "Span",
     "Telemetry",
     "Tracer",
+    "Profile",
+    "SamplingProfiler",
     "METRICS_FILENAME",
     "METRICS_SCHEMA",
+    "PROFILE_FILENAME",
+    "PROFILE_SCHEMA_VERSION",
     "TRACE_FILENAME",
     "current",
     "install",
     "load_chrome_trace",
     "load_metrics",
+    "load_profile",
+    "render_profile_diff",
+    "render_profile_report",
     "session",
+    "to_folded",
+    "to_speedscope",
     "uninstall",
     "validate_metrics",
+    "validate_profile",
     "write_metrics",
+    "write_profile",
 ]

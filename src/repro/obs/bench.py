@@ -47,6 +47,13 @@ from datetime import datetime, timezone
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.obs.bench_schema import BENCH_SCHEMA_VERSION, validate_bench, write_bench
+from repro.obs.profile import (
+    DEFAULT_PROFILE_INTERVAL_S,
+    Profile,
+    SamplingProfiler,
+    self_seconds,
+    top_regressed,
+)
 from repro.util.ascii_chart import sparkline
 from repro.util.fmt import render_table
 from repro.util.timing import now
@@ -90,6 +97,11 @@ DEFAULT_REPETITIONS = 5
 DEFAULT_SCALE = 0.25
 DEFAULT_REL_THRESHOLD = 0.10
 DEFAULT_NOISE_MULT = 1.5
+
+#: ``run_suite(profile=True)``: how many self-time frames each scenario
+#: records.  Enough for a regression hint; small enough that the result
+#: file stays a diff-able artifact, not a database.
+PROFILE_TOP_FRAMES = 25
 
 
 # ---------------------------------------------------------------------- #
@@ -410,11 +422,19 @@ def run_suite(
     scale: float = DEFAULT_SCALE,
     only: Iterable[str] | None = None,
     progress: Callable[[str], None] | None = None,
+    profile: bool = False,
 ) -> dict[str, Any]:
     """Run scenarios under the pinned protocol; returns a validated payload.
 
     ``only`` filters by exact scenario name (unknown names raise — a CI
     job that silently measures nothing is worse than one that fails).
+
+    ``profile=True`` samples each scenario's *timed* repetitions with the
+    sampling profiler and records the top self-time frames per scenario,
+    which lets :func:`compare_results` localize a regression to the
+    offending function instead of just a stage.  The warmup call stays
+    unsampled so profiling cannot perturb what the protocol times
+    beyond the sampler's own ≤ 5% budget.
     """
     if repetitions < 3:
         raise ValueError(
@@ -443,12 +463,20 @@ def run_suite(
         spec = sc.prepare(ctx)
         for _ in range(warmup):
             spec.op()
+        sampler: SamplingProfiler | None = None
+        if profile:
+            sampler = SamplingProfiler(DEFAULT_PROFILE_INTERVAL_S, lane=name)
+            sampler.start()
         seconds: list[float] = []
         last: Any = None
-        for _ in range(repetitions):
-            t0 = now()
-            last = spec.op()
-            seconds.append(now() - t0)
+        try:
+            for _ in range(repetitions):
+                t0 = now()
+                last = spec.op()
+                seconds.append(now() - t0)
+        finally:
+            if sampler is not None:
+                sampler.stop()
         timings = spec.stage_timings
         if callable(timings):
             timings = timings(last)
@@ -470,6 +498,19 @@ def run_suite(
                 if stats["median"] > 0
                 else 0.0
             )
+        if sampler is not None:
+            merged = Profile(sampler.interval_s)
+            merged.absorb(sampler.drain_delta())
+            prof_payload = merged.to_payload()
+            self_map = self_seconds(prof_payload)
+            top = sorted(self_map.items(), key=lambda kv: (-kv[1], kv[0]))
+            entry["profile"] = {
+                "interval_s": sampler.interval_s,
+                "samples": sum(
+                    lane["samples"] for lane in prof_payload["lanes"].values()
+                ),
+                "self_s": dict(top[:PROFILE_TOP_FRAMES]),
+            }
         entries.append(entry)
 
     payload: dict[str, Any] = {
@@ -512,6 +553,10 @@ class ScenarioResult:
     repetitions: int
     stage_timings: Mapping[str, float] = field(default_factory=dict)
     throughput_mbps: float | None = None
+    #: The scenario's sampled self-time summary from a ``--profile``
+    #: run (``{"interval_s", "samples", "self_s": {frame: seconds}}``),
+    #: or ``None`` for unprofiled results.
+    profile: Mapping[str, Any] | None = None
 
 
 @dataclass(frozen=True)
@@ -581,6 +626,7 @@ def load_results(path: str) -> BenchResults:
             repetitions=int(entry["repetitions"]),
             stage_timings=dict(entry.get("stage_timings") or {}),
             throughput_mbps=entry.get("throughput_mbps"),
+            profile=entry.get("profile"),
         )
     return BenchResults(
         path=path,
@@ -635,6 +681,26 @@ def _worst_stage(
     base = old.get(stage, 0.0)
     pct = f" ({delta / base * 100:+.0f}%)" if base > 0 else ""
     return f"{stage} +{_fmt_s(delta)}{pct}"
+
+
+def _worst_function(
+    old_prof: Mapping[str, Any] | None, new_prof: Mapping[str, Any] | None
+) -> str | None:
+    """Function-level localization from ``--profile`` self-time tables.
+
+    Only fires when *both* results carry a profile — comparing a
+    profiled run against an unprofiled baseline would attribute the
+    whole scenario to every frame.
+    """
+    if not old_prof or not new_prof:
+        return None
+    rows = top_regressed(
+        old_prof.get("self_s") or {}, new_prof.get("self_s") or {}, n=1
+    )
+    if not rows:
+        return None
+    frame, old_s, new_s, delta = rows[0]
+    return f"{frame} +{_fmt_s(delta)} self ({_fmt_s(old_s)} -> {_fmt_s(new_s)})"
 
 
 @dataclass
@@ -700,6 +766,11 @@ def compare_results(
             hint = _worst_stage(o.stage_timings, n.stage_timings)
             if hint:
                 localizations.append(f"  {name}: slowest-growing stage {hint}")
+            fhint = _worst_function(o.profile, n.profile)
+            if fhint:
+                localizations.append(
+                    f"  {name}: top regressed function {fhint}"
+                )
         elif o.median - n.median > max(rel_threshold * o.median, noise_floor):
             verdict = "improved"
         else:
@@ -724,7 +795,7 @@ def compare_results(
     ))
     if localizations:
         lines.append("")
-        lines.append("regression localization (per-stage timings):")
+        lines.append("regression localization (stage timings + profiles):")
         lines.extend(localizations)
     lines.append("")
     if regressions:

@@ -24,7 +24,9 @@ harness).  The payload has five top-level sections:
     the derived order statistics (min/median/quartiles/IQR), optional
     bytes-processed → MB/s, and the per-stage timing summary that
     localizes a regression (parse vs index vs merge) instead of just
-    detecting it.
+    detecting it.  A ``--profile`` run adds an optional ``profile``
+    object per scenario (sampler interval, sample count, top self-time
+    frames) that sharpens the localization to the offending function.
 
 Validation is hand-rolled (the container has no jsonschema), mirroring
 :mod:`repro.obs.schema`: :func:`validate_bench` returns a list of
@@ -143,6 +145,36 @@ def _check_scenario(i: int, entry: Any, problems: list[str]) -> None:
         if optional in entry and entry[optional] is not None:
             if not _is_number(entry[optional]):
                 problems.append(f"{where}: {optional} {entry[optional]!r} is not a number")
+
+    # Optional self-time summary from a ``repro bench --profile`` run;
+    # its shape is pinned so the compare gate's function-level
+    # localization never has to defend against a malformed table.
+    prof = entry.get("profile")
+    if prof is not None:
+        if not isinstance(prof, dict):
+            problems.append(f"{where}: 'profile' must be an object")
+        else:
+            if not _is_number(prof.get("interval_s")) or prof.get("interval_s") <= 0:
+                problems.append(f"{where}: profile.interval_s must be a positive number")
+            samples = prof.get("samples")
+            if not isinstance(samples, int) or isinstance(samples, bool) or samples < 0:
+                problems.append(
+                    f"{where}: profile.samples must be a non-negative integer"
+                )
+            self_s = prof.get("self_s")
+            if not isinstance(self_s, dict):
+                problems.append(f"{where}: profile.self_s must be an object")
+            else:
+                for frame, value in self_s.items():
+                    if not isinstance(frame, str) or not frame:
+                        problems.append(
+                            f"{where}: profile.self_s has a non-string frame"
+                        )
+                    if not _is_number(value) or value < 0:
+                        problems.append(
+                            f"{where}: profile.self_s[{frame!r}] {value!r} "
+                            "is not a non-negative number"
+                        )
 
 
 def validate_bench(payload: Any) -> list[str]:

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.obs.metrics import MetricsRegistry, NullRegistry
+from repro.obs.profile import Profile
 from repro.obs.trace import NullTracer, Tracer
 
 __all__ = [
@@ -40,10 +41,16 @@ __all__ = [
 
 @dataclass
 class Telemetry:
-    """One build's tracer + metrics registry, as a unit."""
+    """One build's tracer + metrics registry (+ optional merged
+    profile), as a unit."""
 
     tracer: Tracer
     metrics: MetricsRegistry
+    #: Merge target for sampling-profiler deltas when the build runs
+    #: with ``--profile``; ``None`` (the default) means not profiling.
+    #: Orthogonal to ``enabled``: a profiled build with telemetry off
+    #: still collects samples.
+    profile: Profile | None = None
 
     @property
     def enabled(self) -> bool:

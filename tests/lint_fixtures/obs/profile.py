@@ -1,0 +1,22 @@
+"""RPR008 negative fixture: the same clock reads, inside the carve-out.
+
+This file sits under an ``obs/`` path component and is literally named
+``obs/profile.py`` — both halves of the RPR008 exemption — so the exact
+reads flagged in ``rpr008_profile.py`` must produce zero findings here.
+A sampling profiler *is* a clock consumer; fencing it out of the rule
+is the point of the carve-out.
+"""
+
+import time
+
+from time import monotonic  # noqa: F401
+
+
+def tick_anchor():
+    """Sampler tick anchored on a direct monotonic read — exempt."""
+    return time.monotonic()
+
+
+def sample_stamp():
+    """Per-sample timestamp from a raw perf counter — exempt."""
+    return time.perf_counter()

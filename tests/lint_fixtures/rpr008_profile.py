@@ -1,0 +1,30 @@
+"""RPR008 fixture: sampler-style direct clock reads outside obs/.
+
+A profiler copy-pasted out of ``obs/profile.py`` loses the carve-out:
+the clock fence only exempts ``util/timing.py`` and the obs/ layer, so
+a tick loop anchored on ad-hoc monotonic reads must be flagged.
+"""
+
+import time
+
+from time import monotonic  # noqa: F401
+
+
+def tick_anchor():
+    """Sampler tick anchored on a direct monotonic read."""
+    return time.monotonic()
+
+
+def sample_stamp():
+    """Per-sample timestamp from a raw perf counter."""
+    return time.perf_counter()
+
+
+def injected_sampler(clock=time.monotonic):
+    """Injecting the clock *callable* is the sanctioned shape — ok."""
+    return clock
+
+
+def next_tick():
+    """Same tick-anchor violation, suppressed."""
+    return time.monotonic()  # repro-lint: disable=RPR008 - fixture: suppression check

@@ -454,3 +454,87 @@ class TestBenchContext:
         os.makedirs(path)
         (lambda p: open(p, "w").close())(os.path.join(path, "f"))
         assert not os.path.exists(ctx.fresh_dir("scratch"))
+
+
+class TestProfileLocalization:
+    """``repro bench --profile``: self-time tables sharpen the gate's
+    localization from stages to functions."""
+
+    @staticmethod
+    def _with_profile(payload: dict, self_s: dict) -> dict:
+        for entry in payload["scenarios"]:
+            entry["profile"] = {
+                "interval_s": 0.01,
+                "samples": 100,
+                "self_s": dict(self_s),
+            }
+        return payload
+
+    def test_run_suite_profile_records_self_time_table(self, tmp_path):
+        def op():
+            total = 0
+            for i in range(200_000):
+                total += i & 7
+            return total
+
+        payload = run_suite(
+            {"hot": make_scenario("hot", op)},
+            data_dir=str(tmp_path), repetitions=3, warmup=0, profile=True,
+        )
+        assert validate_bench(payload) == []
+        prof = payload["scenarios"][0]["profile"]
+        assert prof["interval_s"] > 0
+        assert prof["samples"] >= 0
+        assert all(v >= 0 for v in prof["self_s"].values())
+
+    def test_unprofiled_run_has_no_profile_entry(self, tmp_path):
+        payload = run_suite(
+            {"cold": make_scenario("cold", lambda: None)},
+            data_dir=str(tmp_path), repetitions=3, warmup=0,
+        )
+        assert "profile" not in payload["scenarios"][0]
+
+    def test_compare_names_the_regressed_function(self, tmp_path):
+        old_path, new_path = str(tmp_path / "A.json"), str(tmp_path / "B.json")
+        old = self._with_profile(
+            synthetic_payload({"b": 1.0}),
+            {"repro/core/merge.py:merge_runs:40": 0.4,
+             "repro/parsing/parser.py:parse:10": 0.3},
+        )
+        write_bench(old_path, old)
+        slowed = copy.deepcopy(old)
+        entry = slowed["scenarios"][0]
+        entry["seconds"] = [s * 2 for s in entry["seconds"]]
+        entry["stats"] = {k: v * 2 for k, v in entry["stats"].items()}
+        entry["profile"]["self_s"]["repro/core/merge.py:merge_runs:40"] = 1.4
+        write_bench(new_path, slowed)
+        cmp = compare_results(load_results(old_path), load_results(new_path))
+        assert cmp.regressions == ["b"]
+        assert "top regressed function" in cmp.text
+        assert "repro/core/merge.py:merge_runs:40" in cmp.text
+        # The untouched frame is not blamed.
+        localization = cmp.text[cmp.text.index("localization"):]
+        assert "parser.py:parse" not in localization
+
+    def test_profile_against_unprofiled_baseline_stays_stage_level(
+            self, tmp_path):
+        old_path, new_path = str(tmp_path / "A.json"), str(tmp_path / "B.json")
+        write_bench(old_path, synthetic_payload({"b": 1.0}))
+        slowed = self._with_profile(
+            synthetic_payload({"b": 1.0}), {"x:y:1": 9.9})
+        entry = slowed["scenarios"][0]
+        entry["seconds"] = [s * 2 for s in entry["seconds"]]
+        entry["stats"] = {k: v * 2 for k, v in entry["stats"].items()}
+        entry["stage_timings"]["stage.index"] *= 4
+        write_bench(new_path, slowed)
+        cmp = compare_results(load_results(old_path), load_results(new_path))
+        assert cmp.regressions == ["b"]
+        assert "stage.index" in cmp.text
+        assert "top regressed function" not in cmp.text
+
+    def test_profile_shape_is_validated(self):
+        payload = self._with_profile(synthetic_payload({"a": 1.0}), {"f:g:1": 0.5})
+        payload["scenarios"][0]["profile"]["samples"] = -1
+        assert any("profile.samples" in p for p in validate_bench(payload))
+        payload["scenarios"][0]["profile"] = {"interval_s": 0}
+        assert any("interval_s" in p for p in validate_bench(payload))

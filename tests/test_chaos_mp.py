@@ -18,6 +18,7 @@ import pytest
 from repro.core.config import PlatformConfig
 from repro.core.engine import IndexingEngine
 from repro.core.shm_ring import SHM_PREFIX, ShmRing, list_repro_segments
+from repro.obs.profile_schema import PROFILE_FILENAME
 from repro.obs.schema import METRICS_FILENAME, TRACE_FILENAME, load_metrics
 from repro.robustness.checkpoint import CHECKPOINT_FILENAME, MANIFEST_FILENAME
 from repro.robustness.faults import FaultPlan, FaultSpec, inject
@@ -27,7 +28,7 @@ from repro.robustness.verify import verify_index
 pytestmark = pytest.mark.chaos
 
 _BUILD_LOGS = {MANIFEST_FILENAME, CHECKPOINT_FILENAME,
-               METRICS_FILENAME, TRACE_FILENAME}
+               METRICS_FILENAME, TRACE_FILENAME, PROFILE_FILENAME}
 
 #: Tight supervision so stall detection fits in test time.
 _POLICY = SupervisorPolicy(heartbeat_timeout_s=0.4, supervise_interval_s=0.05)
@@ -302,3 +303,27 @@ class TestShmLeaks:
         finally:
             seg.close()
             seg.unlink()
+
+
+class TestProfileUnderChaos:
+    def test_profile_survives_worker_crash_mid_build(
+            self, tiny_collection, serial_reference, tmp_path):
+        """A SIGKILLed worker takes its unsent samples with it, but the
+        merged artifact must stay schema-valid and the build recovered —
+        profile deltas ride every reply, so loss is bounded by one task
+        and the restarted incarnation's pid joins the same lane."""
+        from repro.obs.profile_schema import load_profile
+
+        out = str(tmp_path / "idx")
+        with inject(FaultPlan(seed=11, specs=(
+                FaultSpec(kind="worker_crash", worker="cpu-0",
+                          path_substring="file_00001", stage="build"),))):
+            result = IndexingEngine(
+                _cfg(profile=True, profile_interval_s=0.002)
+            ).build(tiny_collection, out)
+        assert result.supervisor.restarts >= 1
+        _assert_recovered(out, serial_reference)
+        payload = load_profile(os.path.join(out, PROFILE_FILENAME))
+        assert "engine" in payload["lanes"]
+        for lane, entry in payload["lanes"].items():
+            assert entry["samples"] >= 0, lane

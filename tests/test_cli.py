@@ -138,3 +138,68 @@ class TestErrorHandling:
         code = main(["ingest", str(tmp_path / "missing"), str(tmp_path / "out")])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    @pytest.fixture(scope="class")
+    def profiled_index(self, generated, tmp_path_factory):
+        index = str(tmp_path_factory.mktemp("prof") / "idx")
+        code = main([
+            "build", generated, index,
+            "--parsers", "2", "--cpu-indexers", "1", "--gpus", "1",
+            "--sample-fraction", "0.2", "--no-html",
+            "--profile", "--profile-interval", "0.002",
+        ])
+        assert code == 0
+        return index
+
+    def test_build_profile_writes_and_announces_artifact(
+            self, profiled_index, capsys):
+        import os
+
+        from repro.obs.profile_schema import PROFILE_FILENAME, load_profile
+
+        path = os.path.join(profiled_index, PROFILE_FILENAME)
+        payload = load_profile(path)  # schema-valid on disk
+        assert "engine" in payload["lanes"]
+
+    def test_profile_report_and_exports(self, profiled_index, tmp_path, capsys):
+        import json
+        import os
+
+        folded = str(tmp_path / "stacks.folded")
+        scope = str(tmp_path / "profile.speedscope.json")
+        assert main(["profile", profiled_index,
+                     "--folded", folded, "--speedscope", scope]) == 0
+        out = capsys.readouterr().out
+        assert "profile:" in out and "sample(s)" in out
+        assert "shm codec hot path:" in out
+        # Metrics sit next to the profile, so ring waits are reported.
+        assert "ring waits" in out
+        with open(folded, encoding="utf-8") as fh:
+            first = fh.readline()
+        assert first.rstrip().rsplit(" ", 1)[1].isdigit()
+        with open(scope, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert doc["$schema"].endswith("file-format-schema.json")
+        assert os.path.basename(profiled_index) == doc["name"]
+
+    def test_profile_cumulative_mode(self, profiled_index, capsys):
+        assert main(["profile", profiled_index, "--mode", "cum",
+                     "--top", "3"]) == 0
+        assert "by cumulative time" in capsys.readouterr().out
+
+    def test_profile_diff(self, profiled_index, capsys):
+        assert main(["profile", "--diff", profiled_index,
+                     profiled_index]) == 0
+        out = capsys.readouterr().out
+        assert "profile diff" in out
+        assert "regressed function(s):" in out
+
+    def test_profile_without_target_or_diff_is_usage_error(self, capsys):
+        assert main(["profile"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_profile_missing_artifact_fails(self, tmp_path, capsys):
+        assert main(["profile", str(tmp_path)]) == 2
+        assert "run.profile.json" in capsys.readouterr().err

@@ -54,16 +54,18 @@ def _metric_sections(index_dir: str) -> dict:
 
     ``pipeline.*`` and ``supervisor.*`` only exist for the concurrent
     backends, ``shm_san.*`` only when ``REPRO_SANITIZE=ring`` arms the
-    ring sanitizer, and ``checkpoint.bytes`` tracks the output
-    directory's path length; everything else must match exactly across
-    backends.
+    ring sanitizer, ``shm.ring.*`` is wall-clock ring telemetry (wait
+    polls and occupancy vary run to run), and ``checkpoint.bytes``
+    tracks the output directory's path length; everything else must
+    match exactly across backends.
     """
     payload = load_metrics(os.path.join(index_dir, METRICS_FILENAME))
     sections = {}
     for section in ("counters", "gauges", "histograms"):
         sections[section] = {
             k: v for k, v in payload[section].items()
-            if not k.startswith(("pipeline.", "supervisor.", "shm_san."))
+            if not k.startswith(("pipeline.", "supervisor.", "shm_san.",
+                                 "shm.ring."))
         }
     sections["histograms"].pop("checkpoint.bytes", None)
     return sections

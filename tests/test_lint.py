@@ -57,6 +57,7 @@ RULE_FIXTURES = [
     ("RPR007", fixture("core", "rpr007_annotations.py"), 2),
     ("RPR008", fixture("rpr008_clocks.py"), 3),
     ("RPR008", fixture("rpr008_bench_timeit.py"), 3),
+    ("RPR008", fixture("rpr008_profile.py"), 3),
     ("RPR101", fixture("rpr101_races.py"), 2),
     ("RPR102", fixture("rpr102_deadlock.py"), 1),
     ("RPR110", fixture("rpr110_mp_entry.py"), 4),
@@ -78,6 +79,10 @@ OK_FIXTURES = [
      [fixture("interproc", "rpr111_forkok.py"),
       fixture("interproc", "worker_like.py"),
       fixture("interproc", "rpr112_shmok.py")]),
+    # The RPR008 carve-out: the same clock reads that fire in
+    # rpr008_profile.py are exempt under an obs/ path.
+    (["RPR008"],
+     [fixture("obs", "profile.py")]),
 ]
 
 
@@ -115,7 +120,8 @@ class TestRuleFixtures:
         assert run.findings == []
 
     @pytest.mark.parametrize("codes,paths", OK_FIXTURES,
-                             ids=["protocol-ok", "interproc-ok"])
+                             ids=["protocol-ok", "interproc-ok",
+                                  "rpr008-obs-carveout"])
     def test_vetted_negatives_stay_clean(self, codes, paths):
         run = lint_paths(paths, select=codes)
         assert run.files_checked == len(paths)

@@ -1,0 +1,506 @@
+"""Tests for the sampling profiler (``repro.obs.profile``).
+
+Four layers, mirroring the subsystem's contract:
+
+- **Sampler**: deterministic-interval capture, lane naming, drain
+  semantics, depth truncation — driven through the injectable
+  ``frames_source`` so aggregates are bit-reproducible.
+- **Schema**: ``run.profile.json`` round-trips and the validator
+  rejects every malformation class (``write_profile`` refuses to
+  persist a lie).
+- **Exports/reports**: folded text and speedscope JSON are loss-free
+  re-renderings; the report ranks the shm codec hot path; the diff
+  localizes a regression to the offending function.
+- **Gates**: profiling a fixed workload costs ≤ 5% wall clock, and a
+  profiled build writes a schema-valid artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core.config import PlatformConfig
+from repro.core.engine import IndexingEngine
+from repro.obs.profile import (
+    Profile,
+    SamplingProfiler,
+    cumulative_seconds,
+    frame_id,
+    render_profile_diff,
+    render_profile_report,
+    self_seconds,
+    to_folded,
+    to_speedscope,
+    top_functions,
+    top_regressed,
+)
+from repro.obs.profile_schema import (
+    PROFILE_FILENAME,
+    PROFILE_SCHEMA_VERSION,
+    build_profile_payload,
+    load_profile,
+    validate_profile,
+    write_profile,
+)
+
+
+def _grab_frame():
+    """A real frame object captured inside a known nested call chain."""
+    box = {}
+
+    def codec_inner():
+        box["frame"] = sys._getframe()
+
+    def ring_outer():
+        codec_inner()
+
+    ring_outer()
+    return box["frame"]
+
+
+def _frames_source_for(frame, ident=201):
+    return lambda: {ident: frame}
+
+
+# ---------------------------------------------------------------------------
+# Sampler
+
+
+class TestSamplingProfiler:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval_s=0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval_s=-0.1)
+
+    def test_frame_id_shortens_to_repro_root(self):
+        class Code:
+            co_filename = os.sep.join(["", "venv", "x", "repro", "core", "engine.py"])
+            co_name = "build"
+            co_firstlineno = 42
+
+        assert frame_id(Code()) == "repro/core/engine.py:build:42"
+
+    def test_frame_id_foreign_code_keeps_basename(self):
+        class Code:
+            co_filename = "/usr/lib/python3.11/threading.py"
+            co_name = "wait"
+            co_firstlineno = 320
+
+        assert frame_id(Code()) == "threading.py:wait:320"
+
+    def test_sample_once_aggregates_injected_frames(self):
+        frame = _grab_frame()
+        prof = SamplingProfiler(
+            interval_s=0.01, lane="engine", frames_source=_frames_source_for(frame)
+        )
+        for _ in range(3):
+            prof.sample_once()
+        pid, samples, stacks = prof.drain_delta()
+        assert pid == os.getpid()
+        # Unknown ident → a named sub-lane, never the bare lane.
+        assert list(samples) == ["engine/unnamed"]
+        assert samples["engine/unnamed"] == 3
+        (lane, frames, count), = stacks
+        assert (lane, count) == ("engine/unnamed", 3)
+        # Root-first order: the leaf is the innermost call.
+        assert frames[-1].startswith("test_profile.py:codec_inner:")
+        assert frames[-2].startswith("test_profile.py:ring_outer:")
+
+    def test_primary_ident_maps_to_bare_lane(self):
+        frame = _grab_frame()
+        prof = SamplingProfiler(
+            interval_s=0.01, lane="cpu-0",
+            frames_source=_frames_source_for(frame, ident=77),
+        )
+        prof._primary_ident = 77
+        prof.sample_once()
+        _, samples, _ = prof.drain_delta()
+        assert list(samples) == ["cpu-0"]
+
+    def test_call_site_sets_are_reproducible(self):
+        """The determinism contract: same source → identical stack keys;
+        only the counts are wall-clock measurements."""
+        frame = _grab_frame()
+
+        def run(ticks):
+            prof = SamplingProfiler(
+                interval_s=0.01, frames_source=_frames_source_for(frame)
+            )
+            for _ in range(ticks):
+                prof.sample_once()
+            return prof.drain_delta()
+
+        _, _, stacks_a = run(2)
+        _, _, stacks_b = run(5)
+        keys_a = {(lane, frames) for lane, frames, _ in stacks_a}
+        keys_b = {(lane, frames) for lane, frames, _ in stacks_b}
+        assert keys_a == keys_b
+        assert [n for _, _, n in stacks_a] != [n for _, _, n in stacks_b]
+
+    def test_drain_clears_and_empty_returns_none(self):
+        frame = _grab_frame()
+        prof = SamplingProfiler(frames_source=_frames_source_for(frame))
+        assert prof.drain_delta() is None
+        prof.sample_once()
+        assert prof.drain_delta() is not None
+        assert prof.drain_delta() is None
+
+    def test_depth_is_truncated_at_the_root(self):
+        def deep(n):
+            if n == 0:
+                return sys._getframe()
+            return deep(n - 1)
+
+        frame = deep(200)
+        prof = SamplingProfiler(frames_source=_frames_source_for(frame))
+        prof.sample_once()
+        _, _, stacks = prof.drain_delta()
+        (_, frames, _), = stacks
+        assert len(frames) == 128
+        # The leaf survives; it is the root frames that are dropped.
+        assert frames[-1].startswith("test_profile.py:deep:")
+
+    def test_live_sampling_captures_the_primary_thread(self):
+        prof = SamplingProfiler(interval_s=0.002, lane="engine")
+        prof.start()
+        with pytest.raises(RuntimeError):
+            prof.start()
+        deadline = time.monotonic() + 0.2
+        x = 0
+        while time.monotonic() < deadline:
+            x += 1
+        prof.stop()
+        prof.stop()  # idempotent
+        delta = prof.drain_delta()
+        assert delta is not None
+        _, samples, _ = delta
+        assert samples.get("engine", 0) > 0
+        assert not any(
+            t.name == "repro-prof-sampler" for t in threading.enumerate()
+        )
+
+
+class TestProfileMerge:
+    def test_absorb_merges_lanes_and_records_restart_pids(self):
+        prof = Profile(interval_s=0.01)
+        prof.absorb(None)  # tolerated
+        prof.absorb((100, {"cpu-0": 2}, [("cpu-0", ("a:f:1", "b:g:2"), 2)]))
+        prof.absorb((200, {"cpu-0": 3}, [("cpu-0", ("a:f:1", "b:g:2"), 3)]))
+        payload = prof.to_payload(meta={"collection": "tiny"})
+        assert validate_profile(payload) == []
+        assert payload["lanes"]["cpu-0"] == {"pids": [100, 200], "samples": 5}
+        (entry,) = payload["stacks"]
+        assert entry == {"lane": "cpu-0", "frames": ["a:f:1", "b:g:2"], "count": 5}
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Profile(interval_s=0)
+
+
+# ---------------------------------------------------------------------------
+# Schema
+
+
+def _valid_payload():
+    return build_profile_payload(
+        0.01,
+        {"engine": 10, "cpu-0": (20, 21)},
+        {
+            "engine": {("a:f:1", "b:g:2"): 3, ("a:f:1",): 1},
+            "cpu-0": {("c:h:3",): 2},
+        },
+        meta={"collection": "tiny"},
+    )
+
+
+class TestProfileSchema:
+    def test_round_trip(self, tmp_path):
+        path = write_profile(str(tmp_path / PROFILE_FILENAME), _valid_payload())
+        loaded = load_profile(path)
+        assert loaded == _valid_payload()
+        assert loaded["schema"] == PROFILE_SCHEMA_VERSION
+        # Deterministic serialization: a rewrite is byte-identical.
+        with open(path, "rb") as fh:
+            first = fh.read()
+        write_profile(path, loaded)
+        with open(path, "rb") as fh:
+            assert fh.read() == first
+
+    def test_lane_samples_sum_their_stacks(self):
+        payload = _valid_payload()
+        assert payload["lanes"]["engine"]["samples"] == 4
+        assert payload["lanes"]["cpu-0"]["samples"] == 2
+
+    @pytest.mark.parametrize(
+        "mutate,needle",
+        [
+            (lambda p: p.pop("interval_s"), "missing required section"),
+            (lambda p: p.__setitem__("bogus", 1), "unknown section"),
+            (lambda p: p.__setitem__("schema", "repro.run.metrics/1"), "is not a"),
+            (lambda p: p.__setitem__("schema", "repro.run.profile/9"), "!= supported"),
+            (lambda p: p.__setitem__("interval_s", 0), "not positive"),
+            (lambda p: p.__setitem__("interval_s", True), "expected a number"),
+            (lambda p: p["lanes"]["engine"].__setitem__("pids", []), "pids"),
+            (lambda p: p["lanes"]["engine"].__setitem__("samples", -1),
+             "non-negative"),
+            (lambda p: p["stacks"][0].__setitem__("lane", "ghost"), "not declared"),
+            (lambda p: p["stacks"][0].__setitem__("frames", []), "non-empty"),
+            (lambda p: p["stacks"][0].__setitem__("count", 0), "positive integer"),
+            (lambda p: p["stacks"].append(dict(p["stacks"][0])), "duplicate"),
+            (lambda p: p["stacks"][0].__setitem__("count", 99), "sum to"),
+        ],
+    )
+    def test_validator_rejects_malformations(self, mutate, needle):
+        payload = _valid_payload()
+        mutate(payload)
+        problems = validate_profile(payload)
+        assert problems, f"expected a problem containing {needle!r}"
+        assert any(needle in p for p in problems), problems
+
+    def test_write_refuses_invalid(self, tmp_path):
+        payload = _valid_payload()
+        payload["interval_s"] = -1
+        with pytest.raises(ValueError, match="refusing to write"):
+            write_profile(str(tmp_path / PROFILE_FILENAME), payload)
+        assert not os.path.exists(str(tmp_path / PROFILE_FILENAME))
+
+    def test_load_rejects_tampered_file(self, tmp_path):
+        path = write_profile(str(tmp_path / PROFILE_FILENAME), _valid_payload())
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        payload["stacks"][0]["count"] = 999
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        with pytest.raises(ValueError):
+            load_profile(path)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation, exports, reports
+
+
+def _codec_payload():
+    """A payload with frames on and off the shm codec hot path."""
+    return build_profile_payload(
+        0.01,
+        {"engine": 1, "cpu-0": 2},
+        {
+            "engine": {
+                ("repro/core/engine.py:build:10",
+                 "repro/parsing/stream_codec.py:encode_batch:227"): 30,
+                ("repro/core/engine.py:build:10",
+                 "repro/core/shm_ring.py:put_frame:100"): 20,
+                ("repro/core/engine.py:build:10",
+                 "repro/core/shm_ring.py:put_frame:100",
+                 "repro/core/shm_ring.py:_wait:50"): 10,
+                ("repro/core/engine.py:build:10",): 5,
+            },
+            "cpu-0": {
+                ("repro/core/mp_worker.py:worker_main:30",
+                 "repro/parsing/stream_codec.py:decode_batch:234"): 15,
+            },
+        },
+    )
+
+
+class TestAggregation:
+    def test_self_and_cumulative_seconds(self):
+        payload = _codec_payload()
+        slf = self_seconds(payload)
+        assert slf["repro/parsing/stream_codec.py:encode_batch:227"] == pytest.approx(0.30)
+        assert slf["repro/core/shm_ring.py:put_frame:100"] == pytest.approx(0.20)
+        assert slf["repro/core/engine.py:build:10"] == pytest.approx(0.05)
+        cum = cumulative_seconds(payload)
+        # build is on every engine stack: 65 samples × 10ms.
+        assert cum["repro/core/engine.py:build:10"] == pytest.approx(0.65)
+        # put_frame appears on two stacks (leaf + under _wait).
+        assert cum["repro/core/shm_ring.py:put_frame:100"] == pytest.approx(0.30)
+
+    def test_top_functions_modes_and_bad_mode(self):
+        payload = _codec_payload()
+        top_self = top_functions(payload, mode="self", n=1)
+        assert top_self[0][0] == "repro/parsing/stream_codec.py:encode_batch:227"
+        top_cum = top_functions(payload, mode="cum", n=1)
+        assert top_cum[0][0] == "repro/core/engine.py:build:10"
+        with pytest.raises(ValueError):
+            top_functions(payload, mode="wall")
+
+    def test_top_regressed_orders_by_delta(self):
+        old = {"f": 1.0, "g": 2.0, "gone": 5.0}
+        new = {"f": 3.0, "g": 2.5, "fresh": 0.5}
+        rows = top_regressed(old, new)
+        assert [r[0] for r in rows] == ["f", "fresh", "g"]
+        assert rows[0] == ("f", 1.0, 3.0, 2.0)
+
+
+class TestExports:
+    def test_folded_lines_are_lane_prefixed(self):
+        text = to_folded(_codec_payload())
+        lines = text.splitlines()
+        assert text.endswith("\n")
+        assert len(lines) == 5
+        assert (
+            "cpu-0;repro/core/mp_worker.py:worker_main:30;"
+            "repro/parsing/stream_codec.py:decode_batch:234 15" in lines
+        )
+        assert to_folded(build_profile_payload(0.01, {}, {})) == ""
+
+    def test_speedscope_document_is_loss_free(self):
+        payload = _codec_payload()
+        doc = to_speedscope(payload, name="tiny")
+        assert doc["$schema"] == "https://www.speedscope.app/file-format-schema.json"
+        assert doc["name"] == "tiny"
+        assert [p["name"] for p in doc["profiles"]] == ["cpu-0", "engine"]
+        frames = [f["name"] for f in doc["shared"]["frames"]]
+        assert len(frames) == len(set(frames))
+        for prof, lane_entries in zip(
+            doc["profiles"],
+            ([e for e in payload["stacks"] if e["lane"] == "cpu-0"],
+             [e for e in payload["stacks"] if e["lane"] == "engine"]),
+        ):
+            assert prof["type"] == "sampled"
+            assert len(prof["samples"]) == len(prof["weights"]) == len(lane_entries)
+            total = sum(e["count"] for e in lane_entries) * payload["interval_s"]
+            assert prof["endValue"] == pytest.approx(total)
+            for sample, entry in zip(prof["samples"], lane_entries):
+                assert [frames[i] for i in sample] == entry["frames"]
+
+
+class TestReports:
+    def test_report_ranks_the_shm_hot_path(self):
+        metrics = {
+            "counters": {
+                "shm.ring.producer_wait_polls": 12,
+                "shm.ring.producer_wait_s": 0.034,
+                "shm.ring.consumer_wait_polls": 3,
+                "shm.ring.consumer_wait_s": 0.007,
+            }
+        }
+        text = render_profile_report(_codec_payload(), metrics=metrics, top=5)
+        assert "profile: 80 sample(s) across 2 lane(s)" in text
+        assert "shm codec hot path:" in text
+        lines = text.splitlines()
+        hot = lines[lines.index("shm codec hot path:") :]
+        roles = [line.split()[1] for line in hot if line.startswith("   ")
+                 and "role" not in line and "ring waits" not in line]
+        # encode (0.30s) outranks chunk-copy (0.20s) outranks decode (0.15s).
+        assert roles[:4] == ["encode", "chunk-copy", "decode", "ring-wait"]
+        assert "ring waits: producer 12 poll(s) (~0.034s), consumer 3 poll(s)" in text
+
+    def test_report_without_codec_samples_or_metrics(self):
+        payload = build_profile_payload(
+            0.01, {"engine": 1}, {"engine": {("a:f:1",): 2}}
+        )
+        text = render_profile_report(payload)
+        assert "(no samples landed in shm codec frames)" in text
+        assert "ring waits" not in text
+        with_metrics = render_profile_report(payload, metrics={"counters": {}})
+        assert "ring waits: none recorded" in with_metrics
+
+    def test_diff_localizes_the_regressed_function(self):
+        old = build_profile_payload(
+            0.01, {"engine": 1},
+            {"engine": {("a:f:1", "slow:mod:9"): 10, ("a:f:1",): 10}},
+        )
+        new = build_profile_payload(
+            0.01, {"engine": 1},
+            {"engine": {("a:f:1", "slow:mod:9"): 40, ("a:f:1",): 10}},
+        )
+        text = render_profile_diff(old, new)
+        assert "~0.200s -> ~0.500s attributed" in text
+        reg = text[text.index("regressed") : text.index("improved")]
+        assert "slow:mod:9" in reg
+        assert "+  0.300s" in reg
+        # The mirror direction lands in "improved".
+        back = render_profile_diff(new, old)
+        imp = back[back.index("improved") :]
+        assert "slow:mod:9" in imp
+
+
+# ---------------------------------------------------------------------------
+# Gates
+
+
+class TestOverheadGate:
+    def test_profiling_costs_at_most_five_percent(self):
+        """ISSUE gate: a profiled run of a fixed pure-python workload is
+        ≤ 5% slower than unprofiled (min-of-5, plus a 10ms floor for
+        timer noise on a loaded machine)."""
+
+        def busy():
+            total = 0
+            for i in range(1_500_000):
+                total += i & 7
+            return total
+
+        def measure(profiled):
+            best = float("inf")
+            for _ in range(5):
+                prof = None
+                if profiled:
+                    prof = SamplingProfiler(interval_s=0.01)
+                    prof.start()
+                t0 = time.perf_counter()
+                busy()
+                elapsed = time.perf_counter() - t0
+                if prof is not None:
+                    prof.stop()
+                best = min(best, elapsed)
+            return best
+
+        plain = measure(profiled=False)
+        profiled = measure(profiled=True)
+        assert profiled <= plain * 1.05 + 0.010, (
+            f"profiled {profiled:.4f}s vs plain {plain:.4f}s"
+        )
+
+
+class TestProfiledBuild:
+    def test_serial_profiled_build_writes_valid_artifact(
+            self, tiny_collection, tmp_path):
+        out = str(tmp_path / "idx")
+        cfg = PlatformConfig(
+            sample_fraction=0.2, profile=True, profile_interval_s=0.002
+        )
+        result = IndexingEngine(cfg).build(tiny_collection, out)
+        assert result.profile_path == os.path.join(out, PROFILE_FILENAME)
+        payload = load_profile(result.profile_path)
+        assert "engine" in payload["lanes"]
+        assert payload["interval_s"] == pytest.approx(0.002)
+        assert payload["meta"]["collection"] == tiny_collection.name
+        # The report renders end to end on a real artifact.
+        text = render_profile_report(payload)
+        assert "shm codec hot path:" in text
+
+    def test_unprofiled_build_writes_no_artifact(self, tiny_collection, tmp_path):
+        out = str(tmp_path / "idx")
+        result = IndexingEngine(
+            PlatformConfig(sample_fraction=0.2)
+        ).build(tiny_collection, out)
+        assert result.profile_path is None
+        assert not os.path.exists(os.path.join(out, PROFILE_FILENAME))
+
+    def test_multiprocess_profiled_build_merges_worker_lanes(
+            self, tiny_collection, tmp_path):
+        out = str(tmp_path / "idx")
+        cfg = PlatformConfig(
+            num_parsers=2, num_cpu_indexers=2, num_gpus=1,
+            sample_fraction=0.2, exec_backend="multiprocess",
+            profile=True, profile_interval_s=0.002,
+        )
+        result = IndexingEngine(cfg).build(tiny_collection, out)
+        payload = load_profile(result.profile_path)
+        lanes = set(payload["lanes"])
+        assert "engine" in lanes
+        # At least one worker lane made it across the process boundary.
+        worker_lanes = {l for l in lanes if l.split("/")[0] != "engine"}
+        assert worker_lanes, lanes
+        for entry in payload["lanes"].values():
+            assert all(p > 0 for p in entry["pids"])

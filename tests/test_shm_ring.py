@@ -312,3 +312,77 @@ class TestRingSanitizer:
         assert counters["shm_san.frames_stamped"] == 2
         assert counters["shm_san.frames_verified"] == 1
         assert "shm_san.seq_errors" not in counters
+
+
+class TestRingTelemetry:
+    """The ``shm.ring.*`` metrics: present when armed, invisible when not.
+
+    The hard property is *byte identity*: telemetry observes ring state
+    but never touches ring bytes, so an identical operation sequence
+    leaves an identical segment whether or not a session is installed.
+    """
+
+    @staticmethod
+    def _drive(r: ShmRing) -> None:
+        r.put_frame(b"alpha")
+        r.put_frame(b"beta--beta")
+        assert r.get_frame() == b"alpha"
+
+    def test_ring_bytes_identical_with_and_without_telemetry(self):
+        plain = ShmRing.create("plain", capacity=256)
+        try:
+            self._drive(plain)
+            plain_bytes = bytes(plain._buf)
+        finally:
+            plain.unlink()
+        with session(Telemetry.create()):
+            observed = ShmRing.create("observed", capacity=256)
+            try:
+                self._drive(observed)
+                observed_bytes = bytes(observed._buf)
+            finally:
+                observed.unlink()
+        assert observed_bytes == plain_bytes
+
+    def test_disabled_telemetry_resolves_to_no_registry(self):
+        from repro.core.shm_ring import _ring_metrics
+
+        assert _ring_metrics() is None
+
+    def test_put_records_frame_size_and_occupancy(self):
+        with session(Telemetry.create()) as t:
+            r = ShmRing.create("sized", capacity=256)
+            try:
+                self._drive(r)
+            finally:
+                r.unlink()
+            snap = t.metrics.snapshot()
+        hists = snap["histograms"]
+        assert "shm.ring.frame_bytes" in hists
+        assert "shm.ring.occupancy_bytes" in hists
+        # Two puts, no waits on an uncontended ring.
+        assert "shm.ring.producer_wait_polls" not in snap["counters"]
+
+    def test_timed_out_get_flushes_consumer_wait_counters(self):
+        with session(Telemetry.create()) as t:
+            r = ShmRing.create("waited", capacity=256)
+            try:
+                assert r.get_frame(timeout=0.05) is None
+            finally:
+                r.unlink()
+            counters = t.metrics.snapshot()["counters"]
+        assert counters["shm.ring.consumer_wait_polls"] >= 1
+        assert counters["shm.ring.consumer_wait_s"] > 0
+
+    def test_timed_out_put_flushes_producer_wait_counters(self):
+        with session(Telemetry.create()) as t:
+            r = ShmRing.create("full", capacity=256)
+            try:
+                r.put_frame(b"y" * 200)
+                with pytest.raises(RingTimeout):
+                    r.put_frame(b"z" * 200, timeout=0.05)
+            finally:
+                r.unlink()
+            counters = t.metrics.snapshot()["counters"]
+        assert counters["shm.ring.producer_wait_polls"] >= 1
+        assert counters["shm.ring.producer_wait_s"] > 0
