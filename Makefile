@@ -1,6 +1,6 @@
 # Canonical workflows for the reproduction.
 
-.PHONY: install test test-fast test-pipelined test-mp chaos chaos-mp chaos-mp-san lint bench bench-pytest bench-gate report examples trace-demo pipeline-demo profile-demo clean
+.PHONY: install test test-fast test-pipelined test-mp chaos chaos-mp chaos-mp-san lint bench bench-pytest bench-gate report examples trace-demo pipeline-demo profile-demo critpath-demo clean
 
 install:
 	python setup.py develop
@@ -105,6 +105,22 @@ profile-demo:
 		--folded /tmp/repro_profile_demo/stacks.folded \
 		--speedscope /tmp/repro_profile_demo/profile.speedscope.json
 	python -m repro verify /tmp/repro_profile_demo/index
+
+# Critical-path analysis end to end: a multiprocess demo build, the
+# blame table + what-if projections rendered, run.critpath.json
+# schema-gated, and the Perfetto overlay with the highlighted
+# critical-path lane (docs/OBSERVABILITY.md, "Critical-path analysis").
+critpath-demo:
+	rm -rf /tmp/repro_critpath_demo
+	python -m repro generate congress /tmp/repro_critpath_demo --seed 7
+	python -m repro build /tmp/repro_critpath_demo/congress_mini \
+		/tmp/repro_critpath_demo/index --parsers 2 --cpu-indexers 2 --gpus 1 \
+		--exec multiprocess
+	python -m repro critpath /tmp/repro_critpath_demo/index \
+		--what-if ring-wait=0 \
+		--chrome /tmp/repro_critpath_demo/critpath.trace.json
+	python -c "from repro.obs.critpath_schema import load_critpath; \
+		load_critpath('/tmp/repro_critpath_demo/index/run.critpath.json')"
 
 examples:
 	python examples/quickstart.py /tmp/repro_example_qs

@@ -430,6 +430,8 @@ class IndexingEngine:
                 run_tags["run"] = run_id
                 run_tags["postings"] = run_postings
                 run_tags["bytes"] = run_file.byte_size
+                run_tags["cp"] = f"flush:{run_id}"
+                run_tags["cp_from"] = f"drain:{k}"
             metrics.count("runs.written")
             metrics.count("postings.entries", run_postings)
             metrics.count(f"postings.bytes.{cfg.codec}", run_file.byte_size)
@@ -438,7 +440,10 @@ class IndexingEngine:
             # Durability order: run file → manifest append →
             # checkpoint replace.  A crash at any point leaves a
             # resumable directory (see repro.robustness.checkpoint).
-            with tel.tracer.span("checkpoint", cat="robustness", run=run_id):
+            with tel.tracer.span(
+                "checkpoint", cat="robustness", run=run_id,
+                cp=f"checkpoint:{run_id}", cp_from=f"flush:{run_id}",
+            ):
                 manifest.append_run(
                     RunRecord(
                         run_id=run_id,
@@ -815,7 +820,7 @@ class IndexingEngine:
             for k in indices:
                 path = collection.files[k]
                 with watch.measure("parse"), tel.tracer.span(
-                    "parse", cat="parse", file=k
+                    "parse", cat="parse", file=k, cp=f"parse:{k}"
                 ):
                     parsed, error, outcome = attempt(parser, k, path)
                 merge(outcome)
@@ -852,7 +857,8 @@ class IndexingEngine:
                 # Worker threads trace their own "parse" spans on the
                 # parser lanes; the engine lane records only the wait.
                 with watch.measure("parse"), tel.tracer.span(
-                    "parse.wait", cat="parse", file=k
+                    "parse.wait", cat="parse", file=k,
+                    cp=f"collect:{k}", cp_from=f"parse:{k}",
                 ):
                     parsed, error, outcome = future.result()
                 merge(outcome)

@@ -197,6 +197,7 @@ class SerialBackend(ExecutionBackend):
                 with h.watch.measure("index"), h.tel.tracer.span(
                     "index", cat="index", file=k,
                     docs=batch.num_docs, tokens=batch.total_tokens,
+                    cp=f"index:{k}", cp_from=f"parse:{k}",
                 ):
                     pop_work, unpop_work = h.index_batch(batch, next_offset)
                 h.record_file(k, parsed, outcome, pop_work, unpop_work)
@@ -256,7 +257,8 @@ class ThreadedBackend(ExecutionBackend):
             item = inflight.popleft()
             t0 = now()
             with h.tel.tracer.span(
-                "pipeline.wait", cat="pipeline", file=item.file_index, reason=reason
+                "pipeline.wait", cat="pipeline", file=item.file_index, reason=reason,
+                cp=f"drain:{item.file_index}", cp_from=f"index:{item.file_index}",
             ):
                 results = [future.result() for future in item.futures]
             waited = now() - t0
@@ -298,7 +300,8 @@ class ThreadedBackend(ExecutionBackend):
                     batch = parsed.batch
                     tasks = h.split_batch(batch)
                     with h.tel.tracer.span(
-                        "pipeline.dispatch", cat="pipeline", file=k, tasks=len(tasks)
+                        "pipeline.dispatch", cat="pipeline", file=k, tasks=len(tasks),
+                        cp=f"dispatch:{k}", cp_from=f"collect:{k}",
                     ):
                         futures = [
                             pool.submit(

@@ -199,7 +199,8 @@ class MultiprocessBackend(ExecutionBackend):
             item = inflight.popleft()
             t0 = now()
             with h.tel.tracer.span(
-                "pipeline.wait", cat="pipeline", file=item.file_index, reason=reason
+                "pipeline.wait", cat="pipeline", file=item.file_index, reason=reason,
+                cp=f"drain:{item.file_index}", cp_from=f"index:{item.file_index}",
             ):
                 results = []
                 for (kind, idx, _pop, sub), tid in zip(item.tasks, item.task_ids):
@@ -242,7 +243,8 @@ class MultiprocessBackend(ExecutionBackend):
                     tasks = h.split_batch(batch)
                     task_ids = []
                     with h.tel.tracer.span(
-                        "pipeline.dispatch", cat="pipeline", file=k, tasks=len(tasks)
+                        "pipeline.dispatch", cat="pipeline", file=k, tasks=len(tasks),
+                        cp=f"dispatch:{k}", cp_from=f"collect:{k}",
                     ):
                         for kind, idx, _pop, sub in tasks:
                             slot = self._islot_map[(kind, idx)]
@@ -376,34 +378,48 @@ class MultiprocessBackend(ExecutionBackend):
         return run_lists
 
     def _drain_slot(self, slot: _IndexerSlot) -> "dict[int, PostingsList]":
-        while slot.mode == "process":
-            tid = self._next_tid()
-            tag = f"<boundary::{slot.key}>"
-            if not self._put(slot, ("boundary", tid), tag=tag):
-                continue
-            cmd = self._collect_control(slot, tid, "boundary", tag)
-            if cmd is None:
-                continue
-            _, _, postings_blob, state_blob, fc, fe, md, sp, pf = cmd
-            self._merge_delta(fc, fe, md, sp, pf)
-            self._install_state(slot, state_blob)
-            return pickle.loads(postings_blob)
+        if slot.mode == "process":
+            # The boundary roundtrip ships pickled postings + state over
+            # the result ring — transport `repro critpath` must see as
+            # its own causal edge (ring-wait, not flush).
+            with self.hooks.tel.tracer.span(
+                "drain.wait", cat="pipeline", worker=slot.key,
+                cp=f"boundary:{slot.key}", cp_from=f"index:{slot.key}",
+            ):
+                while slot.mode == "process":
+                    tid = self._next_tid()
+                    tag = f"<boundary::{slot.key}>"
+                    if not self._put(slot, ("boundary", tid), tag=tag):
+                        continue
+                    cmd = self._collect_control(slot, tid, "boundary", tag)
+                    if cmd is None:
+                        continue
+                    _, _, postings_blob, state_blob, fc, fe, md, sp, pf = cmd
+                    self._merge_delta(fc, fe, md, sp, pf)
+                    self._install_state(slot, state_blob)
+                    return pickle.loads(postings_blob)
         return self.hooks.indexer_for(slot.kind, slot.idx).drain_postings()
 
     def _refresh_state(self, slot: _IndexerSlot) -> None:
         """Pull current state out of a worker without draining postings."""
-        while slot.mode == "process":
-            tid = self._next_tid()
-            tag = f"<snapshot::{slot.key}>"
-            if not self._put(slot, ("snapshot", tid), tag=tag):
-                continue
-            cmd = self._collect_control(slot, tid, "snapshot", tag)
-            if cmd is None:
-                continue
-            _, _, state_blob, fc, fe, md, sp, pf = cmd
-            self._merge_delta(fc, fe, md, sp, pf)
-            self._install_state(slot, state_blob)
+        if slot.mode != "process":
             return
+        with self.hooks.tel.tracer.span(
+            "drain.wait", cat="pipeline", worker=slot.key,
+            cp=f"snapshot:{slot.key}", cp_from=f"index:{slot.key}",
+        ):
+            while slot.mode == "process":
+                tid = self._next_tid()
+                tag = f"<snapshot::{slot.key}>"
+                if not self._put(slot, ("snapshot", tid), tag=tag):
+                    continue
+                cmd = self._collect_control(slot, tid, "snapshot", tag)
+                if cmd is None:
+                    continue
+                _, _, state_blob, fc, fe, md, sp, pf = cmd
+                self._merge_delta(fc, fe, md, sp, pf)
+                self._install_state(slot, state_blob)
+                return
 
     def _install_state(self, slot: _IndexerSlot, state_blob: bytes) -> None:
         """The worker's pickled state becomes the engine's authoritative
@@ -468,7 +484,8 @@ class MultiprocessBackend(ExecutionBackend):
     ) -> "tuple[int, object, Exception | None, RetryOutcome | None]":
         h = self.hooks
         with h.watch.measure("parse"), h.tel.tracer.span(
-            "parse.wait", cat="parse", file=k
+            "parse.wait", cat="parse", file=k,
+            cp=f"collect:{k}", cp_from=f"parse:{k}",
         ):
             while True:
                 if slot.mode == "inline":
@@ -558,26 +575,35 @@ class MultiprocessBackend(ExecutionBackend):
 
     def _recover(self, slot: _Slot, kind: str, detail: str,
                  tag: str | None) -> None:
-        incarnation = slot.handle.incarnation if slot.handle else 0
-        poison = tag is not None and self.sup.note_task_crash(tag)
-        if poison:
-            self.sup.record_poisoned(tag)
-        if poison or not self.sup.allow_restart(slot.key):
+        # The span nests inside whatever engine wait triggered
+        # supervision; `repro critpath` subtracts these intervals from
+        # the wait before blaming transport (supervisor restart/replay
+        # edges in the causal graph).
+        with self.hooks.tel.tracer.span(
+            "supervisor.recover", cat="robustness", worker=slot.key, kind=kind,
+        ) as tags:
+            incarnation = slot.handle.incarnation if slot.handle else 0
+            poison = tag is not None and self.sup.note_task_crash(tag)
+            if poison:
+                self.sup.record_poisoned(tag)
+            if poison or not self.sup.allow_restart(slot.key):
+                self.sup.record_failure(
+                    WorkerFailure(slot.key, kind, incarnation, detail, tag, "degrade")
+                )
+                tags["action"] = "degrade"
+                self._degrade(slot)
+                return
+            delay = self.sup.restart_delay_s(slot.key)
             self.sup.record_failure(
-                WorkerFailure(slot.key, kind, incarnation, detail, tag, "degrade")
+                WorkerFailure(slot.key, kind, incarnation, detail, tag, "restart")
             )
-            self._degrade(slot)
-            return
-        delay = self.sup.restart_delay_s(slot.key)
-        self.sup.record_failure(
-            WorkerFailure(slot.key, kind, incarnation, detail, tag, "restart")
-        )
-        self.sup.record_restart(slot.key, requeued=slot.uncollected())
-        if delay > 0:
-            time.sleep(delay)
-        slot.generation += 1
-        self._spawn(slot)
-        self._replay(slot)
+            self.sup.record_restart(slot.key, requeued=slot.uncollected())
+            tags["action"] = "restart"
+            if delay > 0:
+                time.sleep(delay)
+            slot.generation += 1
+            self._spawn(slot)
+            self._replay(slot)
 
     def _replay(self, slot: _Slot) -> None:
         """Re-seed a restarted worker and resend everything in flight."""
@@ -648,8 +674,14 @@ class MultiprocessBackend(ExecutionBackend):
             # every incarnation gets fresh rings instead of resyncing.
             self._kill_slot(slot)
         cap = self.policy.ring_capacity_bytes
-        task_ring = ShmRing.create(f"{slot.key}-t{incarnation}", cap)
-        result_ring = ShmRing.create(f"{slot.key}-r{incarnation}", cap)
+        # Edge labels are per slot (not per incarnation) so restart
+        # telemetry accumulates under one causal edge per ring.
+        task_ring = ShmRing.create(
+            f"{slot.key}-t{incarnation}", cap, edge=f"{slot.key}.task"
+        )
+        result_ring = ShmRing.create(
+            f"{slot.key}-r{incarnation}", cap, edge=f"{slot.key}.result"
+        )
         spec = WorkerSpec(
             key=slot.key,
             kind="indexer" if isinstance(slot, _IndexerSlot) else "parser",

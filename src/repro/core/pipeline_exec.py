@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from queue import Queue
 from typing import TYPE_CHECKING, Any
 
+from repro.obs import runtime as obs
 from repro.util.timing import now
 
 if TYPE_CHECKING:  # import cycle: engine → pipeline_exec → indexers
@@ -160,6 +161,14 @@ class IndexerWorker:
             if item is _STOP:
                 return
             indexer, batch, doc_offset, future = item
+            # Causal ring-dequeue edge for `repro critpath`: this task
+            # left the slot's queue and is about to run on this lane.
+            obs.tracer().instant(
+                "queue.dequeue", cat="pipeline", lane=self.key,
+                file=batch.sequence,
+                cp=f"dequeue:{batch.sequence}",
+                cp_from=f"dispatch:{batch.sequence}",
+            )
             if not future.set_running_or_notify_cancel():
                 continue
             try:

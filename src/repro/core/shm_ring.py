@@ -117,6 +117,10 @@ class RingSpec:
 
     name: str
     capacity: int
+    #: Causal edge label (e.g. ``"cpu-0.task"``) for per-edge wait
+    #: attribution in `repro critpath`; ``None`` keeps telemetry
+    #: aggregate-only.  Slot-stable across worker restarts.
+    edge: str | None = None
 
 
 # ---------------------------------------------------------------------- #
@@ -257,10 +261,12 @@ def _retrack(shm: shared_memory.SharedMemory) -> None:
 class ShmRing:
     """One single-producer/single-consumer byte ring (see module doc)."""
 
-    def __init__(self, shm: shared_memory.SharedMemory, capacity: int, owner: bool) -> None:
+    def __init__(self, shm: shared_memory.SharedMemory, capacity: int, owner: bool,
+                 edge: str | None = None) -> None:
         self._shm = shm
         self._capacity = capacity
         self._owner = owner
+        self._edge = edge
         self._buf = shm.buf
         self._closed = False
         # Consumer-side reassembly of the frame currently being read:
@@ -274,7 +280,8 @@ class ShmRing:
     # -- lifecycle ------------------------------------------------------ #
 
     @classmethod
-    def create(cls, suffix: str, capacity: int) -> "ShmRing":
+    def create(cls, suffix: str, capacity: int,
+               edge: str | None = None) -> "ShmRing":
         """Create a new ring segment (engine side only)."""
         if capacity < 16:
             raise ValueError(f"ring capacity must be >= 16 bytes, got {capacity}")
@@ -283,17 +290,19 @@ class ShmRing:
         )
         _register_created(shm)
         shm.buf[:_HEADER] = b"\x00" * _HEADER
-        return cls(shm, capacity, owner=True)
+        return cls(shm, capacity, owner=True, edge=edge)
 
     @classmethod
     def attach(cls, spec: RingSpec) -> "ShmRing":
         """Attach to an engine-created ring (worker side)."""
         shm = shared_memory.SharedMemory(name=spec.name)
         _untrack(shm)
-        return cls(shm, spec.capacity, owner=False)
+        return cls(shm, spec.capacity, owner=False, edge=spec.edge)
 
     def spec(self) -> RingSpec:
-        return RingSpec(name=self._shm.name, capacity=self._capacity)
+        return RingSpec(
+            name=self._shm.name, capacity=self._capacity, edge=self._edge
+        )
 
     @property
     def name(self) -> str:
@@ -414,6 +423,8 @@ class ShmRing:
             if m is not None and wait_polls:
                 m.count("shm.ring.producer_wait_polls", wait_polls)
                 m.count("shm.ring.producer_wait_s", wait_s)
+                if self._edge is not None:
+                    m.count(f"shm.ring.edge.{self._edge}.producer_wait_s", wait_s)
             if san is not None:
                 # An aborted write (timeout, crash injection) leaves a
                 # partial frame pending; poison the endpoint so a later
@@ -456,6 +467,11 @@ class ShmRing:
                         if m is not None and wait_polls:
                             m.count("shm.ring.consumer_wait_polls", wait_polls)
                             m.count("shm.ring.consumer_wait_s", wait_s)
+                            if self._edge is not None:
+                                m.count(
+                                    f"shm.ring.edge.{self._edge}.consumer_wait_s",
+                                    wait_s,
+                                )
                         return None
                     continue
                 poll_s = _POLL_MIN_S
@@ -478,6 +494,8 @@ class ShmRing:
             if m is not None and wait_polls:
                 m.count("shm.ring.consumer_wait_polls", wait_polls)
                 m.count("shm.ring.consumer_wait_s", wait_s)
+                if self._edge is not None:
+                    m.count(f"shm.ring.edge.{self._edge}.consumer_wait_s", wait_s)
             if self._san is not None:
                 frame = self._san.verify(frame)
             return frame

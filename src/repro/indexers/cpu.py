@@ -93,6 +93,7 @@ class CPUIndexer(BaseIndexer):
         with obs.tracer().span(
             "index_batch", cat="index", lane=self.lane,
             file=batch.sequence,
+            cp=f"index:{batch.sequence}", cp_from=f"dequeue:{batch.sequence}",
         ) as tags:
             if batch.ungrouped is not None:
                 report.merge(self._index_ungrouped(batch, doc_offset))

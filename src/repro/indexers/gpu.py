@@ -139,6 +139,7 @@ class GPUIndexer(BaseIndexer):
         with obs.tracer().span(
             "index_batch", cat="index", lane=self.lane,
             file=batch.sequence,
+            cp=f"index:{batch.sequence}", cp_from=f"dequeue:{batch.sequence}",
         ) as tags:
             out = self._index_batch_traced(batch, doc_offset)
             tags["tokens"] = out.report.tokens

@@ -40,6 +40,7 @@ import glob
 import json
 import os
 import platform
+import re
 import subprocess
 import sys
 from dataclasses import dataclass, field
@@ -511,6 +512,18 @@ def run_suite(
                 ),
                 "self_s": dict(top[:PROFILE_TOP_FRAMES]),
             }
+            # When the scenario's op returns an EngineResult (build
+            # scenarios do), summarize the last repetition's critical
+            # path so --compare can localize a slowdown to a *resource*
+            # (ring-wait vs index CPU), not just a function.
+            trace_path = getattr(last, "trace_path", None)
+            if trace_path:
+                try:
+                    from repro.obs.critpath import summarize_for_bench
+
+                    entry["critical_path"] = summarize_for_bench(trace_path)
+                except (OSError, ValueError):
+                    pass  # trace unreadable/foreign: skip the block
         entries.append(entry)
 
     payload: dict[str, Any] = {
@@ -557,6 +570,10 @@ class ScenarioResult:
     #: run (``{"interval_s", "samples", "self_s": {frame: seconds}}``),
     #: or ``None`` for unprofiled results.
     profile: Mapping[str, Any] | None = None
+    #: Per-resource critical-path summary (``{"backend", "wall_s",
+    #: "path_s", "blame_s": {resource: s}, "top_resource"}``) from a
+    #: ``--profile`` run of a build scenario, or ``None``.
+    critical_path: Mapping[str, Any] | None = None
 
 
 @dataclass(frozen=True)
@@ -627,6 +644,7 @@ def load_results(path: str) -> BenchResults:
             stage_timings=dict(entry.get("stage_timings") or {}),
             throughput_mbps=entry.get("throughput_mbps"),
             profile=entry.get("profile"),
+            critical_path=entry.get("critical_path"),
         )
     return BenchResults(
         path=path,
@@ -703,6 +721,35 @@ def _worst_function(
     return f"{frame} +{_fmt_s(delta)} self ({_fmt_s(old_s)} -> {_fmt_s(new_s)})"
 
 
+def _worst_resource(
+    old_cp: Mapping[str, Any] | None, new_cp: Mapping[str, Any] | None
+) -> str | None:
+    """Resource-level localization from critical-path blame tables.
+
+    Names the resource whose critical-path seconds grew the most
+    (ring-wait vs index CPU vs flush) — the causal complement to
+    :func:`_worst_function`'s symptom-level answer.  Fires only when
+    both results carry a ``critical_path`` block.
+    """
+    if not old_cp or not new_cp:
+        return None
+    old_blame = old_cp.get("blame_s") or {}
+    new_blame = new_cp.get("blame_s") or {}
+    worst: tuple[float, str] | None = None
+    for resource in set(old_blame) | set(new_blame):
+        delta = new_blame.get(resource, 0.0) - old_blame.get(resource, 0.0)
+        if worst is None or delta > worst[0]:
+            worst = (delta, resource)
+    if worst is None or worst[0] <= 0:
+        return None
+    delta, resource = worst
+    return (
+        f"{resource} +{_fmt_s(delta)} on the critical path "
+        f"({_fmt_s(old_blame.get(resource, 0.0))} -> "
+        f"{_fmt_s(new_blame.get(resource, 0.0))})"
+    )
+
+
 @dataclass
 class Comparison:
     """Outcome of comparing two result files."""
@@ -771,6 +818,11 @@ def compare_results(
                 localizations.append(
                     f"  {name}: top regressed function {fhint}"
                 )
+            rhint = _worst_resource(o.critical_path, n.critical_path)
+            if rhint:
+                localizations.append(
+                    f"  {name}: slowest-growing resource {rhint}"
+                )
         elif o.median - n.median > max(rel_threshold * o.median, noise_floor):
             verdict = "improved"
         else:
@@ -812,16 +864,26 @@ def compare_results(
 # ---------------------------------------------------------------------- #
 
 
-def find_result_files(root: str) -> list[str]:
-    """Every ``BENCH_*.json`` under ``root``, baseline first, then sorted.
+_PR_FILE_RE = re.compile(r"^BENCH_PR(\d+)\.json$")
 
-    The baseline is the anchor of the trajectory; later results sort by
-    name, which the ``BENCH_PR<N>`` convention makes chronological.
+
+def find_result_files(root: str) -> list[str]:
+    """Every ``BENCH_*.json`` under ``root``, in trajectory order.
+
+    The baseline anchors the trajectory; ``BENCH_PR<N>`` files follow in
+    *numeric* PR order (lexicographic sorting would put ``PR10`` before
+    ``PR5``); anything else trails alphabetically.
     """
-    paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
-    baseline = [p for p in paths if os.path.basename(p) == "BENCH_BASELINE.json"]
-    rest = [p for p in paths if os.path.basename(p) != "BENCH_BASELINE.json"]
-    return baseline + rest
+    def key(path: str) -> tuple[int, int, str]:
+        base = os.path.basename(path)
+        if base == "BENCH_BASELINE.json":
+            return (0, 0, base)
+        m = _PR_FILE_RE.match(base)
+        if m:
+            return (1, int(m.group(1)), base)
+        return (2, 0, base)
+
+    return sorted(glob.glob(os.path.join(root, "BENCH_*.json")), key=key)
 
 
 def render_trajectory(root: str) -> str:

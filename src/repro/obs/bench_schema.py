@@ -176,6 +176,41 @@ def _check_scenario(i: int, entry: Any, problems: list[str]) -> None:
                             "is not a non-negative number"
                         )
 
+    # Optional per-resource critical-path summary from a --profile run
+    # (see repro.obs.critpath); pinned so --compare's resource-level
+    # localization never defends against a malformed block.
+    cpath = entry.get("critical_path")
+    if cpath is not None:
+        if not isinstance(cpath, dict):
+            problems.append(f"{where}: 'critical_path' must be an object")
+        else:
+            for key in ("backend", "top_resource"):
+                if not isinstance(cpath.get(key), str) or not cpath.get(key):
+                    problems.append(
+                        f"{where}: critical_path.{key} must be a non-empty string"
+                    )
+            for key in ("wall_s", "path_s"):
+                if not _is_number(cpath.get(key)) or cpath.get(key) < 0:
+                    problems.append(
+                        f"{where}: critical_path.{key} must be a "
+                        "non-negative number"
+                    )
+            blame = cpath.get("blame_s")
+            if not isinstance(blame, dict):
+                problems.append(f"{where}: critical_path.blame_s must be an object")
+            else:
+                for resource, value in blame.items():
+                    if not isinstance(resource, str) or not resource:
+                        problems.append(
+                            f"{where}: critical_path.blame_s has a "
+                            "non-string resource"
+                        )
+                    if not _is_number(value) or value < 0:
+                        problems.append(
+                            f"{where}: critical_path.blame_s[{resource!r}] "
+                            f"{value!r} is not a non-negative number"
+                        )
+
 
 def validate_bench(payload: Any) -> list[str]:
     """Structural validation; returns problems (empty list = valid)."""

@@ -512,6 +512,23 @@ def render_profile_diff(
         f"profile diff ({label} time): "
         f"~{old_total:.3f}s -> ~{new_total:.3f}s attributed"
     ]
+    # Disjoint lanes (e.g. a serial artifact against a multiprocess one:
+    # no parser-*/cpu-* lanes on one side) would otherwise read as every
+    # frame "regressing" from zero — say explicitly which lanes only one
+    # side sampled so the tables below are read per shared lane.
+    old_lanes, new_lanes = set(old["lanes"]), set(new["lanes"])
+    for lane in sorted(old_lanes - new_lanes):
+        lines.append(
+            f"note: lane {lane!r} only in OLD "
+            f"({old['lanes'][lane]['samples']} sample(s)) — "
+            "its frames read as improvements"
+        )
+    for lane in sorted(new_lanes - old_lanes):
+        lines.append(
+            f"note: lane {lane!r} only in NEW "
+            f"({new['lanes'][lane]['samples']} sample(s)) — "
+            "its frames read as regressions"
+        )
     lines.append(f"top {top} regressed function(s):")
     if regressed:
         lines.append(f"  {'old':>9}  {'new':>9}  {'delta':>9}  frame")

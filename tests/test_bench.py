@@ -132,6 +132,22 @@ class TestSchema:
         del payload["scenarios"][0]["stage_timings"]
         assert any("stage_timings" in p for p in validate_bench(payload))
 
+    def test_critical_path_block_shape_is_gated(self):
+        payload = synthetic_payload({"a": 0.5})
+        entry = payload["scenarios"][0]
+        entry["critical_path"] = {
+            "backend": "multiprocess", "wall_s": 2.0, "path_s": 2.0,
+            "blame_s": {"ring-wait": 1.5, "index": 0.5},
+            "top_resource": "ring-wait",
+        }
+        assert validate_bench(payload) == []
+        entry["critical_path"]["blame_s"]["index"] = -1
+        assert any("blame_s" in p for p in validate_bench(payload))
+        entry["critical_path"] = {"backend": ""}
+        problems = validate_bench(payload)
+        assert any("critical_path.backend" in p for p in problems)
+        assert any("critical_path.wall_s" in p for p in problems)
+
     def test_write_refuses_invalid_and_roundtrips(self, tmp_path):
         path = str(tmp_path / "BENCH_T.json")
         with pytest.raises(ValueError, match="refusing to write"):
@@ -243,6 +259,30 @@ class TestGate:
         assert "REGRESSED" in cmp.text
         assert "stage.index" in cmp.text  # localization hint names the stage
 
+    def test_slowdown_localizes_to_a_critical_path_resource(self, tmp_path):
+        old_payload = synthetic_payload({"b": 1.0})
+        slowed = synthetic_payload({"b": 1.0})
+        entry = slowed["scenarios"][0]
+        entry["seconds"] = [s * 2 for s in entry["seconds"]]
+        entry["stats"] = {k: v * 2 for k, v in entry["stats"].items()}
+        old_payload["scenarios"][0]["critical_path"] = {
+            "backend": "multiprocess", "wall_s": 1.0, "path_s": 1.0,
+            "blame_s": {"index": 0.6, "ring-wait": 0.4},
+            "top_resource": "index",
+        }
+        entry["critical_path"] = {
+            "backend": "multiprocess", "wall_s": 2.0, "path_s": 2.0,
+            "blame_s": {"index": 0.6, "ring-wait": 1.4},
+            "top_resource": "ring-wait",
+        }
+        old = str(tmp_path / "BENCH_A.json")
+        new = str(tmp_path / "BENCH_B.json")
+        write_bench(old, old_payload)
+        write_bench(new, slowed)
+        cmp = compare_results(load_results(old), load_results(new))
+        assert cmp.regressions == ["b"]
+        assert "slowest-growing resource ring-wait" in cmp.text
+
     def test_noise_floor_absorbs_jitter(self, tmp_path):
         old = str(tmp_path / "BENCH_A.json")
         new = str(tmp_path / "BENCH_B.json")
@@ -344,6 +384,29 @@ class TestTrajectory:
 
     def test_empty_directory(self, tmp_path):
         assert "no BENCH_*.json" in render_trajectory(str(tmp_path))
+
+    def test_pr_files_sort_numerically_not_lexicographically(self, tmp_path):
+        # Lexicographic order would put PR10 before PR5; the trajectory
+        # must read BASELINE, PR5, PR10, then non-PR names.
+        (tmp_path / "BENCH_BASELINE.json").write_text("{}")
+        for name in ("BENCH_PR10.json", "BENCH_PR5.json", "BENCH_PR6.json",
+                     "BENCH_EXPERIMENT.json"):
+            (tmp_path / name).write_text("{}")
+        names = [os.path.basename(p)
+                 for p in bench.find_result_files(str(tmp_path))]
+        assert names == [
+            "BENCH_BASELINE.json", "BENCH_PR5.json", "BENCH_PR6.json",
+            "BENCH_PR10.json", "BENCH_EXPERIMENT.json",
+        ]
+
+    def test_trajectory_columns_follow_pr_number(self, tmp_path):
+        write_bench(str(tmp_path / "BENCH_PR5.json"),
+                    synthetic_payload({"a": 0.2}))
+        write_bench(str(tmp_path / "BENCH_PR10.json"),
+                    synthetic_payload({"a": 0.3}))
+        out = render_trajectory(str(tmp_path))
+        header = [ln for ln in out.splitlines() if "PR5" in ln][0]
+        assert header.index("PR5") < header.index("PR10")
 
 
 class TestMetricsGate:

@@ -423,6 +423,30 @@ class TestReports:
         imp = back[back.index("improved") :]
         assert "slow:mod:9" in imp
 
+    def test_diff_notes_disjoint_lanes(self):
+        old = build_profile_payload(
+            0.01, {"engine": 1, "gpu-0": 2},
+            {
+                "engine": {("a:f:1",): 10},
+                "gpu-0": {("g:k:5",): 7},
+            },
+        )
+        new = build_profile_payload(
+            0.01, {"engine": 1, "cpu-0": 2},
+            {
+                "engine": {("a:f:1",): 10},
+                "cpu-0": {("c:k:5",): 4},
+            },
+        )
+        text = render_profile_diff(old, new)
+        assert "lane 'gpu-0' only in OLD" in text
+        assert "7 sample(s)" in text
+        assert "lane 'cpu-0' only in NEW" in text
+        assert "4 sample(s)" in text
+        # Identical lane sets stay note-free.
+        clean = render_profile_diff(old, old)
+        assert "only in" not in clean
+
 
 # ---------------------------------------------------------------------------
 # Gates

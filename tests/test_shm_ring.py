@@ -16,6 +16,7 @@ import pytest
 
 from repro.core.shm_ring import (
     SHM_PREFIX,
+    RingSpec,
     RingTimeout,
     ShmRing,
     forget_inherited_segments,
@@ -386,3 +387,61 @@ class TestRingTelemetry:
             counters = t.metrics.snapshot()["counters"]
         assert counters["shm.ring.producer_wait_polls"] >= 1
         assert counters["shm.ring.producer_wait_s"] > 0
+
+    def test_edge_labelled_ring_emits_per_edge_wait_counters(self):
+        with session(Telemetry.create()) as t:
+            r = ShmRing.create("edged", capacity=256, edge="cpu-0.result")
+            try:
+                assert r.get_frame(timeout=0.05) is None
+            finally:
+                r.unlink()
+            counters = t.metrics.snapshot()["counters"]
+        assert counters["shm.ring.edge.cpu-0.result.consumer_wait_s"] > 0
+        # Spec roundtrip carries the edge to the attaching process.
+        spec = RingSpec(name="x", capacity=256, edge="cpu-0.result")
+        assert spec.edge == "cpu-0.result"
+
+    # Frames chosen so the third put wraps the head/tail boundary on a
+    # 32-byte ring: 12+4 then 8+4 bytes fill to offset 28; after both
+    # are consumed, the 20+4-byte frame starts at pos 28 and wraps.
+    @staticmethod
+    def _drive_wrapping(r: ShmRing) -> None:
+        r.put_frame(b"a" * 12)
+        r.put_frame(b"b" * 8)
+        assert r.get_frame() == b"a" * 12
+        assert r.get_frame() == b"b" * 8
+        r.put_frame(b"c" * 20)
+        assert r.get_frame() == b"c" * 20
+
+    def test_histograms_across_wraparound(self):
+        with session(Telemetry.create()) as t:
+            r = ShmRing.create("wrapped", capacity=32)
+            try:
+                self._drive_wrapping(r)
+            finally:
+                r.unlink()
+            snap = t.metrics.snapshot()
+        frame_hist = snap["histograms"]["shm.ring.frame_bytes"]
+        occ_hist = snap["histograms"]["shm.ring.occupancy_bytes"]
+        assert frame_hist["count"] == 3
+        assert occ_hist["count"] == 3
+        # Payload sizes survive the wrap: 12 + 8 + 20.
+        assert frame_hist["sum"] == 40
+        # Occupancy at each put: 0, 16 (first frame unread), 0.
+        assert occ_hist["sum"] == 16
+
+    def test_ring_bytes_identical_across_wraparound_with_telemetry(self):
+        plain = ShmRing.create("plain-wrap", capacity=32)
+        try:
+            self._drive_wrapping(plain)
+            plain_bytes = bytes(plain._buf)
+        finally:
+            plain.unlink()
+        with session(Telemetry.create()):
+            observed = ShmRing.create("obs-wrap", capacity=32, edge="w.result")
+            try:
+                self._drive_wrapping(observed)
+                observed_bytes = bytes(observed._buf)
+            finally:
+                observed.unlink()
+        assert observed_bytes == plain_bytes
